@@ -1,0 +1,71 @@
+// Command datagen emits synthetic uncertain data streams as CSV, one
+// element per line: d coordinates, the occurrence probability, and a
+// timestamp. The output feeds cmd/pskyline.
+//
+// Usage:
+//
+//	datagen -dist anti -dims 3 -n 100000 > anti3d.csv
+//	datagen -dist stock -n 100000 | pskyline -dims 2 -window 10000 -q 0.3
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+
+	"pskyline/internal/streamgen"
+)
+
+func main() {
+	var (
+		dist = flag.String("dist", "inde", "spatial distribution: inde, corr, anti, clus, stock")
+		dims = flag.Int("dims", 2, "dimensionality (ignored for stock, which is 2-d)")
+		n    = flag.Int("n", 100000, "number of elements")
+		pm   = flag.String("prob", "uniform", "probability model: uniform, normal, const")
+		pmu  = flag.Float64("pmu", 0.5, "mean for -prob normal")
+		pc   = flag.Float64("p", 0.8, "probability for -prob const")
+		seed = flag.Int64("seed", 1, "random seed")
+	)
+	flag.Parse()
+
+	var model streamgen.ProbModel
+	switch *pm {
+	case "uniform":
+		model = streamgen.UniformProb{}
+	case "normal":
+		model = streamgen.NormalProb{Mu: *pmu, Sd: 0.3}
+	case "const":
+		model = streamgen.ConstProb{P: *pc}
+	default:
+		fmt.Fprintf(os.Stderr, "datagen: unknown probability model %q\n", *pm)
+		os.Exit(2)
+	}
+
+	var src streamgen.Stream
+	switch *dist {
+	case "inde":
+		src = streamgen.New(*dims, streamgen.Independent, model, *seed)
+	case "corr":
+		src = streamgen.New(*dims, streamgen.Correlated, model, *seed)
+	case "anti":
+		src = streamgen.New(*dims, streamgen.Anticorrelated, model, *seed)
+	case "clus":
+		src = streamgen.New(*dims, streamgen.Clustered, model, *seed)
+	case "stock":
+		src = streamgen.NewStock(model, *seed)
+	default:
+		fmt.Fprintf(os.Stderr, "datagen: unknown distribution %q\n", *dist)
+		os.Exit(2)
+	}
+
+	w := bufio.NewWriter(os.Stdout)
+	defer w.Flush()
+	for i := 0; i < *n; i++ {
+		el := src.Next()
+		for _, v := range el.Point {
+			fmt.Fprintf(w, "%g,", v)
+		}
+		fmt.Fprintf(w, "%g,%d\n", el.P, el.TS)
+	}
+}

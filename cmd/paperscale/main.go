@@ -1,0 +1,28 @@
+// Command paperscale runs the headline anti-correlated 3d configuration at
+// the paper's full scale (n = 2M, N = 1M): SSKY vs the trivial algorithm,
+// plus the space numbers. It exists so EXPERIMENTS.md can anchor the
+// reduced-scale sweeps against one full-scale measurement.
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"pskyline/internal/bench"
+	"pskyline/internal/streamgen"
+)
+
+func main() {
+	ds := bench.Dataset{Name: "Anti-Uniform", Dims: 3, Dist: streamgen.Anticorrelated, Prob: streamgen.UniformProb{}}
+	cfg := bench.Config{Dataset: ds, N: 2_000_000, Window: 1_000_000, Thresholds: []float64{0.3}, Seed: 1}
+	ssky := bench.Run(cfg)
+	fmt.Fprintf(os.Stdout, "paper-scale anti 3d, n=2M, N=1M, q=0.3\n")
+	fmt.Fprintf(os.Stdout, "SSKY:    %.2f us/elem (%.0f elems/sec), p50=%.2f p99=%.2f, max|S|=%d max|SKY|=%d\n",
+		ssky.NsPerElem/1e3, ssky.ElemsPerSec, ssky.P50NsPerElem/1e3, ssky.P99NsPerElem/1e3, ssky.MaxCand, ssky.MaxSky)
+	c := ssky.Counters
+	fmt.Fprintf(os.Stdout, "visits:  %.1f nodes/elem, %.1f items/elem\n",
+		float64(c.NodesVisited)/float64(c.Pushes), float64(c.ItemsTouched)/float64(c.Pushes))
+	triv := bench.RunTrivial(cfg)
+	fmt.Fprintf(os.Stdout, "trivial: %.2f us/elem (%.0f elems/sec)\n", triv.NsPerElem/1e3, triv.ElemsPerSec)
+	fmt.Fprintf(os.Stdout, "speedup: %.1fx\n", triv.NsPerElem/ssky.NsPerElem)
+}

@@ -1,0 +1,177 @@
+// Command pskyline maintains a continuous probabilistic skyline over a CSV
+// stream (as produced by cmd/datagen): each input line holds d coordinates,
+// an occurrence probability, and optionally a timestamp.
+//
+// By default it prints enter/leave events for the q_1-skyline as the window
+// slides; -snapshot N prints a skyline snapshot every N elements instead,
+// and -summary prints only the final statistics.
+//
+// Usage:
+//
+//	datagen -dist anti -dims 3 -n 200000 | pskyline -dims 3 -window 100000 -q 0.3 -summary
+//	pskyline -dims 2 -window 1000 -q 0.5,0.3 -snapshot 500 < stream.csv
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"pskyline"
+)
+
+func main() {
+	var (
+		dims     = flag.Int("dims", 2, "dimensionality of the input points")
+		window   = flag.Int("window", 100000, "count-based sliding window size")
+		period   = flag.Int64("period", 0, "time-based window period (overrides -window; input must carry timestamps)")
+		qList    = flag.String("q", "0.3", "comma-separated probability thresholds")
+		snapshot = flag.Int("snapshot", 0, "print a skyline snapshot every N elements instead of events")
+		summary  = flag.Bool("summary", false, "print only final statistics")
+		file     = flag.String("f", "", "input file (default stdin)")
+		ckpt     = flag.String("checkpoint", "", "checkpoint file: loaded at start if present, written at exit")
+	)
+	flag.Parse()
+
+	var thresholds []float64
+	for _, s := range strings.Split(*qList, ",") {
+		q, err := strconv.ParseFloat(strings.TrimSpace(s), 64)
+		if err != nil {
+			fatal("bad threshold %q: %v", s, err)
+		}
+		thresholds = append(thresholds, q)
+	}
+
+	opt := pskyline.Options{Dims: *dims, Thresholds: thresholds}
+	if *period > 0 {
+		opt.Period = *period
+	} else {
+		opt.Window = *window
+	}
+	quiet := *summary || *snapshot > 0
+	if !quiet {
+		opt.OnEnter = func(p pskyline.SkyPoint) {
+			fmt.Printf("+ seq=%d pt=%v p=%.3f\n", p.Seq, p.Point, p.Prob)
+		}
+		opt.OnLeave = func(p pskyline.SkyPoint) {
+			fmt.Printf("- seq=%d pt=%v\n", p.Seq, p.Point)
+		}
+	}
+	var m *pskyline.Monitor
+	var err error
+	if *ckpt != "" {
+		if f, ferr := os.Open(*ckpt); ferr == nil {
+			m, err = pskyline.RestoreMonitor(f, pskyline.RestoreOptions{
+				OnEnter: opt.OnEnter, OnLeave: opt.OnLeave,
+			})
+			f.Close()
+			if err != nil {
+				fatal("restore %s: %v", *ckpt, err)
+			}
+			fmt.Fprintf(os.Stderr, "pskyline: resumed from %s (%d elements seen)\n",
+				*ckpt, m.Stats().Processed)
+		}
+	}
+	if m == nil {
+		m, err = pskyline.NewMonitor(opt)
+		if err != nil {
+			fatal("%v", err)
+		}
+	}
+
+	in := os.Stdin
+	if *file != "" {
+		f, err := os.Open(*file)
+		if err != nil {
+			fatal("%v", err)
+		}
+		defer f.Close()
+		in = f
+	}
+
+	sc := bufio.NewScanner(in)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	count := 0
+	start := time.Now()
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		el, err := parseLine(line, *dims)
+		if err != nil {
+			fatal("line %d: %v", count+1, err)
+		}
+		if _, err := m.Push(el); err != nil {
+			fatal("line %d: %v", count+1, err)
+		}
+		count++
+		if *snapshot > 0 && count%*snapshot == 0 {
+			sky := m.Skyline()
+			fmt.Printf("@%d skyline (%d points):\n", count, len(sky))
+			for _, p := range sky {
+				fmt.Printf("  seq=%d pt=%v psky=%.4f\n", p.Seq, p.Point, p.Psky)
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		fatal("read: %v", err)
+	}
+	elapsed := time.Since(start)
+	if *ckpt != "" {
+		f, err := os.Create(*ckpt)
+		if err != nil {
+			fatal("checkpoint: %v", err)
+		}
+		if err := m.Snapshot(f); err != nil {
+			fatal("checkpoint: %v", err)
+		}
+		if err := f.Close(); err != nil {
+			fatal("checkpoint: %v", err)
+		}
+		fmt.Fprintf(os.Stderr, "pskyline: checkpoint written to %s\n", *ckpt)
+	}
+	st := m.Stats()
+	fmt.Printf("processed %d elements in %v (%.0f elems/sec)\n",
+		count, elapsed.Round(time.Millisecond), float64(count)/elapsed.Seconds())
+	fmt.Printf("candidates: now %d, max %d; skyline: now %d, max %d\n",
+		st.Candidates, st.MaxCandidates, st.Skyline, st.MaxSkyline)
+}
+
+// parseLine parses "x1,...,xd,prob[,ts]".
+func parseLine(line string, dims int) (pskyline.Element, error) {
+	parts := strings.Split(line, ",")
+	if len(parts) != dims+1 && len(parts) != dims+2 {
+		return pskyline.Element{}, fmt.Errorf("want %d or %d fields, got %d", dims+1, dims+2, len(parts))
+	}
+	el := pskyline.Element{Point: make([]float64, dims)}
+	for i := 0; i < dims; i++ {
+		v, err := strconv.ParseFloat(strings.TrimSpace(parts[i]), 64)
+		if err != nil {
+			return el, fmt.Errorf("coordinate %d: %v", i, err)
+		}
+		el.Point[i] = v
+	}
+	p, err := strconv.ParseFloat(strings.TrimSpace(parts[dims]), 64)
+	if err != nil {
+		return el, fmt.Errorf("probability: %v", err)
+	}
+	el.Prob = p
+	if len(parts) == dims+2 {
+		ts, err := strconv.ParseInt(strings.TrimSpace(parts[dims+1]), 10, 64)
+		if err != nil {
+			return el, fmt.Errorf("timestamp: %v", err)
+		}
+		el.TS = ts
+	}
+	return el, nil
+}
+
+func fatal(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "pskyline: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,33 @@
+package main
+
+import "testing"
+
+func TestParseLine(t *testing.T) {
+	el, err := parseLine("1.5,2.5,0.8", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if el.Point[0] != 1.5 || el.Point[1] != 2.5 || el.Prob != 0.8 || el.TS != 0 {
+		t.Fatalf("parsed %+v", el)
+	}
+
+	el, err = parseLine(" 1 , 2 , 0.5 , 42 ", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if el.TS != 42 {
+		t.Fatalf("ts = %d", el.TS)
+	}
+
+	for _, bad := range []string{
+		"1,2",          // too few fields
+		"1,2,3,4,5",    // too many
+		"x,2,0.5",      // bad coordinate
+		"1,2,p",        // bad probability
+		"1,2,0.5,nope", // bad timestamp
+	} {
+		if _, err := parseLine(bad, 2); err == nil {
+			t.Errorf("parseLine(%q) accepted", bad)
+		}
+	}
+}

@@ -1,0 +1,55 @@
+// Quickstart: maintain a continuous 0.3-skyline over a sliding window of a
+// synthetic 2-d uncertain stream and print the final skyline and the
+// operator's size statistics.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"pskyline"
+)
+
+func main() {
+	m, err := pskyline.NewMonitor(pskyline.Options{
+		Dims:       2,
+		Window:     10_000,
+		Thresholds: []float64{0.3},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	r := rand.New(rand.NewSource(1))
+	for i := 0; i < 50_000; i++ {
+		_, err := m.Push(pskyline.Element{
+			Point: []float64{r.Float64(), r.Float64()},
+			Prob:  1 - r.Float64(), // (0, 1]
+			Data:  fmt.Sprintf("elem-%d", i),
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	fmt.Println("current 0.3-skyline (most recent 10,000 elements):")
+	for _, p := range m.Skyline() {
+		fmt.Printf("  %-12v point=(%.3f, %.3f)  P=%.2f  Psky=%.3f\n",
+			p.Data, p.Point[0], p.Point[1], p.Prob, p.Psky)
+	}
+
+	// Ad-hoc query at a stricter threshold and a top-k request reuse the
+	// same maintained state.
+	strict, _ := m.Query(0.7)
+	fmt.Printf("\n0.7-skyline has %d points\n", len(strict))
+	top, _ := m.TopK(3, 0.3)
+	fmt.Println("top-3 by skyline probability:")
+	for _, p := range top {
+		fmt.Printf("  %-12v Psky=%.3f\n", p.Data, p.Psky)
+	}
+
+	st := m.Stats()
+	fmt.Printf("\nspace: %d candidates kept for a %d-element window (max %d, %.1f%%)\n",
+		st.Candidates, 10_000, st.MaxCandidates, 100*float64(st.MaxCandidates)/10_000)
+}

@@ -1,0 +1,97 @@
+// Shopping: the paper's motivating on-line marketplace scenario (Section I,
+// Table I). A stream of laptop advertisements is ranked on (price,
+// condition) with the seller's trustability as occurrence probability; the
+// monitor continuously surfaces the best-deal candidates among the most
+// recent advertisements, discounting offers from untrustworthy sellers and
+// letting stale offers age out of a time-based window.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"pskyline"
+)
+
+// Ad is one advertisement; condition is a rank (1 = excellent … 4 = poor).
+type Ad struct {
+	Seller    string
+	Price     float64
+	Condition int
+	Trust     float64
+	Day       int64
+}
+
+func main() {
+	const windowDays = 30
+	m, err := pskyline.NewMonitor(pskyline.Options{
+		Dims:       2,
+		Period:     windowDays, // time-based window: ads older than 30 days expire
+		Thresholds: []float64{0.4},
+		OnEnter: func(p pskyline.SkyPoint) {
+			ad := p.Data.(Ad)
+			fmt.Printf("day %3d  NEW BEST DEAL: %-10s $%-6.0f cond=%d trust=%.2f\n",
+				ad.Day, ad.Seller, ad.Price, ad.Condition, ad.Trust)
+		},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Replay Table I first: L1 (107 days ago) will have expired by "today",
+	// exactly as the paper's example motivates.
+	tableI := []Ad{
+		{"L1", 550, 1, 0.80, 0},
+		{"L2", 680, 1, 0.90, 102},
+		{"L3", 530, 2, 1.00, 105},
+		{"L4", 200, 2, 0.48, 107},
+	}
+	for _, ad := range tableI {
+		push(m, ad)
+	}
+	sky := m.Skyline()
+	fmt.Printf("\nafter Table I (L1 aged out of the %d-day window): %d best-deal candidates\n", windowDays, len(sky))
+	for _, p := range sky {
+		ad := p.Data.(Ad)
+		fmt.Printf("  %-4s $%-6.0f cond=%d trust=%.2f  Psky=%.2f\n",
+			ad.Seller, ad.Price, ad.Condition, ad.Trust, p.Psky)
+	}
+
+	// Then a longer simulated feed: sellers post daily, prices drift down
+	// as the model ages, trustability varies.
+	r := rand.New(rand.NewSource(3))
+	day := int64(108)
+	for i := 0; i < 3000; i++ {
+		day += int64(r.Intn(2))
+		push(m, Ad{
+			Seller:    fmt.Sprintf("seller-%03d", r.Intn(400)),
+			Price:     250 + 500*r.Float64() - 0.1*float64(day-108),
+			Condition: 1 + r.Intn(4),
+			Trust:     0.3 + 0.7*r.Float64(),
+			Day:       day,
+		})
+	}
+
+	fmt.Printf("\nday %d: current best-deal candidates (0.4-skyline):\n", day)
+	for _, p := range m.Skyline() {
+		ad := p.Data.(Ad)
+		fmt.Printf("  %-11s $%-7.0f cond=%d trust=%.2f  Psky=%.2f\n",
+			ad.Seller, ad.Price, ad.Condition, ad.Trust, p.Psky)
+	}
+	st := m.Stats()
+	fmt.Printf("\n%d ads processed, %d candidates kept (max %d)\n",
+		st.Processed, st.Candidates, st.MaxCandidates)
+}
+
+func push(m *pskyline.Monitor, ad Ad) {
+	_, err := m.Push(pskyline.Element{
+		Point: []float64{ad.Price, float64(ad.Condition)},
+		Prob:  ad.Trust,
+		TS:    ad.Day,
+		Data:  ad,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,3 @@
+module pskyline
+
+go 1.22

@@ -1,0 +1,74 @@
+package aggrtree
+
+import (
+	"math/rand"
+	"testing"
+
+	"pskyline/internal/prob"
+)
+
+func benchTree(n int, seed int64) (*Tree, []*Item) {
+	r := rand.New(rand.NewSource(seed))
+	tr := New(3, Config{})
+	items := make([]*Item, n)
+	for i := range items {
+		items[i] = randItem(r, 3, uint64(i))
+		tr.InsertItem(items[i])
+	}
+	return tr, items
+}
+
+func BenchmarkInsertItem(b *testing.B) {
+	r := rand.New(rand.NewSource(1))
+	tr := New(3, Config{})
+	items := make([]*Item, b.N)
+	for i := range items {
+		items[i] = randItem(r, 3, uint64(i))
+	}
+	b.ResetTimer()
+	for _, it := range items {
+		tr.InsertItem(it)
+	}
+}
+
+func BenchmarkInsertDeleteSteady(b *testing.B) {
+	tr, items := benchTree(10_000, 1)
+	r := rand.New(rand.NewSource(2))
+	fresh := make([]*Item, b.N)
+	for i := range fresh {
+		fresh[i] = randItem(r, 3, uint64(100_000+i))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		victim := items[i%len(items)]
+		tr.DeleteItem(victim)
+		tr.InsertItem(fresh[i])
+		items[i%len(items)] = fresh[i]
+	}
+}
+
+func BenchmarkWalkItems(b *testing.B) {
+	tr, _ := benchTree(10_000, 3)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		count := 0
+		tr.WalkItems(func(*Item, prob.Factor, prob.Factor) bool {
+			count++
+			return true
+		})
+		if count != 10_000 {
+			b.Fatal("walk lost items")
+		}
+	}
+}
+
+func BenchmarkPushLazy(b *testing.B) {
+	tr, _ := benchTree(10_000, 4)
+	f := prob.OneMinus(0.5)
+	root := tr.Root()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		root.MulLazyNew(f)
+		root.Push()
+	}
+}

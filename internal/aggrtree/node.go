@@ -1,0 +1,348 @@
+package aggrtree
+
+import (
+	"fmt"
+
+	"pskyline/internal/geom"
+	"pskyline/internal/prob"
+)
+
+// Node is an entry of an aggregate R-tree: an internal entry with child
+// entries, or a leaf entry with items. Exported accessors expose the
+// aggregate information of Section IV-A; mutation happens through the Tree
+// and the lazy-multiplier methods so aggregates stay consistent.
+type Node struct {
+	parent *Node
+	level  int // 0 = leaf
+	rect   geom.Rect
+
+	children []*Node // level > 0
+	items    []*Item // level == 0
+
+	count int         // elements in the subtree
+	pnoc  prob.Factor // Π (1 − P(e)) over the subtree
+
+	// Lazy multipliers. lazyNew multiplies Pnew (and therefore Psky) of
+	// every element below; lazyOld divides Pold (and therefore multiplies
+	// Psky) of every element below. They correspond to P_new^global and
+	// P_old^global in the paper.
+	lazyNew prob.Factor
+	lazyOld prob.Factor
+
+	// Aggregates over the subtree excluding this node's own lazy
+	// multipliers (but including all lazies strictly below).
+	pskyMin, pskyMax prob.Factor
+	pnewMin, pnewMax prob.Factor
+}
+
+func newNode(dims, level int) *Node {
+	return &Node{
+		level:   level,
+		rect:    geom.EmptyRect(dims),
+		pnoc:    prob.One(),
+		lazyNew: prob.One(),
+		lazyOld: prob.One(),
+		pskyMin: prob.One(),
+		pskyMax: prob.One(),
+		pnewMin: prob.One(),
+		pnewMax: prob.One(),
+	}
+}
+
+// Level returns the node's height above the leaves (0 for leaves).
+func (n *Node) Level() int { return n.level }
+
+// IsLeaf reports whether the node stores items directly.
+func (n *Node) IsLeaf() bool { return n.level == 0 }
+
+// Parent returns the parent entry, or nil at the root.
+func (n *Node) Parent() *Node { return n.parent }
+
+// Rect returns the node's minimum bounding box. The caller must not mutate
+// it.
+func (n *Node) Rect() geom.Rect { return n.rect }
+
+// Count returns the number of elements in the subtree.
+func (n *Node) Count() int { return n.count }
+
+// Pnoc returns Π (1 − P(e)) over the subtree.
+func (n *Node) Pnoc() prob.Factor { return n.pnoc }
+
+// Children returns the child entries of an internal node. The caller must
+// not mutate the slice.
+func (n *Node) Children() []*Node { return n.children }
+
+// Items returns the items of a leaf node. The caller must not mutate the
+// slice.
+func (n *Node) Items() []*Item { return n.items }
+
+// LazyNew returns the pending Pnew multiplier at this entry.
+func (n *Node) LazyNew() prob.Factor { return n.lazyNew }
+
+// LazyOld returns the pending Pold divisor at this entry.
+func (n *Node) LazyOld() prob.Factor { return n.lazyOld }
+
+// EffPskyMin returns the subtree's minimum skyline probability including
+// this node's lazy multipliers (the exact value the paper's CalProb would
+// produce).
+func (n *Node) EffPskyMin() prob.Factor {
+	return n.pskyMin.Times(n.lazyNew).Over(n.lazyOld)
+}
+
+// EffPskyMax returns the subtree's maximum skyline probability including
+// this node's lazy multipliers.
+func (n *Node) EffPskyMax() prob.Factor {
+	return n.pskyMax.Times(n.lazyNew).Over(n.lazyOld)
+}
+
+// EffPnewMin returns the subtree's minimum Pnew including this node's lazy
+// multiplier.
+func (n *Node) EffPnewMin() prob.Factor { return n.pnewMin.Times(n.lazyNew) }
+
+// EffPnewMax returns the subtree's maximum Pnew including this node's lazy
+// multiplier.
+func (n *Node) EffPnewMax() prob.Factor { return n.pnewMax.Times(n.lazyNew) }
+
+// MulLazyNew records that every element under n gained a new dominator with
+// non-occurrence probability f: Pnew (and Psky) of all elements below are
+// multiplied by f.
+//
+// The node's effective aggregates change, so the caller must bring ancestor
+// aggregates up to date afterwards — either by refreshing on the unwind of
+// the traversal that applied the multiplier (the probes do this) or by
+// calling Refresh(n.Parent()).
+func (n *Node) MulLazyNew(f prob.Factor) {
+	n.lazyNew = n.lazyNew.Times(f)
+}
+
+// MulLazyOld records that dominators of every element under n with combined
+// non-occurrence probability f departed (expired or left the candidate
+// set): Pold of all elements below is divided by f, raising Psky. As with
+// MulLazyNew, the caller is responsible for refreshing ancestors.
+func (n *Node) MulLazyOld(f prob.Factor) {
+	n.lazyOld = n.lazyOld.Times(f)
+}
+
+// ApplyDeepNew multiplies Pnew of every element under n by f immediately,
+// visiting all of them — the eager alternative to MulLazyNew, kept for the
+// lazy-vs-eager ablation. Aggregates under n are refreshed; as with
+// MulLazyNew the caller refreshes ancestors.
+func (n *Node) ApplyDeepNew(f prob.Factor) {
+	n.Push()
+	if n.level == 0 {
+		for _, it := range n.items {
+			it.Pnew = it.Pnew.Times(f)
+		}
+	} else {
+		for _, c := range n.children {
+			c.ApplyDeepNew(f)
+		}
+	}
+	n.RefreshProbs()
+}
+
+// ApplyDeepOld divides Pold of every element under n by f immediately — the
+// eager alternative to MulLazyOld.
+func (n *Node) ApplyDeepOld(f prob.Factor) {
+	n.Push()
+	if n.level == 0 {
+		for _, it := range n.items {
+			it.Pold = it.Pold.Over(f)
+		}
+	} else {
+		for _, c := range n.children {
+			c.ApplyDeepOld(f)
+		}
+	}
+	n.RefreshProbs()
+}
+
+// Push applies the node's pending lazy multipliers (CalProb) and transfers
+// them to its children or items (UpdateOldNew), leaving the node's lazies at
+// 1. The node's effective aggregates are unchanged, so ancestors stay
+// consistent. Push must be called before descending into a node's children
+// whenever the descent will read or mutate them.
+func (n *Node) Push() {
+	if n.lazyNew.IsOne() && n.lazyOld.IsOne() {
+		return
+	}
+	ln, lo := n.lazyNew, n.lazyOld
+	// Fold the lazies into the stored aggregates (CalProb).
+	n.pskyMin = n.pskyMin.Times(ln).Over(lo)
+	n.pskyMax = n.pskyMax.Times(ln).Over(lo)
+	n.pnewMin = n.pnewMin.Times(ln)
+	n.pnewMax = n.pnewMax.Times(ln)
+	// Hand them to the next level down (UpdateOldNew).
+	if n.level > 0 {
+		for _, c := range n.children {
+			c.lazyNew = c.lazyNew.Times(ln)
+			c.lazyOld = c.lazyOld.Times(lo)
+		}
+	} else {
+		for _, it := range n.items {
+			it.Pnew = it.Pnew.Times(ln)
+			it.Pold = it.Pold.Over(lo)
+		}
+	}
+	n.lazyNew = prob.One()
+	n.lazyOld = prob.One()
+}
+
+// refresh recomputes the node's rect, count, pnoc and min/max aggregates
+// from its children or items. The node's own lazies are untouched (the
+// stored aggregates exclude them by definition).
+func (n *Node) refresh() {
+	n.rect.Reset()
+	n.count = 0
+	n.pnoc = prob.One()
+	first := true
+	if n.level > 0 {
+		for _, c := range n.children {
+			if c.count == 0 {
+				continue
+			}
+			n.rect.ExtendRect(c.rect)
+			n.count += c.count
+			n.pnoc = n.pnoc.Times(c.pnoc)
+			// A child's stored aggregates exclude its own lazies; from
+			// this node's viewpoint they must be included.
+			sMin := c.pskyMin.Times(c.lazyNew).Over(c.lazyOld)
+			sMax := c.pskyMax.Times(c.lazyNew).Over(c.lazyOld)
+			nMin := c.pnewMin.Times(c.lazyNew)
+			nMax := c.pnewMax.Times(c.lazyNew)
+			if first {
+				n.pskyMin, n.pskyMax = sMin, sMax
+				n.pnewMin, n.pnewMax = nMin, nMax
+				first = false
+			} else {
+				n.pskyMin = prob.Min(n.pskyMin, sMin)
+				n.pskyMax = prob.Max(n.pskyMax, sMax)
+				n.pnewMin = prob.Min(n.pnewMin, nMin)
+				n.pnewMax = prob.Max(n.pnewMax, nMax)
+			}
+		}
+	} else {
+		for _, it := range n.items {
+			n.rect.ExtendPoint(it.Point)
+			n.count++
+			n.pnoc = n.pnoc.Times(it.oneMin)
+			s := it.Psky()
+			if first {
+				n.pskyMin, n.pskyMax = s, s
+				n.pnewMin, n.pnewMax = it.Pnew, it.Pnew
+				first = false
+			} else {
+				n.pskyMin = prob.Min(n.pskyMin, s)
+				n.pskyMax = prob.Max(n.pskyMax, s)
+				n.pnewMin = prob.Min(n.pnewMin, it.Pnew)
+				n.pnewMax = prob.Max(n.pnewMax, it.Pnew)
+			}
+		}
+	}
+	if first { // empty node
+		n.pskyMin, n.pskyMax = prob.One(), prob.One()
+		n.pnewMin, n.pnewMax = prob.One(), prob.One()
+	}
+}
+
+// Refresh recomputes this node's aggregates from its direct children or
+// items. Callers that mutated item probabilities in a leaf, or child lazies
+// below an internal node, use it on the unwind of their traversal.
+func (n *Node) Refresh() { n.refresh() }
+
+// RefreshProbs recomputes only the probability aggregates (Psky and Pnew
+// min/max). It is the cheap unwind step for traversals that changed
+// probabilities but not structure: rect, count and Pnoc are untouched.
+func (n *Node) RefreshProbs() {
+	first := true
+	if n.level > 0 {
+		for _, c := range n.children {
+			if c.count == 0 {
+				continue
+			}
+			sMin := c.pskyMin.Times(c.lazyNew).Over(c.lazyOld)
+			sMax := c.pskyMax.Times(c.lazyNew).Over(c.lazyOld)
+			nMin := c.pnewMin.Times(c.lazyNew)
+			nMax := c.pnewMax.Times(c.lazyNew)
+			if first {
+				n.pskyMin, n.pskyMax = sMin, sMax
+				n.pnewMin, n.pnewMax = nMin, nMax
+				first = false
+			} else {
+				n.pskyMin = prob.Min(n.pskyMin, sMin)
+				n.pskyMax = prob.Max(n.pskyMax, sMax)
+				n.pnewMin = prob.Min(n.pnewMin, nMin)
+				n.pnewMax = prob.Max(n.pnewMax, nMax)
+			}
+		}
+	} else {
+		for _, it := range n.items {
+			s := it.Psky()
+			if first {
+				n.pskyMin, n.pskyMax = s, s
+				n.pnewMin, n.pnewMax = it.Pnew, it.Pnew
+				first = false
+			} else {
+				n.pskyMin = prob.Min(n.pskyMin, s)
+				n.pskyMax = prob.Max(n.pskyMax, s)
+				n.pnewMin = prob.Min(n.pnewMin, it.Pnew)
+				n.pnewMax = prob.Max(n.pnewMax, it.Pnew)
+			}
+		}
+	}
+	if first {
+		n.pskyMin, n.pskyMax = prob.One(), prob.One()
+		n.pnewMin, n.pnewMax = prob.One(), prob.One()
+	}
+}
+
+// refreshUp recomputes aggregates from n upward to the root.
+func refreshUp(n *Node) {
+	for ; n != nil; n = n.parent {
+		n.refresh()
+	}
+}
+
+func (n *Node) attachChild(c *Node) {
+	c.parent = n
+	n.children = append(n.children, c)
+}
+
+func (n *Node) detachChild(c *Node) {
+	for i, x := range n.children {
+		if x == c {
+			n.children = append(n.children[:i], n.children[i+1:]...)
+			c.parent = nil
+			return
+		}
+	}
+	panic("aggrtree: detachChild: not a child")
+}
+
+func (n *Node) attachItem(it *Item) {
+	it.leaf = n
+	n.items = append(n.items, it)
+}
+
+func (n *Node) detachItem(it *Item) {
+	for i, x := range n.items {
+		if x == it {
+			n.items = append(n.items[:i], n.items[i+1:]...)
+			it.leaf = nil
+			return
+		}
+	}
+	panic("aggrtree: detachItem: not in leaf")
+}
+
+// fanout returns the number of direct entries (children or items).
+func (n *Node) fanout() int {
+	if n.level > 0 {
+		return len(n.children)
+	}
+	return len(n.items)
+}
+
+func (n *Node) String() string {
+	return fmt.Sprintf("node{lvl=%d cnt=%d rect=%v..%v}", n.level, n.count, n.rect.Min, n.rect.Max)
+}

@@ -1,0 +1,138 @@
+package aggrtree
+
+import (
+	"math"
+
+	"pskyline/internal/geom"
+)
+
+// splitNode partitions an overflowing node's entries between the node and a
+// fresh sibling using Guttman's quadratic split, and returns the sibling.
+// The caller refreshes both nodes and attaches the sibling.
+func (t *Tree) splitNode(n *Node) *Node {
+	sib := newNode(t.dims, n.level)
+	if n.level > 0 {
+		entries := n.children
+		n.children = nil
+		rects := make([]geom.Rect, len(entries))
+		for i, e := range entries {
+			rects[i] = e.rect
+		}
+		ga, gb := quadraticPartition(rects, t.min)
+		for _, i := range ga {
+			n.attachChild(entries[i])
+		}
+		for _, i := range gb {
+			sib.attachChild(entries[i])
+		}
+		return sib
+	}
+	items := n.items
+	n.items = nil
+	rects := make([]geom.Rect, len(items))
+	for i, it := range items {
+		rects[i] = it.Rect()
+	}
+	ga, gb := quadraticPartition(rects, t.min)
+	for _, i := range ga {
+		n.attachItem(items[i])
+	}
+	for _, i := range gb {
+		sib.attachItem(items[i])
+	}
+	return sib
+}
+
+// quadraticPartition splits the index set {0..len(rects)-1} into two groups
+// of at least minFill entries each, following Guttman's quadratic method:
+// seed the groups with the pair wasting the most area when joined, then
+// repeatedly assign the entry with the greatest preference difference to the
+// group whose MBB it enlarges least.
+func quadraticPartition(rects []geom.Rect, minFill int) (groupA, groupB []int) {
+	nEntries := len(rects)
+	seedA, seedB := pickSeeds(rects)
+	groupA = append(groupA, seedA)
+	groupB = append(groupB, seedB)
+	mbbA := rects[seedA].Clone()
+	mbbB := rects[seedB].Clone()
+
+	assigned := make([]bool, nEntries)
+	assigned[seedA], assigned[seedB] = true, true
+	remaining := nEntries - 2
+
+	for remaining > 0 {
+		// Force-assign when one group must take everything left to reach
+		// the minimum fill.
+		if len(groupA)+remaining == minFill {
+			for i := 0; i < nEntries; i++ {
+				if !assigned[i] {
+					groupA = append(groupA, i)
+					assigned[i] = true
+				}
+			}
+			return groupA, groupB
+		}
+		if len(groupB)+remaining == minFill {
+			for i := 0; i < nEntries; i++ {
+				if !assigned[i] {
+					groupB = append(groupB, i)
+					assigned[i] = true
+				}
+			}
+			return groupA, groupB
+		}
+		// PickNext: entry with the greatest |d1 − d2|.
+		next, bestDiff := -1, -1.0
+		var nextDA, nextDB float64
+		for i := 0; i < nEntries; i++ {
+			if assigned[i] {
+				continue
+			}
+			dA := mbbA.Enlargement(rects[i])
+			dB := mbbB.Enlargement(rects[i])
+			diff := math.Abs(dA - dB)
+			if diff > bestDiff {
+				next, bestDiff = i, diff
+				nextDA, nextDB = dA, dB
+			}
+		}
+		assigned[next] = true
+		remaining--
+		toA := nextDA < nextDB
+		if nextDA == nextDB {
+			switch {
+			case mbbA.Area() < mbbB.Area():
+				toA = true
+			case mbbA.Area() > mbbB.Area():
+				toA = false
+			default:
+				toA = len(groupA) <= len(groupB)
+			}
+		}
+		if toA {
+			groupA = append(groupA, next)
+			mbbA.ExtendRect(rects[next])
+		} else {
+			groupB = append(groupB, next)
+			mbbB.ExtendRect(rects[next])
+		}
+	}
+	return groupA, groupB
+}
+
+// pickSeeds returns the pair of entries whose combined MBB wastes the most
+// area.
+func pickSeeds(rects []geom.Rect) (int, int) {
+	bestA, bestB := 0, 1
+	worst := math.Inf(-1)
+	for i := 0; i < len(rects); i++ {
+		for j := i + 1; j < len(rects); j++ {
+			d := geom.UnionArea(rects[i], rects[j]) - rects[i].Area() - rects[j].Area()
+			if d > worst {
+				worst = d
+				bestA, bestB = i, j
+			}
+		}
+	}
+	return bestA, bestB
+}

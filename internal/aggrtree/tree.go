@@ -1,0 +1,347 @@
+package aggrtree
+
+import (
+	"fmt"
+
+	"pskyline/internal/geom"
+	"pskyline/internal/prob"
+)
+
+// DefaultMaxEntries is the default node fanout.
+const DefaultMaxEntries = 12
+
+// Config controls tree shape.
+type Config struct {
+	// MaxEntries is the maximum fanout of a node; the minimum fill is 40%
+	// of it. Zero selects DefaultMaxEntries.
+	MaxEntries int
+}
+
+// Tree is an aggregate R-tree over uncertain stream elements.
+type Tree struct {
+	dims int
+	max  int
+	min  int
+	root *Node
+	size int
+}
+
+// New returns an empty aggregate R-tree for dims-dimensional points.
+func New(dims int, cfg Config) *Tree {
+	if dims < 1 {
+		panic("aggrtree: dims must be >= 1")
+	}
+	max := cfg.MaxEntries
+	if max == 0 {
+		max = DefaultMaxEntries
+	}
+	if max < 4 {
+		panic("aggrtree: MaxEntries must be >= 4")
+	}
+	min := max * 2 / 5
+	if min < 1 {
+		min = 1
+	}
+	return &Tree{dims: dims, max: max, min: min, root: newNode(dims, 0)}
+}
+
+// Dims returns the tree's dimensionality.
+func (t *Tree) Dims() int { return t.dims }
+
+// Size returns the number of items stored.
+func (t *Tree) Size() int { return t.size }
+
+// Root returns the root entry. It is never nil; an empty tree has an empty
+// leaf root.
+func (t *Tree) Root() *Node { return t.root }
+
+// InsertItem adds an element to the tree.
+func (t *Tree) InsertItem(it *Item) {
+	t.insertItemInto(it)
+	t.size++
+}
+
+func (t *Tree) insertItemInto(it *Item) {
+	n := t.chooseNode(it.Rect(), 0)
+	n.attachItem(it)
+	t.splitUpAndRefresh(n)
+}
+
+// DeleteItem removes an element located via its leaf back-pointer. The
+// item's Pnew/Pold absorb any lazy multipliers pending on its path, so the
+// returned state is exact.
+func (t *Tree) DeleteItem(it *Item) {
+	leaf := it.leaf
+	if leaf == nil {
+		panic("aggrtree: DeleteItem: item not in a tree")
+	}
+	t.pushPath(leaf)
+	leaf.detachItem(it)
+	t.size--
+	t.condense(leaf)
+}
+
+// InsertEntry grafts a whole subtree (for example one removed from a sibling
+// tree by RemoveEntry) into the tree at its natural level. The entry's own
+// lazy multipliers travel with it. Empty entries are ignored.
+func (t *Tree) InsertEntry(e *Node) {
+	if e == nil || e.count == 0 {
+		return
+	}
+	t.size += e.count
+	t.insertEntryInto(e)
+}
+
+func (t *Tree) insertEntryInto(e *Node) {
+	if t.root.count == 0 && e.level >= t.root.level {
+		// Empty tree: adopt the subtree as the new root.
+		e.parent = nil
+		t.root = e
+		return
+	}
+	if e.level >= t.root.level {
+		// The subtree is as tall as the tree itself; decompose it one
+		// level and insert the pieces.
+		e.Push()
+		if e.level == 0 {
+			for _, it := range e.items {
+				it.leaf = nil
+				t.insertItemInto(it)
+			}
+			e.items = nil
+			return
+		}
+		children := e.children
+		e.children = nil
+		for _, c := range children {
+			c.parent = nil
+			t.insertEntryInto(c)
+		}
+		return
+	}
+	n := t.chooseNode(e.rect, e.level+1)
+	n.attachChild(e)
+	t.splitUpAndRefresh(n)
+}
+
+// RemoveEntry detaches the subtree rooted at e from the tree and returns it.
+// Lazy multipliers of e's ancestors are pushed down first, so the subtree
+// leaves carrying its exact pending state and can be grafted elsewhere.
+func (t *Tree) RemoveEntry(e *Node) *Node {
+	if e.parent == nil {
+		if e != t.root {
+			panic("aggrtree: RemoveEntry: detached entry")
+		}
+		t.root = newNode(t.dims, 0)
+		t.size = 0
+		return e
+	}
+	t.pushPath(e.parent)
+	p := e.parent
+	p.detachChild(e)
+	t.size -= e.count
+	t.condense(p)
+	return e
+}
+
+// RefreshFrom recomputes aggregates from n upward after the caller mutated
+// item probabilities inside n directly.
+func (t *Tree) RefreshFrom(n *Node) { refreshUp(n) }
+
+// ItemProbs returns the item's exact current (Pnew, Pold), accounting for
+// lazy multipliers pending on its root-to-leaf path, without mutating the
+// tree.
+func (t *Tree) ItemProbs(it *Item) (pnew, pold prob.Factor) { return Probs(it) }
+
+// ItemPsky returns the item's exact current skyline probability.
+func (t *Tree) ItemPsky(it *Item) prob.Factor { return Psky(it) }
+
+// Probs returns the item's exact current (Pnew, Pold), resolving lazy
+// multipliers pending on its root-to-leaf path without mutating anything.
+func Probs(it *Item) (pnew, pold prob.Factor) {
+	pnew, pold = it.Pnew, it.Pold
+	for n := it.leaf; n != nil; n = n.parent {
+		pnew = pnew.Times(n.lazyNew)
+		pold = pold.Over(n.lazyOld)
+	}
+	return pnew, pold
+}
+
+// Psky returns the item's exact current skyline probability, resolving
+// pending lazy multipliers.
+func Psky(it *Item) prob.Factor {
+	pnew, pold := Probs(it)
+	return it.pf.Times(pnew).Times(pold)
+}
+
+// RefreshPath recomputes aggregates from n to its root after the caller
+// mutated item probabilities or lazy multipliers inside n directly.
+func RefreshPath(n *Node) { refreshUp(n) }
+
+// RefreshProbsPath recomputes only the probability aggregates from n to its
+// root: the cheap path refresh after probability-only mutations.
+func RefreshProbsPath(n *Node) {
+	for ; n != nil; n = n.parent {
+		n.RefreshProbs()
+	}
+}
+
+// WalkItems visits every item with its exact (pnew, pold), accounting for
+// pending lazy multipliers, without mutating the tree. The visit stops early
+// if fn returns false; WalkItems reports whether the walk ran to completion.
+func (t *Tree) WalkItems(fn func(it *Item, pnew, pold prob.Factor) bool) bool {
+	return walk(t.root, prob.One(), prob.One(), fn)
+}
+
+func walk(n *Node, accNew, accOld prob.Factor, fn func(*Item, prob.Factor, prob.Factor) bool) bool {
+	accNew = accNew.Times(n.lazyNew)
+	accOld = accOld.Times(n.lazyOld)
+	if n.level > 0 {
+		for _, c := range n.children {
+			if !walk(c, accNew, accOld, fn) {
+				return false
+			}
+		}
+		return true
+	}
+	for _, it := range n.items {
+		if !fn(it, it.Pnew.Times(accNew), it.Pold.Over(accOld)) {
+			return false
+		}
+	}
+	return true
+}
+
+// pushPath pushes lazy multipliers top-down along the path from the root to
+// n (inclusive).
+func (t *Tree) pushPath(n *Node) {
+	var chain []*Node
+	for m := n; m != nil; m = m.parent {
+		chain = append(chain, m)
+	}
+	for i := len(chain) - 1; i >= 0; i-- {
+		chain[i].Push()
+	}
+}
+
+// chooseNode descends from the root to a node at attachLevel, choosing the
+// child needing least MBB enlargement (ties: smaller area, then smaller
+// fanout) and pushing lazy multipliers along the way.
+func (t *Tree) chooseNode(r geom.Rect, attachLevel int) *Node {
+	n := t.root
+	n.Push()
+	for n.level > attachLevel {
+		var best *Node
+		bestEnl, bestArea := 0.0, 0.0
+		for _, c := range n.children {
+			enl := c.rect.Enlargement(r)
+			area := c.rect.Area()
+			if best == nil || enl < bestEnl || (enl == bestEnl && (area < bestArea ||
+				(area == bestArea && c.fanout() < best.fanout()))) {
+				best, bestEnl, bestArea = c, enl, area
+			}
+		}
+		if best == nil {
+			panic("aggrtree: chooseNode: internal node with no children")
+		}
+		n = best
+		n.Push()
+	}
+	return n
+}
+
+// splitUpAndRefresh splits overflowing nodes from n upward and refreshes
+// aggregates to the root.
+func (t *Tree) splitUpAndRefresh(n *Node) {
+	for n != nil {
+		if n.fanout() <= t.max {
+			n.refresh()
+			n = n.parent
+			continue
+		}
+		sib := t.splitNode(n)
+		n.refresh()
+		sib.refresh()
+		if n.parent == nil {
+			root := newNode(t.dims, n.level+1)
+			root.attachChild(n)
+			root.attachChild(sib)
+			root.refresh()
+			t.root = root
+			return
+		}
+		n.parent.attachChild(sib)
+		n = n.parent
+	}
+}
+
+// condense walks from n to the root, removing underfull nodes and
+// reinserting their entries, then collapses a single-child root. Lazy
+// multipliers along the path must already be pushed (DeleteItem and
+// RemoveEntry do so).
+func (t *Tree) condense(n *Node) {
+	var orphanItems []*Item
+	var orphanNodes []*Node
+	for n.parent != nil {
+		p := n.parent
+		if n.fanout() < t.min {
+			p.detachChild(n)
+			if n.level == 0 {
+				for _, it := range n.items {
+					it.leaf = nil
+					orphanItems = append(orphanItems, it)
+				}
+				n.items = nil
+			} else {
+				for _, c := range n.children {
+					c.parent = nil
+					orphanNodes = append(orphanNodes, c)
+				}
+				n.children = nil
+			}
+		} else {
+			n.refresh()
+		}
+		n = p
+	}
+	n.refresh()
+	// An internal root emptied by the upward pass must become a leaf before
+	// reinsertion tries to descend through it.
+	if t.root.level > 0 && len(t.root.children) == 0 {
+		t.root = newNode(t.dims, 0)
+	}
+	// Reinsert orphans, highest levels first so the tree regains height
+	// before lower entries need it.
+	for i := len(orphanNodes) - 1; i >= 0; i-- {
+		t.insertEntryInto(orphanNodes[i])
+	}
+	for _, it := range orphanItems {
+		t.insertItemInto(it)
+	}
+	// Collapse trivial roots. Callers must not hold references to entries
+	// across structural operations (the engine performs all its structural
+	// changes at item granularity for exactly this reason).
+	for t.root.level > 0 && len(t.root.children) == 1 {
+		t.root.Push()
+		c := t.root.children[0]
+		c.parent = nil
+		t.root = c
+	}
+}
+
+// NumNodes returns the number of nodes in the tree (for diagnostics).
+func (t *Tree) NumNodes() int {
+	var count func(*Node) int
+	count = func(n *Node) int {
+		c := 1
+		for _, ch := range n.children {
+			c += count(ch)
+		}
+		return c
+	}
+	return count(t.root)
+}
+
+func (t *Tree) String() string {
+	return fmt.Sprintf("aggrtree{dims=%d size=%d height=%d}", t.dims, t.size, t.root.level+1)
+}

@@ -1,0 +1,127 @@
+package aggrtree
+
+import (
+	"fmt"
+
+	"pskyline/internal/geom"
+	"pskyline/internal/prob"
+)
+
+// invariant-checking tolerance for probability aggregates, in relative
+// log-space terms.
+const checkTol = 1e-7
+
+// CheckInvariants verifies the structural and aggregate invariants of the
+// tree and returns the first violation found. It is intended for tests and
+// does not mutate the tree.
+func (t *Tree) CheckInvariants() error {
+	if t.root == nil {
+		return fmt.Errorf("nil root")
+	}
+	if t.root.parent != nil {
+		return fmt.Errorf("root has a parent")
+	}
+	total, err := t.check(t.root, prob.One(), prob.One())
+	if err != nil {
+		return err
+	}
+	if total != t.size {
+		return fmt.Errorf("size %d != counted items %d", t.size, total)
+	}
+	return nil
+}
+
+// check validates the subtree at n and returns its item count. accNew/accOld
+// accumulate lazies from ancestors (exclusive of n).
+func (t *Tree) check(n *Node, accNew, accOld prob.Factor) (int, error) {
+	if n.level < 0 {
+		return 0, fmt.Errorf("negative level")
+	}
+	if n != t.root && n.fanout() < t.min {
+		return 0, fmt.Errorf("underfull node at level %d: fanout %d < %d", n.level, n.fanout(), t.min)
+	}
+	if n.fanout() > t.max {
+		return 0, fmt.Errorf("overfull node at level %d: fanout %d > %d", n.level, n.fanout(), t.max)
+	}
+	accNew = accNew.Times(n.lazyNew)
+	accOld = accOld.Times(n.lazyOld)
+
+	rect := geom.EmptyRect(t.dims)
+	count := 0
+	pnoc := prob.One()
+	var sMin, sMax, nMin, nMax prob.Factor
+	first := true
+
+	if n.level > 0 {
+		if len(n.items) != 0 {
+			return 0, fmt.Errorf("internal node holds items")
+		}
+		for _, c := range n.children {
+			if c.parent != n {
+				return 0, fmt.Errorf("child parent pointer broken at level %d", n.level)
+			}
+			if c.level != n.level-1 {
+				return 0, fmt.Errorf("child level %d under level %d", c.level, n.level)
+			}
+			cc, err := t.check(c, accNew, accOld)
+			if err != nil {
+				return 0, err
+			}
+			count += cc
+			rect.ExtendRect(c.rect)
+			pnoc = pnoc.Times(c.pnoc)
+			csMin := c.pskyMin.Times(c.lazyNew).Over(c.lazyOld)
+			csMax := c.pskyMax.Times(c.lazyNew).Over(c.lazyOld)
+			cnMin := c.pnewMin.Times(c.lazyNew)
+			cnMax := c.pnewMax.Times(c.lazyNew)
+			if first {
+				sMin, sMax, nMin, nMax = csMin, csMax, cnMin, cnMax
+				first = false
+			} else {
+				sMin, sMax = prob.Min(sMin, csMin), prob.Max(sMax, csMax)
+				nMin, nMax = prob.Min(nMin, cnMin), prob.Max(nMax, cnMax)
+			}
+		}
+	} else {
+		if len(n.children) != 0 {
+			return 0, fmt.Errorf("leaf holds children")
+		}
+		for _, it := range n.items {
+			if it.leaf != n {
+				return 0, fmt.Errorf("item leaf pointer broken (seq %d)", it.Seq)
+			}
+			if len(it.Point) != t.dims {
+				return 0, fmt.Errorf("item dims %d != tree dims %d", len(it.Point), t.dims)
+			}
+			count++
+			rect.ExtendPoint(it.Point)
+			pnoc = pnoc.Times(it.oneMin)
+			s := it.Psky()
+			if first {
+				sMin, sMax, nMin, nMax = s, s, it.Pnew, it.Pnew
+				first = false
+			} else {
+				sMin, sMax = prob.Min(sMin, s), prob.Max(sMax, s)
+				nMin, nMax = prob.Min(nMin, it.Pnew), prob.Max(nMax, it.Pnew)
+			}
+		}
+	}
+	if count != n.count {
+		return 0, fmt.Errorf("count %d != recomputed %d at level %d", n.count, count, n.level)
+	}
+	if count > 0 {
+		if !rect.Min.Equal(n.rect.Min) || !rect.Max.Equal(n.rect.Max) {
+			return 0, fmt.Errorf("rect %v..%v != recomputed %v..%v", n.rect.Min, n.rect.Max, rect.Min, rect.Max)
+		}
+		if !pnoc.ApproxEqual(n.pnoc, checkTol) {
+			return 0, fmt.Errorf("pnoc %v != recomputed %v", n.pnoc, pnoc)
+		}
+		if !sMin.ApproxEqual(n.pskyMin, checkTol) || !sMax.ApproxEqual(n.pskyMax, checkTol) {
+			return 0, fmt.Errorf("psky aggregate [%v,%v] != recomputed [%v,%v]", n.pskyMin, n.pskyMax, sMin, sMax)
+		}
+		if !nMin.ApproxEqual(n.pnewMin, checkTol) || !nMax.ApproxEqual(n.pnewMax, checkTol) {
+			return 0, fmt.Errorf("pnew aggregate [%v,%v] != recomputed [%v,%v]", n.pnewMin, n.pnewMax, nMin, nMax)
+		}
+	}
+	return count, nil
+}

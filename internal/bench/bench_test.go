@@ -1,0 +1,66 @@
+package bench
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestAllFiguresRunTinyScale smoke-runs every experiment at a tiny scale and
+// checks that each emits its header and at least one data row.
+func TestAllFiguresRunTinyScale(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment harness smoke test is not short")
+	}
+	s := Scale{N: 4000, Window: 2000}
+	var buf bytes.Buffer
+	All(s, &buf)
+	out := buf.String()
+	for _, want := range []string{
+		"Figure 4", "Figure 5", "Figure 6", "Figure 7", "Figure 8",
+		"Figure 9", "Figure 10", "Figure 11", "Figure 12(a)", "Figure 12(b)",
+		"Anti-Uniform", "Stock-Uniform", "speedup",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+	if len(strings.Split(out, "\n")) < 80 {
+		t.Fatalf("suspiciously short output:\n%s", out)
+	}
+}
+
+func TestRunOutcome(t *testing.T) {
+	o := Run(Config{
+		Dataset: Dataset{Name: "inde", Dims: 2, Prob: nil},
+		N:       500, Window: 250, Seed: 1,
+	})
+	if o.Elems != 500 || o.MaxCand <= 0 || o.NsPerElem <= 0 || o.ElemsPerSec <= 0 {
+		t.Fatalf("outcome = %+v", o)
+	}
+	if o.MaxSky > o.MaxCand {
+		t.Fatalf("skyline larger than candidates: %+v", o)
+	}
+	tr := RunTrivial(Config{
+		Dataset: Dataset{Name: "inde", Dims: 2},
+		N:       500, Window: 250, Seed: 1,
+	})
+	if tr.MaxCand != o.MaxCand {
+		t.Fatalf("trivial max candidates %d != engine %d", tr.MaxCand, o.MaxCand)
+	}
+}
+
+func TestThresholdSpread(t *testing.T) {
+	if got := ThresholdSpread(1); len(got) != 1 || got[0] != 0.3 {
+		t.Fatalf("k=1: %v", got)
+	}
+	got := ThresholdSpread(4)
+	if len(got) != 4 || got[0] != 0.3 || got[3] != 1.0 {
+		t.Fatalf("k=4: %v", got)
+	}
+	for i := 1; i < len(got); i++ {
+		if got[i] <= got[i-1] {
+			t.Fatalf("not increasing: %v", got)
+		}
+	}
+}

@@ -1,0 +1,230 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"time"
+
+	"pskyline/internal/core"
+	"pskyline/internal/streamgen"
+)
+
+const defaultQ = 0.3
+
+// Fig4 — maximum candidate-set and skyline sizes vs dimensionality (2..5)
+// for the four standard datasets (paper Figure 4(a,b)).
+func Fig4(s Scale, w io.Writer) {
+	header(w, "Figure 4: space vs dimensionality (q=0.3)",
+		"dataset", "d", "max|S_{N,q}|", "max|SKY_{N,q}|", "pct-of-window")
+	for d := 2; d <= 5; d++ {
+		for _, ds := range standardDatasets(d) {
+			o := Run(Config{Dataset: ds, N: s.N, Window: s.Window, Thresholds: []float64{defaultQ}, Seed: 1})
+			fmt.Fprintf(w, "%-16s%-16d%-16d%-16d%-16.2f%%\n",
+				ds.Name, d, o.MaxCand, o.MaxSky, 100*float64(o.MaxCand)/float64(s.Window))
+		}
+	}
+}
+
+// Fig5 — maximum candidate-set and skyline sizes vs window size (paper
+// Figure 5(a,b); anti-correlated 3d, uniform and normal probabilities).
+func Fig5(s Scale, w io.Writer) {
+	header(w, "Figure 5: space vs window size (anti 3d, q=0.3)",
+		"probmodel", "window", "max|S_{N,q}|", "max|SKY_{N,q}|")
+	for _, pm := range []streamgen.ProbModel{streamgen.UniformProb{}, streamgen.NormalProb{Mu: 0.5, Sd: 0.3}} {
+		for _, frac := range []float64{0.2, 0.4, 0.6, 0.8, 1.0} {
+			win := int(float64(s.Window) * frac)
+			ds := anti(3)
+			ds.Prob = pm
+			o := Run(Config{Dataset: ds, N: 2 * win, Window: win, Thresholds: []float64{defaultQ}, Seed: 1})
+			fmt.Fprintf(w, "%-16s%-16d%-16d%-16d\n", pm, win, o.MaxCand, o.MaxSky)
+		}
+	}
+}
+
+// Fig6 — space vs mean appearance probability Pμ (normal model, paper
+// Figure 6(a,b)) for anti-correlated and independent 3d data.
+func Fig6(s Scale, w io.Writer) {
+	header(w, "Figure 6: space vs appearance probability Pmu (normal, 3d, q=0.3)",
+		"dataset", "Pmu", "max|S_{N,q}|", "max|SKY_{N,q}|")
+	for _, dist := range []streamgen.Distribution{streamgen.Anticorrelated, streamgen.Independent} {
+		for _, mu := range []float64{0.1, 0.3, 0.5, 0.7, 0.9} {
+			ds := Dataset{Name: dist.String(), Dims: 3, Dist: dist, Prob: streamgen.NormalProb{Mu: mu, Sd: 0.3}}
+			o := Run(Config{Dataset: ds, N: s.N, Window: s.Window, Thresholds: []float64{defaultQ}, Seed: 1})
+			fmt.Fprintf(w, "%-16s%-16.1f%-16d%-16d\n", dist, mu, o.MaxCand, o.MaxSky)
+		}
+	}
+}
+
+// Fig7 — space vs probability threshold q (paper Figure 7(a,b); anti 3d).
+func Fig7(s Scale, w io.Writer) {
+	header(w, "Figure 7: space vs probability threshold q (anti 3d, uniform)",
+		"q", "max|S_{N,q}|", "max|SKY_{N,q}|")
+	for _, q := range []float64{0.1, 0.3, 0.5, 0.7, 0.9} {
+		o := Run(Config{Dataset: anti(3), N: s.N, Window: s.Window, Thresholds: []float64{q}, Seed: 1})
+		fmt.Fprintf(w, "%-16.1f%-16d%-16d\n", q, o.MaxCand, o.MaxSky)
+	}
+}
+
+// Fig8 — average per-element delay vs dimensionality for the standard
+// datasets, plus the SSKY vs trivial-algorithm comparison the paper reports
+// as "about 20 times slower" on anti 3d (paper Figure 8).
+func Fig8(s Scale, w io.Writer) {
+	header(w, "Figure 8: time vs dimensionality (q=0.3)",
+		"dataset", "d", "us/elem", "elems/sec", "p50 us", "p99 us")
+	for d := 2; d <= 5; d++ {
+		for _, ds := range standardDatasets(d) {
+			o := Run(Config{Dataset: ds, N: s.N, Window: s.Window, Thresholds: []float64{defaultQ}, Seed: 1})
+			fmt.Fprintf(w, "%-16s%-16d%-16.2f%-16.0f%-16.2f%-16.2f\n",
+				ds.Name, d, o.NsPerElem/1e3, o.ElemsPerSec, o.P50NsPerElem/1e3, o.P99NsPerElem/1e3)
+		}
+	}
+	// SSKY vs the trivial candidate-scan algorithm at several window sizes:
+	// the trivial algorithm is O(|S_{N,q}|) per element, so the gap widens
+	// with the window (the paper reports ~20x at N = 1M).
+	fmt.Fprintf(w, "\nSSKY vs trivial algorithm (anti 3d):\n")
+	fmt.Fprintf(w, "%-16s%-16s%-16s%-16s%-16s\n", "window", "SSKY us/elem", "trivial us/elem", "speedup", "max|S|")
+	for _, frac := range []float64{0.25, 0.5, 1.0} {
+		win := int(float64(s.Window) * frac)
+		n := 2 * win
+		ssky := Run(Config{Dataset: anti(3), N: n, Window: win, Thresholds: []float64{defaultQ}, Seed: 1})
+		triv := RunTrivial(Config{Dataset: anti(3), N: n, Window: win, Thresholds: []float64{defaultQ}, Seed: 1})
+		fmt.Fprintf(w, "%-16d%-16.2f%-16.2f%-16.1f%-16d\n",
+			win, ssky.NsPerElem/1e3, triv.NsPerElem/1e3, triv.NsPerElem/ssky.NsPerElem, ssky.MaxCand)
+	}
+	fmt.Fprintln(w, "(paper: ~20x at N = 1M)")
+}
+
+// Fig9 — average per-element delay vs window size (paper Figure 9).
+func Fig9(s Scale, w io.Writer) {
+	header(w, "Figure 9: time vs window size (anti 3d, q=0.3)",
+		"window", "us/elem", "elems/sec")
+	for _, frac := range []float64{0.2, 0.4, 0.6, 0.8, 1.0} {
+		win := int(float64(s.Window) * frac)
+		o := Run(Config{Dataset: anti(3), N: 2 * win, Window: win, Thresholds: []float64{defaultQ}, Seed: 1})
+		fmt.Fprintf(w, "%-16d%-16.2f%-16.0f\n", win, o.NsPerElem/1e3, o.ElemsPerSec)
+	}
+}
+
+// Fig10 — average per-element delay vs mean appearance probability (paper
+// Figure 10; anti 3d, normal probabilities).
+func Fig10(s Scale, w io.Writer) {
+	header(w, "Figure 10: time vs appearance probability Pmu (anti 3d, normal)",
+		"Pmu", "us/elem", "elems/sec")
+	for _, mu := range []float64{0.1, 0.3, 0.5, 0.7, 0.9} {
+		ds := anti(3)
+		ds.Prob = streamgen.NormalProb{Mu: mu, Sd: 0.3}
+		o := Run(Config{Dataset: ds, N: s.N, Window: s.Window, Thresholds: []float64{defaultQ}, Seed: 1})
+		fmt.Fprintf(w, "%-16.1f%-16.2f%-16.0f\n", mu, o.NsPerElem/1e3, o.ElemsPerSec)
+	}
+}
+
+// Fig11 — average per-element delay vs probability threshold q (paper
+// Figure 11; anti 3d).
+func Fig11(s Scale, w io.Writer) {
+	header(w, "Figure 11: time vs probability threshold q (anti 3d, uniform)",
+		"q", "us/elem", "elems/sec")
+	for _, q := range []float64{0.1, 0.3, 0.5, 0.7, 0.9} {
+		o := Run(Config{Dataset: anti(3), N: s.N, Window: s.Window, Thresholds: []float64{q}, Seed: 1})
+		fmt.Fprintf(w, "%-16.1f%-16.2f%-16.0f\n", q, o.NsPerElem/1e3, o.ElemsPerSec)
+	}
+}
+
+// ThresholdSpread returns k thresholds evenly spread over [0.3, 1] as in
+// the paper's MSKY evaluation.
+func ThresholdSpread(k int) []float64 {
+	if k == 1 {
+		return []float64{defaultQ}
+	}
+	qs := make([]float64, k)
+	for i := 0; i < k; i++ {
+		qs[i] = defaultQ + (1-defaultQ)*float64(i)/float64(k-1)
+	}
+	qs[k-1] = 1 // exact, avoiding float drift at the top end
+	return qs
+}
+
+// Fig12a — MSKY per-element cost vs the number of maintained thresholds k
+// (paper Figure 12(a); anti 3d).
+func Fig12a(s Scale, w io.Writer) {
+	header(w, "Figure 12(a): MSKY per-element cost vs #thresholds k (anti 3d)",
+		"k", "us/elem", "elems/sec")
+	for k := 1; k <= 5; k++ {
+		o := Run(Config{Dataset: anti(3), N: s.N, Window: s.Window, Thresholds: ThresholdSpread(k), Seed: 1})
+		fmt.Fprintf(w, "%-16d%-16.2f%-16.0f\n", k, o.NsPerElem/1e3, o.ElemsPerSec)
+	}
+}
+
+// Fig12b — ad-hoc QSKY query cost vs the number of maintained thresholds k
+// (paper Figure 12(b)): after warming the window, 1000 ad-hoc queries with
+// thresholds drawn across [q, 1] are answered and the average time
+// reported. More maintained bands mean less filtering per query.
+func Fig12b(s Scale, w io.Writer) {
+	header(w, "Figure 12(b): QSKY avg ad-hoc query cost vs #thresholds k (anti 3d)",
+		"k", "us/query")
+	const queries = 3000
+	for k := 1; k <= 5; k++ {
+		eng, err := core.NewEngine(core.Options{
+			Dims: 3, Window: s.Window, Thresholds: ThresholdSpread(k),
+		})
+		if err != nil {
+			panic(err)
+		}
+		src := anti(3).stream(1)
+		for i := 0; i < s.N; i++ {
+			el := src.Next()
+			if _, err := eng.Push(el.Point, el.P, el.TS); err != nil {
+				panic(err)
+			}
+		}
+		r := rand.New(rand.NewSource(7))
+		qs := make([]float64, queries)
+		for i := range qs {
+			qs[i] = defaultQ + (1-defaultQ)*r.Float64()
+		}
+		start := time.Now()
+		for _, q := range qs {
+			if _, err := eng.Query(q); err != nil {
+				panic(err)
+			}
+		}
+		d := time.Since(start)
+		fmt.Fprintf(w, "%-16d%-16.2f\n", k, float64(d.Microseconds())/queries)
+	}
+}
+
+// Counters quantifies the paper's few-entries claim: per arriving element,
+// how many entries the engine classified and how many elements it touched,
+// against the candidate-set size a trivial scan would visit.
+func Counters(s Scale, w io.Writer) {
+	header(w, "Pruning effectiveness: engine visits per element vs |S_{N,q}| (q=0.3)",
+		"dataset", "d", "max|S|", "nodes/elem", "items/elem", "lazy/elem")
+	for _, d := range []int{2, 3, 4} {
+		for _, ds := range standardDatasets(d) {
+			eng, err := core.NewEngine(core.Options{Dims: ds.Dims, Window: s.Window, Thresholds: []float64{defaultQ}})
+			if err != nil {
+				panic(err)
+			}
+			src := ds.stream(1)
+			for i := 0; i < s.N; i++ {
+				el := src.Next()
+				if _, err := eng.Push(el.Point, el.P, el.TS); err != nil {
+					panic(err)
+				}
+			}
+			c := eng.Counters()
+			fmt.Fprintf(w, "%-16s%-16d%-16d%-16.1f%-16.1f%-16.2f\n",
+				ds.Name, d, eng.MaxCandidateSize(),
+				float64(c.NodesVisited)/float64(c.Pushes),
+				float64(c.ItemsTouched)/float64(c.Pushes),
+				float64(c.LazyApplied)/float64(c.Pushes))
+		}
+	}
+}
+
+// All runs every figure in order, plus the pruning-effectiveness table.
+func All(s Scale, w io.Writer) {
+	for _, f := range []func(Scale, io.Writer){Fig4, Fig5, Fig6, Fig7, Fig8, Fig9, Fig10, Fig11, Fig12a, Fig12b, Counters} {
+		f(s, w)
+	}
+}

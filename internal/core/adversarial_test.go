@@ -1,0 +1,242 @@
+package core
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"pskyline/internal/geom"
+	"pskyline/internal/naive"
+)
+
+// pushAll feeds points/probs into a fresh engine and its oracles, checking
+// agreement after every step.
+func checkedStream(t *testing.T, dims, window int, q float64, pts []geom.Point, ps []float64) *Engine {
+	t.Helper()
+	eng, err := NewEngine(Options{Dims: dims, Window: window, Thresholds: []float64{q}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	exact := naive.NewExact(window)
+	for i := range pts {
+		if _, err := eng.Push(pts[i], ps[i], int64(i)); err != nil {
+			t.Fatalf("step %d: %v", i, err)
+		}
+		exact.Push(pts[i], ps[i])
+		if err := eng.CheckInvariants(); err != nil {
+			t.Fatalf("step %d: %v", i, err)
+		}
+		engCands := eng.Candidates()
+		seqs := make([]uint64, len(engCands))
+		for j, c := range engCands {
+			seqs[j] = c.Seq
+		}
+		if err := equalSeqs("candidates", seqs, exact.Candidates(q)); err != nil {
+			t.Fatalf("step %d: %v", i, err)
+		}
+		res, err := eng.Query(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := make([]uint64, len(res))
+		for j, r := range res {
+			got[j] = r.Seq
+		}
+		sort.Slice(got, func(a, b int) bool { return got[a] < got[b] })
+		if err := equalSeqs("skyline", got, exact.Skyline(q)); err != nil {
+			t.Fatalf("step %d: %v", i, err)
+		}
+	}
+	return eng
+}
+
+// TestAllCertain — every probability 1: the q-skyline degenerates to the
+// classical sliding-window skyline, and every dominated element is pruned
+// immediately (any certain dominator kills Pnew).
+func TestAllCertain(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	pts := make([]geom.Point, 300)
+	ps := make([]float64, 300)
+	for i := range pts {
+		pts[i] = geom.Point{r.Float64(), r.Float64()}
+		ps[i] = 1
+	}
+	eng := checkedStream(t, 2, 40, 0.5, pts, ps)
+	// With P = 1 everywhere a single newer dominator zeroes Pnew, so the
+	// candidates are exactly the elements with no newer dominator — the
+	// classical sliding-window skyline candidate set (Lin et al.), a
+	// superset of the skyline.
+	if eng.CandidateSize() < eng.SkylineSize() {
+		t.Fatalf("certain data: candidates %d < skyline %d", eng.CandidateSize(), eng.SkylineSize())
+	}
+	for _, c := range eng.Candidates() {
+		if c.Pnew != 1 {
+			t.Fatalf("certain candidate with Pnew %v", c.Pnew)
+		}
+	}
+}
+
+// TestAllDuplicatePoints — identical points never dominate each other, so
+// everything is a skyline point with Psky = P.
+func TestAllDuplicatePoints(t *testing.T) {
+	pts := make([]geom.Point, 120)
+	ps := make([]float64, 120)
+	r := rand.New(rand.NewSource(2))
+	for i := range pts {
+		pts[i] = geom.Point{3, 7}
+		ps[i] = 0.4 + 0.6*r.Float64()
+	}
+	eng := checkedStream(t, 2, 50, 0.4, pts, ps)
+	if eng.CandidateSize() != 50 {
+		t.Fatalf("duplicates must all stay candidates, have %d", eng.CandidateSize())
+	}
+}
+
+// TestMonotoneImproving — each element dominates every earlier one: the
+// newest element alone keeps everything else's Pnew shrinking, and the
+// candidate set stays tiny.
+func TestMonotoneImproving(t *testing.T) {
+	pts := make([]geom.Point, 250)
+	ps := make([]float64, 250)
+	for i := range pts {
+		v := float64(len(pts) - i)
+		pts[i] = geom.Point{v, v}
+		ps[i] = 0.6
+	}
+	eng := checkedStream(t, 2, 60, 0.3, pts, ps)
+	// Pnew of an element with j newer dominators is 0.4^j < 0.3 for j ≥ 2,
+	// so at most 3 elements (the two newest plus boundary) can be kept.
+	if eng.CandidateSize() > 3 {
+		t.Fatalf("monotone stream kept %d candidates", eng.CandidateSize())
+	}
+}
+
+// TestMonotoneWorsening — each element is dominated by every earlier one:
+// old skyline points expire one by one and successors take over.
+func TestMonotoneWorsening(t *testing.T) {
+	pts := make([]geom.Point, 250)
+	ps := make([]float64, 250)
+	for i := range pts {
+		v := float64(i + 1)
+		pts[i] = geom.Point{v, v}
+		ps[i] = 0.9
+	}
+	checkedStream(t, 2, 40, 0.3, pts, ps)
+}
+
+// TestCertainDominatorWipesBand — a P = 1 element dominating the whole
+// window zeroes every other element's probabilities (exact zero factors on
+// the lazy path) and then expires, which must divide the zeros back out.
+func TestCertainDominatorWipesBand(t *testing.T) {
+	r := rand.New(rand.NewSource(4))
+	var pts []geom.Point
+	var ps []float64
+	for i := 0; i < 200; i++ {
+		if i%37 == 20 {
+			pts = append(pts, geom.Point{0, 0}) // dominates everything
+			ps = append(ps, 1)
+			continue
+		}
+		pts = append(pts, geom.Point{0.1 + r.Float64(), 0.1 + r.Float64()})
+		ps = append(ps, 1-r.Float64())
+	}
+	checkedStream(t, 2, 30, 0.25, pts, ps)
+}
+
+// TestAxisTies — points sharing coordinates on some dimensions exercise the
+// strict-dominance tie rules through the whole pipeline.
+func TestAxisTies(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	pts := make([]geom.Point, 400)
+	ps := make([]float64, 400)
+	for i := range pts {
+		pts[i] = geom.Point{float64(r.Intn(3)), float64(r.Intn(3)), float64(r.Intn(3))}
+		ps[i] = 1 - r.Float64()
+	}
+	checkedStream(t, 3, 25, 0.35, pts, ps)
+}
+
+// TestThresholdOne — q = 1 keeps only elements that are certain to be on
+// the skyline: P = 1 and no dominator of any probability.
+func TestThresholdOne(t *testing.T) {
+	pts := []geom.Point{{5, 5}, {3, 6}, {6, 3}, {4, 4}}
+	ps := []float64{1, 1, 0.5, 1}
+	eng := checkedStream(t, 2, 10, 1, pts, ps)
+	res, err := eng.Query(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// (4,4) dominated by nothing? (5,5) doesn't dominate it; (3,6)/(6,3)
+	// incomparable. (5,5) is dominated by (4,4) so its Psky is 0.
+	want := map[uint64]bool{1: true, 3: true}
+	if len(res) != len(want) {
+		t.Fatalf("q=1 skyline: %v", res)
+	}
+	for _, re := range res {
+		if !want[re.Seq] {
+			t.Fatalf("unexpected member %d", re.Seq)
+		}
+	}
+}
+
+// TestTinyWindow — window of 1: every arrival expires its predecessor.
+func TestTinyWindow(t *testing.T) {
+	r := rand.New(rand.NewSource(6))
+	pts := make([]geom.Point, 100)
+	ps := make([]float64, 100)
+	for i := range pts {
+		pts[i] = geom.Point{r.Float64(), r.Float64()}
+		ps[i] = 1 - r.Float64()
+	}
+	eng := checkedStream(t, 2, 1, 0.3, pts, ps)
+	if eng.CandidateSize() != 1 {
+		t.Fatalf("window 1 kept %d", eng.CandidateSize())
+	}
+}
+
+// TestLongFuzzInvariants — a long mixed stream with frequent invariant
+// checks and a tiny fanout to maximize structural churn.
+func TestLongFuzzInvariants(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	eng, err := NewEngine(Options{Dims: 3, Window: 200, Thresholds: []float64{0.6, 0.3, 0.15}, MaxEntries: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5000; i++ {
+		var pt geom.Point
+		if r.Intn(3) == 0 {
+			pt = geom.Point{float64(r.Intn(5)), float64(r.Intn(5)), float64(r.Intn(5))}
+		} else {
+			pt = geom.Point{r.Float64(), r.Float64(), r.Float64()}
+		}
+		p := 1 - r.Float64()
+		if r.Intn(11) == 0 {
+			p = 1
+		}
+		if _, err := eng.Push(pt, p, int64(i)); err != nil {
+			t.Fatal(err)
+		}
+		if i%97 == 0 {
+			if err := eng.CheckInvariants(); err != nil {
+				t.Fatalf("step %d: %v", i, err)
+			}
+			// Band membership must respect band bounds.
+			for b := 0; b <= 3; b++ {
+				lo, hi, hiOK := eng.bandBounds(b)
+				eng.WalkBand(b, func(res Result) bool {
+					psf := res.Psky
+					if b < 3 && psf < lo.Float()*(1-1e-9) {
+						t.Fatalf("band %d holds psky %v below lower bound", b, psf)
+					}
+					if hiOK && psf >= hi.Float()*(1+1e-9) {
+						t.Fatalf("band %d holds psky %v above upper bound", b, psf)
+					}
+					return true
+				})
+			}
+		}
+	}
+	if err := eng.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,103 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"pskyline/internal/streamgen"
+)
+
+// TestEagerMatchesLazy — the eager-propagation ablation mode must be
+// observationally identical to the lazy default on every query surface.
+func TestEagerMatchesLazy(t *testing.T) {
+	mk := func(eager bool) *Engine {
+		e, err := NewEngine(Options{
+			Dims: 3, Window: 300, Thresholds: []float64{0.6, 0.3},
+			MaxEntries: 5, EagerPropagation: eager,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return e
+	}
+	lazy, eager := mk(false), mk(true)
+	src := streamgen.New(3, streamgen.Anticorrelated, streamgen.UniformProb{}, 21)
+	r := rand.New(rand.NewSource(22))
+	for i := 0; i < 3000; i++ {
+		el := src.Next()
+		if _, err := lazy.Push(el.Point, el.P, el.TS); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := eager.Push(el.Point, el.P, el.TS); err != nil {
+			t.Fatal(err)
+		}
+		if (i+1)%71 != 0 {
+			continue
+		}
+		if err := eager.CheckInvariants(); err != nil {
+			t.Fatalf("eager invariants at %d: %v", i, err)
+		}
+		lc, ec := lazy.Candidates(), eager.Candidates()
+		if len(lc) != len(ec) {
+			t.Fatalf("step %d: candidate sizes %d vs %d", i, len(lc), len(ec))
+		}
+		for j := range lc {
+			if lc[j].Seq != ec[j].Seq {
+				t.Fatalf("step %d: candidate %d vs %d", i, lc[j].Seq, ec[j].Seq)
+			}
+			if !feq(lc[j].Pnew, ec[j].Pnew) || !feq(lc[j].Pold, ec[j].Pold) {
+				t.Fatalf("step %d seq %d: probs (%g,%g) vs (%g,%g)",
+					i, lc[j].Seq, lc[j].Pnew, lc[j].Pold, ec[j].Pnew, ec[j].Pold)
+			}
+		}
+		q := 0.3 + 0.7*r.Float64()
+		lr, err := lazy.Query(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		er, err := eager.Query(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(lr) != len(er) {
+			t.Fatalf("step %d q=%v: skyline %d vs %d", i, q, len(lr), len(er))
+		}
+		for j := range lr {
+			if lr[j].Seq != er[j].Seq || !feq(lr[j].Psky, er[j].Psky) {
+				t.Fatalf("step %d q=%v: result %d mismatch", i, q, j)
+			}
+		}
+	}
+	// The lazy engine must have saved element visits compared to eager.
+	if l, e := lazy.Counters(), eager.Counters(); l.ItemsTouched >= e.ItemsTouched {
+		t.Fatalf("lazy touched %d items, eager %d — laziness bought nothing",
+			l.ItemsTouched, e.ItemsTouched)
+	}
+}
+
+func TestCountersAccumulate(t *testing.T) {
+	e, err := NewEngine(Options{Dims: 2, Window: 50, Thresholds: []float64{0.3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := streamgen.New(2, streamgen.Independent, streamgen.UniformProb{}, 31)
+	for i := 0; i < 500; i++ {
+		el := src.Next()
+		if _, err := e.Push(el.Point, el.P, el.TS); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c := e.Counters()
+	if c.Pushes != 500 {
+		t.Fatalf("pushes = %d", c.Pushes)
+	}
+	if c.NodesVisited == 0 || c.ItemsTouched == 0 {
+		t.Fatalf("visit counters did not accumulate: %+v", c)
+	}
+	if c.Removals == 0 {
+		t.Fatalf("uniform 2d stream must prune candidates: %+v", c)
+	}
+	if c.Expiries == 0 {
+		t.Fatalf("window of 50 over 500 pushes must expire candidates: %+v", c)
+	}
+}

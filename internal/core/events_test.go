@@ -1,0 +1,71 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"pskyline/internal/geom"
+)
+
+// TestEventsReconstructBands — replaying the engine's OnChange event stream
+// must reconstruct the exact band membership of every element at every
+// point, across all bands of a multi-threshold engine.
+func TestEventsReconstructBands(t *testing.T) {
+	bands := map[uint64]int{} // seq -> band, per the event stream
+	eng, err := NewEngine(Options{
+		Dims: 2, Window: 40, Thresholds: []float64{0.7, 0.4, 0.2}, MaxEntries: 4,
+		OnChange: func(ev Event) {
+			if ev.ToBand == -1 {
+				if _, ok := bands[ev.Item.Seq]; !ok {
+					t.Fatalf("departure of unknown element %d", ev.Item.Seq)
+				}
+				delete(bands, ev.Item.Seq)
+				return
+			}
+			if ev.FromBand == -1 {
+				if _, ok := bands[ev.Item.Seq]; ok {
+					t.Fatalf("second arrival of %d", ev.Item.Seq)
+				}
+			} else if bands[ev.Item.Seq] != ev.FromBand {
+				t.Fatalf("element %d moved from band %d but events tracked %d",
+					ev.Item.Seq, ev.FromBand, bands[ev.Item.Seq])
+			}
+			bands[ev.Item.Seq] = ev.ToBand
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rand.New(rand.NewSource(19))
+	for i := 0; i < 1500; i++ {
+		pt := geom.Point{r.Float64(), r.Float64()}
+		p := 1 - r.Float64()
+		if r.Intn(9) == 0 {
+			p = 1
+		}
+		if _, err := eng.Push(pt, p, int64(i)); err != nil {
+			t.Fatal(err)
+		}
+		if (i+1)%41 != 0 {
+			continue
+		}
+		// Cross-check the event-derived state against direct queries.
+		if len(bands) != eng.CandidateSize() {
+			t.Fatalf("step %d: events track %d elements, engine has %d", i, len(bands), eng.CandidateSize())
+		}
+		for b := 0; b <= 3; b++ {
+			n := 0
+			eng.WalkBand(b, func(res Result) bool {
+				if bands[res.Seq] != b {
+					t.Fatalf("step %d: element %d in band %d per query, %d per events",
+						i, res.Seq, b, bands[res.Seq])
+				}
+				n++
+				return true
+			})
+			if n != eng.BandSize(b) {
+				t.Fatalf("step %d: band %d walk saw %d, size says %d", i, b, n, eng.BandSize(b))
+			}
+		}
+	}
+}

@@ -1,0 +1,96 @@
+package core
+
+import (
+	"pskyline/internal/aggrtree"
+	"pskyline/internal/geom"
+	"pskyline/internal/prob"
+)
+
+// expire runs the paper's Expiring(a_old) (Algorithm 11) generalized to
+// threshold bands. Only candidate elements need work: a non-candidate's
+// non-occurrence factor was already stripped from every Pold when it left
+// the candidate set, and expiring it cannot change anyone's Pnew.
+//
+// For a candidate a_old:
+//
+//  1. remove it from its band tree and the candidate map;
+//  2. probe all band trees for entries/elements dominated by a_old and
+//     divide their Pold by (1 − P(a_old)) — lazily at fully dominated
+//     entries, exactly at elements of partially dominated leaves;
+//  3. evaluate band placement of the affected targets (Move(R ∩ R_2));
+//     skyline probabilities only rise on expiry, so moves are upward;
+//  4. apply the moves.
+func (e *Engine) expire(seq uint64) {
+	it, ok := e.inS[seq]
+	if !ok {
+		return
+	}
+	e.counters.Expiries++
+	band := e.treeIndexOf(it)
+	delete(e.inS, seq)
+	e.trees[band].DeleteItem(it)
+	e.emit(it, band, -1)
+
+	om := it.OneMinusP()
+	s := &e.scratch
+	s.affN, s.affI = s.affN[:0], s.affI[:0]
+	for bi, tr := range e.trees {
+		if tr.Size() > 0 {
+			e.probeExpire(tr.Root(), bi, it.Point, om, &s.affN, &s.affI)
+		}
+	}
+
+	s.moves = s.moves[:0]
+	for _, t := range s.affN {
+		e.evalPlacement(t, 0, &s.moves)
+	}
+	for _, x := range s.affI {
+		e.evalItemPlacement(x, 0, &s.moves)
+	}
+	e.applyMoves(s.moves)
+}
+
+// probeExpire raises the skyline probability of every element dominated by
+// the expiring point: fully dominated entries take the lazy Pold divisor,
+// partially dominated entries are pushed and resolved below. It reports
+// whether any probability under n changed; ancestors' aggregates are
+// refreshed on the unwind.
+func (e *Engine) probeExpire(n *aggrtree.Node, band int, pt geom.Point, om prob.Factor, affN *[]nodeT, affI *[]itemT) bool {
+	e.counters.NodesVisited++
+	switch geom.Dominance(geom.PointRect(pt), n.Rect()) {
+	case geom.DomNone:
+		return false
+	case geom.DomFull:
+		if e.eager {
+			n.ApplyDeepOld(om)
+			e.counters.ItemsTouched += uint64(n.Count())
+		} else {
+			e.counters.LazyApplied++
+			n.MulLazyOld(om)
+		}
+		*affN = append(*affN, nodeT{n, band})
+		return true
+	}
+	n.Push()
+	changed := false
+	if n.IsLeaf() {
+		e.counters.ItemsTouched += uint64(len(n.Items()))
+		for _, x := range n.Items() {
+			if pt.Dominates(x.Point) {
+				x.Pold = x.Pold.Over(om)
+				*affI = append(*affI, itemT{x, band})
+				changed = true
+			}
+		}
+	} else {
+		for _, c := range n.Children() {
+			if e.probeExpire(c, band, pt, om, affN, affI) {
+				changed = true
+			}
+		}
+	}
+	if changed {
+		n.RefreshProbs()
+	}
+	return changed
+}

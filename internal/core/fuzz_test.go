@@ -1,0 +1,91 @@
+package core
+
+import (
+	"sort"
+	"testing"
+
+	"pskyline/internal/geom"
+	"pskyline/internal/naive"
+)
+
+// FuzzEngine decodes a byte stream into a sequence of pushes and checks the
+// engine against the exact oracle plus its own invariants. Run with
+// `go test -fuzz FuzzEngine ./internal/core` to explore; the seed corpus
+// runs as a normal test.
+func FuzzEngine(f *testing.F) {
+	f.Add([]byte{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12})
+	f.Add([]byte{0, 0, 0, 0, 0, 0, 0, 0, 0})
+	f.Add([]byte{255, 254, 253, 1, 2, 3, 128, 128, 128, 64, 32, 16, 8, 4, 2, 1})
+	f.Add([]byte("probabilistic skyline over sliding windows"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) < 4 {
+			return
+		}
+		// Header byte 0: dims 1..3; byte 1: window 1..32; byte 2: q.
+		dims := 1 + int(data[0]%3)
+		window := 1 + int(data[1]%32)
+		q := 0.05 + float64(data[2]%90)/100
+		data = data[3:]
+
+		eng, err := NewEngine(Options{Dims: dims, Window: window, Thresholds: []float64{q}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		exact := naive.NewExact(window)
+
+		// Each element consumes dims+1 bytes: coordinates on a small grid
+		// (to provoke ties) and a probability in (0, 1].
+		step := dims + 1
+		count := 0
+		for i := 0; i+step <= len(data) && count < 200; i += step {
+			pt := make(geom.Point, dims)
+			for j := 0; j < dims; j++ {
+				pt[j] = float64(data[i+j] % 8)
+			}
+			p := float64(1+int(data[i+dims]%100)) / 100
+			if _, err := eng.Push(pt, p, int64(count)); err != nil {
+				t.Fatal(err)
+			}
+			exact.Push(pt, p)
+			count++
+		}
+		if count == 0 {
+			return
+		}
+		if err := eng.CheckInvariants(); err != nil {
+			t.Fatalf("invariants: %v", err)
+		}
+		cands := eng.Candidates()
+		seqs := make([]uint64, len(cands))
+		for i, c := range cands {
+			seqs[i] = c.Seq
+		}
+		want := exact.Candidates(q)
+		if len(seqs) != len(want) {
+			t.Fatalf("candidates %v, want %v", seqs, want)
+		}
+		for i := range seqs {
+			if seqs[i] != want[i] {
+				t.Fatalf("candidates %v, want %v", seqs, want)
+			}
+		}
+		res, err := eng.Query(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := make([]uint64, len(res))
+		for i, r := range res {
+			got[i] = r.Seq
+		}
+		sort.Slice(got, func(a, b int) bool { return got[a] < got[b] })
+		wantSky := exact.Skyline(q)
+		if len(got) != len(wantSky) {
+			t.Fatalf("skyline %v, want %v", got, wantSky)
+		}
+		for i := range got {
+			if got[i] != wantSky[i] {
+				t.Fatalf("skyline %v, want %v", got, wantSky)
+			}
+		}
+	})
+}

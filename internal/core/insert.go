@@ -1,0 +1,390 @@
+package core
+
+import (
+	"pskyline/internal/aggrtree"
+	"pskyline/internal/geom"
+	"pskyline/internal/prob"
+)
+
+// nodeT is an entry target discovered by a probe, tagged with the band tree
+// that holds it.
+type nodeT struct {
+	n    *aggrtree.Node
+	band int
+}
+
+// itemT is an element target discovered by a probe.
+type itemT struct {
+	it   *aggrtree.Item
+	band int
+}
+
+// itemMove is a pending reclassification of one element between band trees.
+type itemMove struct {
+	it       *aggrtree.Item
+	from, to int
+}
+
+// insert runs the paper's Inserting(a_new) (Algorithm 4) generalized to
+// threshold bands:
+//
+//  1. probe all band trees, computing Pold(a_new) from entries/elements that
+//     dominate a_new and applying the lazy Pnew multiplier (1 − P(a_new)) to
+//     entries/elements fully dominated by a_new (Probe C1/C2/C12 merged into
+//     one classification descent);
+//  2. classify the dominated targets against the candidate threshold q_k
+//     (UpdateProb, Algorithm 9) into removals and survivors using the
+//     Pnew_min/max entry bounds;
+//  3. strip the removals' non-occurrence factors from the survivors' Pold
+//     (UpdateOld) via a synchronous dominance join on entry Pnoc values;
+//  4. evaluate band placement of the survivors (Place, Algorithm 10) at
+//     entry granularity, descending only into entries that straddle a band
+//     boundary;
+//  5. apply the structural changes: delete removals, move reclassified
+//     elements, and insert a_new into the band of its own Psky.
+func (e *Engine) insert(it *aggrtree.Item) {
+	om := it.OneMinusP()
+	pold := prob.One()
+	s := &e.scratch
+	s.domN, s.domI = s.domN[:0], s.domI[:0]
+
+	// Phase 1: probe.
+	for bi, tr := range e.trees {
+		if tr.Size() > 0 {
+			pold, _ = e.probeInsert(tr.Root(), bi, it, om, pold, &s.domN, &s.domI)
+		}
+	}
+
+	// Phase 2: split the dominated set by the candidate threshold.
+	qk := e.minQ()
+	s.removedN, s.surviveN = s.removedN[:0], s.surviveN[:0]
+	s.removedI, s.surviveI = s.removedI[:0], s.surviveI[:0]
+	queue := append(s.queueN[:0], s.domN...)
+	for len(queue) > 0 {
+		t := queue[len(queue)-1]
+		queue = queue[:len(queue)-1]
+		switch {
+		case t.n.EffPnewMax().Less(qk):
+			s.removedN = append(s.removedN, t)
+		case t.n.EffPnewMin().AtLeast(qk):
+			s.surviveN = append(s.surviveN, t)
+		default:
+			t.n.Push()
+			if t.n.IsLeaf() {
+				for _, x := range t.n.Items() {
+					if x.Pnew.Less(qk) {
+						s.removedI = append(s.removedI, itemT{x, t.band})
+					} else {
+						s.surviveI = append(s.surviveI, itemT{x, t.band})
+					}
+				}
+			} else {
+				for _, c := range t.n.Children() {
+					queue = append(queue, nodeT{c, t.band})
+				}
+			}
+		}
+	}
+	e.scratch.queueN = queue[:0]
+	// domI items sit at leaves the probe pushed, and no lazy lands on their
+	// ancestors afterwards within this insertion, so their stored Pnew is
+	// exact here.
+	for _, x := range s.domI {
+		if x.it.Pnew.Less(qk) {
+			s.removedI = append(s.removedI, x)
+		} else {
+			s.surviveI = append(s.surviveI, x)
+		}
+	}
+
+	// Phase 3: removals' factors leave the survivors' Pold.
+	if (len(s.removedN) > 0 || len(s.removedI) > 0) && (len(s.surviveN) > 0 || len(s.surviveI) > 0) {
+		e.updateOld(s.removedN, s.removedI, s.surviveN, s.surviveI)
+	}
+
+	// Phase 4: evaluate band placement of survivors (downward moves only
+	// during insertion; see the Theorem 4 argument in DESIGN.md).
+	s.moves = s.moves[:0]
+	for _, t := range s.surviveN {
+		e.evalPlacement(t, len(e.qs), &s.moves)
+	}
+	for _, x := range s.surviveI {
+		e.evalItemPlacement(x, len(e.qs), &s.moves)
+	}
+
+	// Phase 5: structural changes. Whole removed subtrees are flattened to
+	// items first: per-item deletion keeps every pending pointer valid
+	// under the R-tree's restructuring (splits, condenses, root changes),
+	// and elements are removed from the candidate set at most once each, so
+	// the flattening stays amortized O(1) per arrival.
+	for _, t := range s.removedN {
+		collectItems(t.n, t.band, &s.removedI)
+	}
+	e.counters.Removals += uint64(len(s.removedI))
+	for _, x := range s.removedI {
+		delete(e.inS, x.it.Seq)
+		e.trees[x.band].DeleteItem(x.it)
+		e.emit(x.it, x.band, -1)
+	}
+	e.applyMoves(s.moves)
+
+	// Finally place a_new itself: Pnew(a_new) = 1 and Pold is the product
+	// of the candidate dominators' non-occurrence probabilities.
+	it.Pold = pold
+	b := e.bandOf(it.Psky())
+	e.trees[b].InsertItem(it)
+	e.inS[it.Seq] = it
+	e.emit(it, -1, b)
+}
+
+// probeInsert classifies the subtree at n against the arriving element:
+// entries fully dominating a_new contribute their Pnoc to Pold(a_new);
+// entries fully dominated by a_new receive the lazy Pnew multiplier and join
+// the dominated set; entries with a partial relation in either direction are
+// pushed and resolved one level down. It reports whether any probability
+// under n changed; ancestors' aggregates are refreshed on the unwind.
+func (e *Engine) probeInsert(n *aggrtree.Node, band int, newIt *aggrtree.Item, om, pold prob.Factor, domN *[]nodeT, domI *[]itemT) (prob.Factor, bool) {
+	e.counters.NodesVisited++
+	relDom, relSub := geom.ClassifyPoint(n.Rect(), newIt.Point)
+	if relDom == geom.DomFull {
+		return pold.Times(n.Pnoc()), false
+	}
+	if relSub == geom.DomFull {
+		if e.eager {
+			n.ApplyDeepNew(om)
+			e.counters.ItemsTouched += uint64(n.Count())
+		} else {
+			e.counters.LazyApplied++
+			n.MulLazyNew(om)
+		}
+		*domN = append(*domN, nodeT{n, band})
+		return pold, true
+	}
+	if relDom == geom.DomNone && relSub == geom.DomNone {
+		return pold, false
+	}
+	n.Push()
+	changed := false
+	if n.IsLeaf() {
+		e.counters.ItemsTouched += uint64(len(n.Items()))
+		for _, x := range n.Items() {
+			xDom, newDom := geom.MutualDominance(x.Point, newIt.Point)
+			switch {
+			case xDom:
+				pold = pold.Times(x.OneMinusP())
+			case newDom:
+				x.Pnew = x.Pnew.Times(om)
+				*domI = append(*domI, itemT{x, band})
+				changed = true
+			}
+		}
+	} else {
+		for _, c := range n.Children() {
+			var ch bool
+			pold, ch = e.probeInsert(c, band, newIt, om, pold, domN, domI)
+			changed = changed || ch
+		}
+	}
+	if changed {
+		n.RefreshProbs()
+	}
+	return pold, changed
+}
+
+// joinEnt is one side of the UpdateOld dominance join: either a whole entry
+// or a single element.
+type joinEnt struct {
+	n    *aggrtree.Node
+	it   *aggrtree.Item
+	band int
+}
+
+func (j joinEnt) rect() geom.Rect {
+	if j.n != nil {
+		return j.n.Rect()
+	}
+	return j.it.Rect()
+}
+
+// joinPair is one frontier element of the synchronous dominance join.
+type joinPair struct{ r, s joinEnt }
+
+func (j joinEnt) pnoc() prob.Factor {
+	if j.n != nil {
+		return j.n.Pnoc()
+	}
+	return j.it.OneMinusP()
+}
+
+// updateOld strips the non-occurrence factors of elements leaving the
+// candidate set from the Pold of the surviving elements they dominate
+// (UpdateOld(R3, R4) in Algorithm 9). Every removed dominator is older than
+// every survivor it dominates (Lemma 2), so no arrival-order check is
+// needed. The join works on entry Pnoc values, descending a pair only while
+// the dominance relation is partial.
+func (e *Engine) updateOld(removedN []nodeT, removedI []itemT, surviveN []nodeT, surviveI []itemT) {
+	sc := &e.scratch
+	rem, sur := sc.rem[:0], sc.sur[:0]
+	for _, t := range removedN {
+		rem = append(rem, joinEnt{n: t.n, band: t.band})
+	}
+	for _, x := range removedI {
+		rem = append(rem, joinEnt{it: x.it, band: x.band})
+	}
+	for _, t := range surviveN {
+		sur = append(sur, joinEnt{n: t.n, band: t.band})
+	}
+	for _, x := range surviveI {
+		sur = append(sur, joinEnt{it: x.it, band: x.band})
+	}
+	stack := sc.pairs[:0]
+	for _, r := range rem {
+		for _, s := range sur {
+			stack = append(stack, joinPair{r, s})
+		}
+	}
+	defer func() {
+		sc.rem, sc.sur, sc.pairs = rem[:0], sur[:0], stack[:0]
+	}()
+	for len(stack) > 0 {
+		p := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		switch geom.Dominance(p.r.rect(), p.s.rect()) {
+		case geom.DomNone:
+		case geom.DomFull:
+			e.stripPold(p.s, p.r.pnoc())
+		case geom.DomPartial:
+			switch {
+			case p.r.n != nil:
+				// Expand the removed side; Pnoc and rects of its children
+				// are lazy-independent, so no push is needed.
+				if p.r.n.IsLeaf() {
+					for _, x := range p.r.n.Items() {
+						stack = append(stack, joinPair{joinEnt{it: x, band: p.r.band}, p.s})
+					}
+				} else {
+					for _, c := range p.r.n.Children() {
+						stack = append(stack, joinPair{joinEnt{n: c, band: p.r.band}, p.s})
+					}
+				}
+			case p.s.n != nil:
+				p.s.n.Push()
+				if p.s.n.IsLeaf() {
+					for _, x := range p.s.n.Items() {
+						stack = append(stack, joinPair{p.r, joinEnt{it: x, band: p.s.band}})
+					}
+				} else {
+					for _, c := range p.s.n.Children() {
+						stack = append(stack, joinPair{p.r, joinEnt{n: c, band: p.s.band}})
+					}
+				}
+			default:
+				// Two points are never in partial relation: Dominance on
+				// degenerate rects decides fully either way.
+				panic("core: partial dominance between two points")
+			}
+		}
+	}
+}
+
+// stripPold removes the departed dominators' combined non-occurrence factor
+// f from a survivor's Pold, raising its skyline probability.
+func (e *Engine) stripPold(s joinEnt, f prob.Factor) {
+	if s.n != nil {
+		if e.eager {
+			s.n.ApplyDeepOld(f)
+			e.counters.ItemsTouched += uint64(s.n.Count())
+		} else {
+			s.n.MulLazyOld(f)
+		}
+		aggrtree.RefreshProbsPath(s.n.Parent())
+		return
+	}
+	s.it.Pold = s.it.Pold.Over(f)
+	aggrtree.RefreshProbsPath(s.it.Leaf())
+}
+
+// evalPlacement decides, at entry granularity, which band every element
+// under the target belongs to after this update, appending item-level moves
+// for elements that change bands. Entries are descended only while their
+// [Psky_min, Psky_max] range straddles a band boundary. Targets already in
+// band `locked` are skipped: during insertion the bottom band cannot be left
+// (Theorem 4 argument), and during expiry the top band cannot be left (Psky
+// only rises).
+func (e *Engine) evalPlacement(t nodeT, locked int, moves *[]itemMove) {
+	if t.band == locked {
+		return
+	}
+	min, max := t.n.EffPskyMin(), t.n.EffPskyMax()
+	if e.fitsBand(t.band, min, max) {
+		return
+	}
+	for j := 0; j <= len(e.qs); j++ {
+		if j != t.band && e.fitsBand(j, min, max) {
+			e.collectMoves(t.n, t.band, j, moves)
+			return
+		}
+	}
+	t.n.Push()
+	if t.n.IsLeaf() {
+		for _, x := range t.n.Items() {
+			e.evalItemPlacement(itemT{x, t.band}, locked, moves)
+		}
+		return
+	}
+	for _, c := range t.n.Children() {
+		e.evalPlacement(nodeT{c, t.band}, locked, moves)
+	}
+}
+
+// evalItemPlacement appends a move if the element's exact skyline
+// probability places it in a different band.
+func (e *Engine) evalItemPlacement(x itemT, locked int, moves *[]itemMove) {
+	if x.band == locked {
+		return
+	}
+	// Placement targets sit on pushed paths (their leaves were pushed by
+	// the descent that mutated them), so the stored Psky is exact.
+	nb := e.bandOf(x.it.Psky())
+	if nb != x.band {
+		*moves = append(*moves, itemMove{it: x.it, from: x.band, to: nb})
+	}
+}
+
+// collectMoves records a whole subtree's elements as moves to band `to`.
+func (e *Engine) collectMoves(n *aggrtree.Node, from, to int, moves *[]itemMove) {
+	if n.IsLeaf() {
+		for _, x := range n.Items() {
+			*moves = append(*moves, itemMove{it: x, from: from, to: to})
+		}
+		return
+	}
+	for _, c := range n.Children() {
+		e.collectMoves(c, from, to, moves)
+	}
+}
+
+// applyMoves performs the deferred band reclassifications. DeleteItem
+// resolves pending lazy multipliers into each element, so it arrives in its
+// destination tree with exact Pnew/Pold.
+func (e *Engine) applyMoves(moves []itemMove) {
+	e.counters.Moves += uint64(len(moves))
+	for _, m := range moves {
+		e.trees[m.from].DeleteItem(m.it)
+		e.trees[m.to].InsertItem(m.it)
+		e.emit(m.it, m.from, m.to)
+	}
+}
+
+// collectItems flattens the elements of a subtree into the removal list.
+func collectItems(n *aggrtree.Node, band int, out *[]itemT) {
+	if n.IsLeaf() {
+		for _, x := range n.Items() {
+			*out = append(*out, itemT{x, band})
+		}
+		return
+	}
+	for _, c := range n.Children() {
+		collectItems(c, band, out)
+	}
+}

@@ -1,0 +1,152 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"pskyline/internal/geom"
+	"pskyline/internal/naive"
+)
+
+// The running example of the paper (Figure 1, Examples 1–3). Coordinates
+// are reconstructed from the dominance relations the worked numbers imply:
+//
+//	a1 = (6, 6)   P = 0.9   dominated by a2, a3 (both newer)
+//	a2 = (2, 3)   P = 0.4
+//	a3 = (3, 2)   P = 0.3
+//	a4 = (10,10)  P = 0.9   dominated by a1, a2, a3, a5
+//	a5 = (7, 1)   P = 0.1   dominates a4 but not a1
+//	a6 = (11,12)  P = 0.5   dominated by a4 (does not dominate a4)
+var paperPts = []geom.Point{
+	{6, 6}, {2, 3}, {3, 2}, {10, 10}, {7, 1}, {11, 12},
+}
+
+var paperPs = []float64{0.9, 0.4, 0.3, 0.9, 0.1, 0.5}
+
+func pushPaper(t *testing.T, e *Engine, from, upTo int) {
+	t.Helper()
+	for i := from; i < upTo; i++ {
+		if _, err := e.Push(paperPts[i], paperPs[i], int64(i)); err != nil {
+			t.Fatalf("push %d: %v", i, err)
+		}
+	}
+	if err := e.CheckInvariants(); err != nil {
+		t.Fatalf("invariants: %v", err)
+	}
+}
+
+func approx(t *testing.T, name string, got, want float64) {
+	t.Helper()
+	if math.Abs(got-want) > 1e-9*math.Max(1, math.Abs(want)) {
+		t.Errorf("%s = %.12g, want %.12g", name, got, want)
+	}
+}
+
+// TestPaperExample1 checks the unrestricted probabilities of Example 1
+// against the exact oracle: N = 5, P_new(a4) = 0.9, P_old(a4) = 0.042,
+// P_sky(a4) = 0.034 (0.03402 exactly).
+func TestPaperExample1(t *testing.T) {
+	x := naive.NewExact(5)
+	for i := 0; i < 5; i++ {
+		x.Push(paperPts[i], paperPs[i])
+	}
+	all := x.All()
+	a4 := all[3]
+	approx(t, "Pnew(a4)", a4.Pnew.Float(), 0.9)
+	approx(t, "Pold(a4)", a4.Pold.Float(), 0.042)
+	approx(t, "Psky(a4)", a4.Psky.Float(), 0.03402)
+}
+
+// TestPaperExample2 checks the restricted computation of Example 2:
+// N = 5, q = 0.5, S_{N,q} = {a2, a3, a4, a5}, P_new(a4) = 0.9 and
+// P_old|S(a4) = 0.6 · 0.7 = 0.42.
+func TestPaperExample2(t *testing.T) {
+	e, err := NewEngine(Options{Dims: 2, Window: 5, Thresholds: []float64{0.5}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pushPaper(t, e, 0, 5)
+
+	cands := e.Candidates()
+	if len(cands) != 4 {
+		t.Fatalf("|S| = %d, want 4 (%v)", len(cands), cands)
+	}
+	wantSeqs := []uint64{1, 2, 3, 4} // a2..a5 (a1 has Pnew = 0.42 < 0.5)
+	for i, c := range cands {
+		if c.Seq != wantSeqs[i] {
+			t.Fatalf("candidate %d: seq %d, want %d", i, c.Seq, wantSeqs[i])
+		}
+	}
+	a4 := cands[2]
+	approx(t, "Pnew(a4)", a4.Pnew, 0.9)
+	approx(t, "Pold|S(a4)", a4.Pold, 0.42)
+	approx(t, "Psky|S(a4)", a4.Psky, 0.9*0.9*0.42)
+
+	// No element reaches q = 0.5 in this window.
+	if sky := e.Skyline(); len(sky) != 0 {
+		t.Fatalf("skyline = %v, want empty", sky)
+	}
+}
+
+// TestPaperExample3 follows Example 3: with N = 4 the first window keeps
+// S = {a2, a3, a4} with Psky|S(a4) = 0.378; after a5 and a6 arrive (window
+// {a3, a4, a5, a6}), a4 becomes a skyline point with Psky = 0.567.
+func TestPaperExample3(t *testing.T) {
+	e, err := NewEngine(Options{Dims: 2, Window: 4, Thresholds: []float64{0.5}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pushPaper(t, e, 0, 4)
+
+	cands := e.Candidates()
+	if len(cands) != 3 {
+		t.Fatalf("first window |S| = %d, want 3 (%v)", len(cands), cands)
+	}
+	approx(t, "Psky|S(a4) first window", cands[2].Psky, 0.378)
+	if sky := e.Skyline(); len(sky) != 0 {
+		t.Fatalf("first-window skyline = %v, want empty", sky)
+	}
+
+	pushPaper(t, e, 4, 6) // a5, a6 arrive; a1, a2 expire
+	sky := e.Skyline()
+	if len(sky) != 1 || sky[0].Seq != 3 {
+		t.Fatalf("skyline = %+v, want exactly a4 (seq 3)", sky)
+	}
+	approx(t, "Psky(a4) third window", sky[0].Psky, 0.9*0.7*0.9)
+}
+
+// TestPaperTableI encodes the laptop-advertisement example of Table I
+// (price, condition-rank) with trustability as occurrence probability; L1
+// and L4 are the certain skyline, and with a window covering all four, L4's
+// low trustability keeps its skyline probability at 0.48 while L3 benefits
+// from L4's uncertainty.
+func TestPaperTableI(t *testing.T) {
+	// Condition encoded as rank: excellent = 1, good = 2. Smaller better.
+	pts := []geom.Point{{550, 1}, {680, 1}, {530, 2}, {200, 2}}
+	ps := []float64{0.80, 0.90, 1.00, 0.48}
+	e, err := NewEngine(Options{Dims: 2, Window: 4, Thresholds: []float64{0.4}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range pts {
+		if _, err := e.Push(pts[i], ps[i], int64(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// L1 dominates L2; L4 dominates L3. Psky: L1 = 0.8, L2 = 0.9·0.2 =
+	// 0.18, L3 = 1.0·(1−0.48) = 0.52, L4 = 0.48.
+	res, err := e.Query(0.4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := map[uint64]float64{}
+	for _, r := range res {
+		got[r.Seq] = r.Psky
+	}
+	if len(got) != 3 {
+		t.Fatalf("0.4-skyline = %v, want {L1, L3, L4}", res)
+	}
+	approx(t, "Psky(L1)", got[0], 0.80)
+	approx(t, "Psky(L3)", got[2], 0.52)
+	approx(t, "Psky(L4)", got[3], 0.48)
+}

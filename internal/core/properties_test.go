@@ -1,0 +1,159 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"pskyline/internal/geom"
+)
+
+// TestPropertyPnewMonotone — over an element's lifetime its Pnew never
+// increases (newer dominators only accumulate; they cannot expire before
+// the element does). This is the monotonicity that makes the candidate set
+// prune-once (Section III).
+func TestPropertyPnewMonotone(t *testing.T) {
+	r := rand.New(rand.NewSource(41))
+	eng, err := NewEngine(Options{Dims: 2, Window: 60, Thresholds: []float64{0.2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	last := map[uint64]float64{}
+	for i := 0; i < 1200; i++ {
+		pt := geom.Point{r.Float64(), r.Float64()}
+		if _, err := eng.Push(pt, 1-r.Float64(), int64(i)); err != nil {
+			t.Fatal(err)
+		}
+		seen := map[uint64]bool{}
+		for _, c := range eng.Candidates() {
+			if prev, ok := last[c.Seq]; ok && c.Pnew > prev*(1+1e-9) {
+				t.Fatalf("step %d: Pnew of %d rose %v -> %v", i, c.Seq, prev, c.Pnew)
+			}
+			last[c.Seq] = c.Pnew
+			seen[c.Seq] = true
+		}
+		for seq := range last {
+			if !seen[seq] {
+				delete(last, seq) // departed
+			}
+		}
+	}
+}
+
+// TestPropertyPruneOnce — an element that leaves the candidate set never
+// returns (Section III: membership depends only on Pnew, which is
+// monotone).
+func TestPropertyPruneOnce(t *testing.T) {
+	r := rand.New(rand.NewSource(43))
+	eng, err := NewEngine(Options{Dims: 2, Window: 50, Thresholds: []float64{0.35}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	departed := map[uint64]bool{}
+	live := map[uint64]bool{}
+	for i := 0; i < 1500; i++ {
+		pt := geom.Point{float64(r.Intn(6)), float64(r.Intn(6))}
+		if _, err := eng.Push(pt, 1-r.Float64(), int64(i)); err != nil {
+			t.Fatal(err)
+		}
+		now := map[uint64]bool{}
+		for _, c := range eng.Candidates() {
+			now[c.Seq] = true
+			if departed[c.Seq] {
+				t.Fatalf("step %d: element %d re-entered the candidate set", i, c.Seq)
+			}
+		}
+		for seq := range live {
+			if !now[seq] {
+				departed[seq] = true
+			}
+		}
+		live = now
+	}
+}
+
+// TestPropertySkylineSubsetOfCandidates and band nesting: the q'-skyline
+// shrinks as q' grows, and every skyline is inside the candidate set.
+func TestPropertySkylineNesting(t *testing.T) {
+	r := rand.New(rand.NewSource(47))
+	eng, err := NewEngine(Options{Dims: 3, Window: 80, Thresholds: []float64{0.25}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 600; i++ {
+		pt := geom.Point{r.Float64(), r.Float64(), r.Float64()}
+		if _, err := eng.Push(pt, 1-r.Float64(), int64(i)); err != nil {
+			t.Fatal(err)
+		}
+		if (i+1)%37 != 0 {
+			continue
+		}
+		cands := map[uint64]bool{}
+		for _, c := range eng.Candidates() {
+			cands[c.Seq] = true
+		}
+		prevSet := map[uint64]bool{}
+		first := true
+		for _, q := range []float64{0.25, 0.4, 0.6, 0.8, 0.95} {
+			res, err := eng.Query(q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			cur := map[uint64]bool{}
+			for _, re := range res {
+				cur[re.Seq] = true
+				if !cands[re.Seq] {
+					t.Fatalf("step %d: skyline member %d not a candidate", i, re.Seq)
+				}
+				if !first && !prevSet[re.Seq] {
+					t.Fatalf("step %d q=%v: member %d absent from looser skyline", i, q, re.Seq)
+				}
+			}
+			prevSet = cur
+			first = false
+		}
+	}
+}
+
+// TestPropertyOrderInsensitivityWithinIncomparable — elements that are
+// pairwise incomparable can arrive in any order without changing any
+// skyline probability (dominance, not recency, is what matters among
+// incomparable elements).
+func TestPropertyOrderInsensitivity(t *testing.T) {
+	r := rand.New(rand.NewSource(53))
+	// Build a pairwise-incomparable set on the anti-diagonal.
+	n := 12
+	pts := make([]geom.Point, n)
+	ps := make([]float64, n)
+	for i := range pts {
+		pts[i] = geom.Point{float64(i), float64(n - i)}
+		ps[i] = 1 - r.Float64()
+	}
+	run := func(perm []int) map[string]float64 {
+		eng, err := NewEngine(Options{Dims: 2, Window: n, Thresholds: []float64{0.1}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, idx := range perm {
+			if _, err := eng.Push(pts[idx], ps[idx], int64(i)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		out := map[string]float64{}
+		for _, c := range eng.Candidates() {
+			out[c.Point.String()] = c.Psky
+		}
+		return out
+	}
+	base := run(rand.Perm(n))
+	for trial := 0; trial < 5; trial++ {
+		other := run(rand.Perm(n))
+		if len(base) != len(other) {
+			t.Fatalf("trial %d: %d vs %d candidates", trial, len(base), len(other))
+		}
+		for k, v := range base {
+			if ov, ok := other[k]; !ok || !feq(v, ov) {
+				t.Fatalf("trial %d: %s has %v vs %v", trial, k, v, ov)
+			}
+		}
+	}
+}

@@ -1,0 +1,133 @@
+package core
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"pskyline/internal/naive"
+	"pskyline/internal/streamgen"
+)
+
+// TestSoakAgainstTrivial runs long streams from every generator family
+// through the engine and the trivial oracle (which shares the restricted
+// candidate-set semantics), comparing full state at intervals. This is the
+// heavyweight confidence test; it is trimmed under -short.
+func TestSoakAgainstTrivial(t *testing.T) {
+	n := 30_000
+	if testing.Short() {
+		n = 4_000
+	}
+	type cfg struct {
+		name   string
+		dims   int
+		dist   streamgen.Distribution
+		pm     streamgen.ProbModel
+		window int
+		qs     []float64
+		fanout int
+	}
+	cases := []cfg{
+		{"anti3-uniform", 3, streamgen.Anticorrelated, streamgen.UniformProb{}, 2000, []float64{0.3}, 0},
+		{"inde4-normal", 4, streamgen.Independent, streamgen.NormalProb{Mu: 0.3, Sd: 0.3}, 1500, []float64{0.2}, 8},
+		{"corr2-uniform", 2, streamgen.Correlated, streamgen.UniformProb{}, 2500, []float64{0.5}, 0},
+		{"anti2-multi", 2, streamgen.Anticorrelated, streamgen.UniformProb{}, 1200, []float64{0.8, 0.5, 0.3}, 4},
+	}
+	for _, c := range cases {
+		c := c
+		t.Run(c.name, func(t *testing.T) {
+			t.Parallel()
+			eng, err := NewEngine(Options{Dims: c.dims, Window: c.window, Thresholds: c.qs, MaxEntries: c.fanout})
+			if err != nil {
+				t.Fatal(err)
+			}
+			qMin := c.qs[len(c.qs)-1]
+			triv := naive.NewTrivial(c.window, qMin)
+			src := streamgen.New(c.dims, c.dist, c.pm, 99)
+			for i := 0; i < n; i++ {
+				el := src.Next()
+				if _, err := eng.Push(el.Point, el.P, el.TS); err != nil {
+					t.Fatal(err)
+				}
+				triv.Push(el.Point, el.P)
+				if (i+1)%500 != 0 && i != n-1 {
+					continue
+				}
+				if err := eng.CheckInvariants(); err != nil {
+					t.Fatalf("step %d: %v", i, err)
+				}
+				if eng.CandidateSize() != triv.Size() {
+					t.Fatalf("step %d: |S| %d vs trivial %d", i, eng.CandidateSize(), triv.Size())
+				}
+				// Full probability agreement per candidate.
+				trivBySeq := map[uint64]*naive.TrivialElem{}
+				for _, te := range triv.Elems() {
+					trivBySeq[te.Seq] = te
+				}
+				for _, cand := range eng.Candidates() {
+					te, ok := trivBySeq[cand.Seq]
+					if !ok {
+						t.Fatalf("step %d: engine candidate %d unknown to trivial", i, cand.Seq)
+					}
+					if !feq(cand.Pnew, te.Pnew.Float()) || !feq(cand.Pold, te.Pold.Float()) {
+						t.Fatalf("step %d seq %d: (%g,%g) vs (%g,%g)",
+							i, cand.Seq, cand.Pnew, cand.Pold, te.Pnew.Float(), te.Pold.Float())
+					}
+				}
+				// Per-threshold skylines.
+				for _, q := range c.qs {
+					res, err := eng.Query(q)
+					if err != nil {
+						t.Fatal(err)
+					}
+					want := triv.Skyline(q)
+					if len(res) != len(want) {
+						t.Fatalf("step %d q=%v: skyline %d vs %d", i, q, len(res), len(want))
+					}
+					got := make([]uint64, len(res))
+					for j, re := range res {
+						got[j] = re.Seq
+					}
+					ws := make([]uint64, len(want))
+					for j, te := range want {
+						ws[j] = te.Seq
+					}
+					sort.Slice(got, func(a, b int) bool { return got[a] < got[b] })
+					sort.Slice(ws, func(a, b int) bool { return ws[a] < ws[b] })
+					for j := range got {
+						if got[j] != ws[j] {
+							t.Fatalf("step %d q=%v: skyline member %d vs %d", i, q, got[j], ws[j])
+						}
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestSoakWindowDrain verifies that a stream which simply stops leaves the
+// engine in a state where expiring everything via a time-based window
+// drains cleanly to empty.
+func TestSoakWindowDrain(t *testing.T) {
+	eng, err := NewEngine(Options{Dims: 2, Window: 0, Thresholds: []float64{0.3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rand.New(rand.NewSource(12))
+	for i := 0; i < 3000; i++ {
+		pt := uniformPoint(r, 2)
+		if _, err := eng.Push(pt, 1-r.Float64(), int64(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	eng.ExpireOlderThan(3001)
+	if err := eng.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	if eng.CandidateSize() != 0 || eng.SkylineSize() != 0 {
+		t.Fatalf("drain left %d candidates, %d skyline", eng.CandidateSize(), eng.SkylineSize())
+	}
+	if sky := eng.Skyline(); len(sky) != 0 {
+		t.Fatalf("drained skyline = %v", sky)
+	}
+}

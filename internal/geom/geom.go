@@ -1,0 +1,333 @@
+// Package geom provides the d-dimensional points, minimum bounding boxes and
+// dominance relations (Section II-B of the paper) underlying the aggregate
+// R-trees.
+//
+// Smaller coordinates are better: u dominates v (u ≺ v) when u is no worse
+// than v on every dimension and strictly better on at least one.
+package geom
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Point is a location in d-dimensional space. Points are immutable once
+// handed to the tree packages.
+type Point []float64
+
+// Clone returns a copy of p.
+func (p Point) Clone() Point {
+	q := make(Point, len(p))
+	copy(q, p)
+	return q
+}
+
+// Equal reports whether p and q are identical.
+func (p Point) Equal(q Point) bool {
+	if len(p) != len(q) {
+		return false
+	}
+	for i := range p {
+		if p[i] != q[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Dominates reports whether p ≺ q: p.i ≤ q.i on every dimension and
+// p.j < q.j on at least one. Points of mismatched dimensionality never
+// dominate each other.
+func (p Point) Dominates(q Point) bool {
+	if len(p) != len(q) {
+		return false
+	}
+	strict := false
+	for i := range p {
+		switch {
+		case p[i] > q[i]:
+			return false
+		case p[i] < q[i]:
+			strict = true
+		}
+	}
+	return strict
+}
+
+// MutualDominance decides both dominance directions between two points in
+// one pass: aDom reports a ≺ b and bDom reports b ≺ a (at most one can be
+// true). It is the per-element hot path of the probe descents.
+func MutualDominance(a, b Point) (aDom, bDom bool) {
+	aLE, aLT := true, false
+	bLE, bLT := true, false
+	for i := range a {
+		av, bv := a[i], b[i]
+		if av > bv {
+			aLE = false
+			bLT = true
+		} else if av < bv {
+			bLE = false
+			aLT = true
+		}
+		if !aLE && !bLE {
+			return false, false
+		}
+	}
+	return aLE && aLT, bLE && bLT
+}
+
+// DominatesOrEqual reports whether p.i ≤ q.i on every dimension.
+func (p Point) DominatesOrEqual(q Point) bool {
+	if len(p) != len(q) {
+		return false
+	}
+	for i := range p {
+		if p[i] > q[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func (p Point) String() string {
+	parts := make([]string, len(p))
+	for i, v := range p {
+		parts[i] = fmt.Sprintf("%g", v)
+	}
+	return "(" + strings.Join(parts, ",") + ")"
+}
+
+// Rect is an axis-aligned minimum bounding box. Min is the lower-left corner
+// (E.min in the paper) and Max the upper-right corner (E.max).
+type Rect struct {
+	Min, Max Point
+}
+
+// PointRect returns the degenerate rectangle covering exactly p.
+func PointRect(p Point) Rect { return Rect{Min: p, Max: p} }
+
+// EmptyRect returns a rectangle that unions as the identity: Min at +Inf and
+// Max at −Inf on every dimension.
+func EmptyRect(dims int) Rect {
+	r := Rect{Min: make(Point, dims), Max: make(Point, dims)}
+	for i := 0; i < dims; i++ {
+		r.Min[i] = math.Inf(1)
+		r.Max[i] = math.Inf(-1)
+	}
+	return r
+}
+
+// IsEmpty reports whether r covers no point.
+func (r Rect) IsEmpty() bool {
+	for i := range r.Min {
+		if r.Min[i] > r.Max[i] {
+			return true
+		}
+	}
+	return len(r.Min) == 0
+}
+
+// Dims returns the dimensionality of r.
+func (r Rect) Dims() int { return len(r.Min) }
+
+// Clone returns a deep copy of r.
+func (r Rect) Clone() Rect { return Rect{Min: r.Min.Clone(), Max: r.Max.Clone()} }
+
+// Contains reports whether p lies inside r (inclusive).
+func (r Rect) Contains(p Point) bool {
+	for i := range p {
+		if p[i] < r.Min[i] || p[i] > r.Max[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// ContainsRect reports whether s lies entirely inside r.
+func (r Rect) ContainsRect(s Rect) bool {
+	return r.Contains(s.Min) && r.Contains(s.Max)
+}
+
+// ExtendPoint grows r in place to cover p.
+func (r *Rect) ExtendPoint(p Point) {
+	for i := range p {
+		if p[i] < r.Min[i] {
+			r.Min[i] = p[i]
+		}
+		if p[i] > r.Max[i] {
+			r.Max[i] = p[i]
+		}
+	}
+}
+
+// ExtendRect grows r in place to cover s.
+func (r *Rect) ExtendRect(s Rect) {
+	r.ExtendPoint(s.Min)
+	r.ExtendPoint(s.Max)
+}
+
+// Union returns the smallest rectangle covering both r and s.
+func Union(r, s Rect) Rect {
+	u := r.Clone()
+	u.ExtendRect(s)
+	return u
+}
+
+// Area returns the d-dimensional volume of r; 0 for degenerate boxes.
+func (r Rect) Area() float64 {
+	a := 1.0
+	for i := range r.Min {
+		a *= r.Max[i] - r.Min[i]
+	}
+	return a
+}
+
+// UnionArea returns Union(r, s).Area() without allocating.
+func UnionArea(r, s Rect) float64 {
+	a := 1.0
+	for i := range r.Min {
+		lo, hi := r.Min[i], r.Max[i]
+		if s.Min[i] < lo {
+			lo = s.Min[i]
+		}
+		if s.Max[i] > hi {
+			hi = s.Max[i]
+		}
+		a *= hi - lo
+	}
+	return a
+}
+
+// Reset makes r empty in place (Min at +Inf, Max at −Inf).
+func (r *Rect) Reset() {
+	for i := range r.Min {
+		r.Min[i] = math.Inf(1)
+		r.Max[i] = math.Inf(-1)
+	}
+}
+
+// Margin returns the sum of side lengths of r.
+func (r Rect) Margin() float64 {
+	m := 0.0
+	for i := range r.Min {
+		m += r.Max[i] - r.Min[i]
+	}
+	return m
+}
+
+// Enlargement returns the increase in area needed for r to cover s.
+func (r Rect) Enlargement(s Rect) float64 {
+	return UnionArea(r, s) - r.Area()
+}
+
+// Relation classifies how one entry dominates another (Figure 2 of the
+// paper).
+type Relation int8
+
+const (
+	// DomNone: no element of the first entry can dominate any element of
+	// the second (E ≺_not E').
+	DomNone Relation = iota
+	// DomPartial: some elements of the first entry may dominate some
+	// elements of the second (E ≺_partial E'); the relation must be
+	// resolved at a finer level.
+	DomPartial
+	// DomFull: every element of the first entry dominates every element of
+	// the second (E ≺ E').
+	DomFull
+)
+
+func (r Relation) String() string {
+	switch r {
+	case DomNone:
+		return "none"
+	case DomPartial:
+		return "partial"
+	case DomFull:
+		return "full"
+	default:
+		return fmt.Sprintf("Relation(%d)", int8(r))
+	}
+}
+
+// Dominance classifies how entry a relates to entry b.
+//
+// It is deliberately conservative at shared corners: the paper's refinement
+// (E.max = E'.min dominates when no element sits on the corner) needs
+// element-level knowledge, so such cases are reported as DomPartial and the
+// caller descends to resolve them exactly at the leaves. Conservatism never
+// affects correctness, only the number of entries visited.
+//
+// Soundness (Theorem 1): DomFull implies every element under a dominates
+// every element under b; DomNone implies no element under a dominates any
+// element under b.
+func Dominance(a, b Rect) Relation {
+	if a.Max.Dominates(b.Min) {
+		return DomFull
+	}
+	if a.Min.Dominates(b.Max) {
+		return DomPartial
+	}
+	return DomNone
+}
+
+// DominancePointRect classifies how point p relates to entry b.
+func DominancePointRect(p Point, b Rect) Relation {
+	return Dominance(PointRect(p), b)
+}
+
+// ClassifyPoint computes both dominance relations between an entry r and a
+// point p in one pass: dom = Dominance(r, {p}) (can elements of r dominate
+// p?) and sub = Dominance({p}, r) (can p dominate elements of r?). It is
+// the probe hot path of the skyline engine.
+func ClassifyPoint(r Rect, p Point) (dom, sub Relation) {
+	maxLE, maxLT := true, false // r.Max ⪯ p, strictly on some dim
+	minLE, minLT := true, false // r.Min ⪯ p
+	pLEmin, pLTmin := true, false
+	pLEmax, pLTmax := true, false
+	for i := range p {
+		v, lo, hi := p[i], r.Min[i], r.Max[i]
+		if hi > v {
+			maxLE = false
+		} else if hi < v {
+			maxLT = true
+		}
+		if lo > v {
+			minLE = false
+		} else if lo < v {
+			minLT = true
+		}
+		if v > lo {
+			pLEmin = false
+		} else if v < lo {
+			pLTmin = true
+		}
+		if v > hi {
+			pLEmax = false
+		} else if v < hi {
+			pLTmax = true
+		}
+		if !minLE && !pLEmax {
+			return DomNone, DomNone
+		}
+	}
+	switch {
+	case maxLE && maxLT:
+		dom = DomFull
+	case minLE && minLT:
+		dom = DomPartial
+	}
+	switch {
+	case pLEmin && pLTmin:
+		sub = DomFull
+	case pLEmax && pLTmax:
+		sub = DomPartial
+	}
+	return dom, sub
+}
+
+// DominanceRectPoint classifies how entry a relates to point q.
+func DominanceRectPoint(a Rect, q Point) Relation {
+	return Dominance(a, PointRect(q))
+}

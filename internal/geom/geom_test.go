@@ -1,0 +1,267 @@
+package geom
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestDominatesBasics(t *testing.T) {
+	cases := []struct {
+		p, q Point
+		want bool
+	}{
+		{Point{1, 2}, Point{2, 3}, true},
+		{Point{1, 2}, Point{1, 3}, true},  // tie on one dim, strict on other
+		{Point{1, 2}, Point{1, 2}, false}, // equal points
+		{Point{2, 1}, Point{1, 2}, false}, // incomparable
+		{Point{1, 2}, Point{0, 3}, false},
+		{Point{1}, Point{2}, true},
+		{Point{1, 2}, Point{1, 2, 3}, false}, // dim mismatch
+	}
+	for _, c := range cases {
+		if got := c.p.Dominates(c.q); got != c.want {
+			t.Errorf("%v ≺ %v = %v, want %v", c.p, c.q, got, c.want)
+		}
+	}
+}
+
+func randPoint(r *rand.Rand, dims int) Point {
+	p := make(Point, dims)
+	for i := range p {
+		p[i] = float64(r.Intn(6)) // small grid provokes ties
+	}
+	return p
+}
+
+// TestQuickDominancePartialOrder — irreflexive, antisymmetric, transitive.
+func TestQuickDominancePartialOrder(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	for i := 0; i < 20000; i++ {
+		d := 1 + r.Intn(4)
+		p, q, s := randPoint(r, d), randPoint(r, d), randPoint(r, d)
+		if p.Dominates(p) {
+			t.Fatalf("irreflexivity violated at %v", p)
+		}
+		if p.Dominates(q) && q.Dominates(p) {
+			t.Fatalf("antisymmetry violated at %v, %v", p, q)
+		}
+		if p.Dominates(q) && q.Dominates(s) && !p.Dominates(s) {
+			t.Fatalf("transitivity violated at %v ≺ %v ≺ %v", p, q, s)
+		}
+	}
+}
+
+func TestRectOps(t *testing.T) {
+	r := EmptyRect(2)
+	if !r.IsEmpty() {
+		t.Fatal("EmptyRect not empty")
+	}
+	r.ExtendPoint(Point{1, 4})
+	r.ExtendPoint(Point{3, 2})
+	if r.IsEmpty() {
+		t.Fatal("extended rect still empty")
+	}
+	if !r.Min.Equal(Point{1, 2}) || !r.Max.Equal(Point{3, 4}) {
+		t.Fatalf("rect = %v..%v", r.Min, r.Max)
+	}
+	if a := r.Area(); a != 4 {
+		t.Fatalf("area = %v, want 4", a)
+	}
+	if m := r.Margin(); m != 4 {
+		t.Fatalf("margin = %v, want 4", m)
+	}
+	if !r.Contains(Point{2, 3}) || r.Contains(Point{0, 3}) {
+		t.Fatal("Contains wrong")
+	}
+	s := Rect{Min: Point{2, 0}, Max: Point{5, 1}}
+	u := Union(r, s)
+	if !u.Min.Equal(Point{1, 0}) || !u.Max.Equal(Point{5, 4}) {
+		t.Fatalf("union = %v..%v", u.Min, u.Max)
+	}
+	if got, want := UnionArea(r, s), u.Area(); got != want {
+		t.Fatalf("UnionArea = %v, want %v", got, want)
+	}
+	if got := r.Enlargement(s); got != u.Area()-r.Area() {
+		t.Fatalf("enlargement = %v", got)
+	}
+	if !u.ContainsRect(r) || !u.ContainsRect(s) || r.ContainsRect(u) {
+		t.Fatal("ContainsRect wrong")
+	}
+}
+
+func TestDominanceRelations(t *testing.T) {
+	// The Figure 2 configuration (smaller is better): E spans [4,6]x[4,6].
+	e := Rect{Min: Point{4, 4}, Max: Point{6, 6}}
+	e3 := Rect{Min: Point{7, 7}, Max: Point{8, 8}}   // fully dominated by E
+	e1 := Rect{Min: Point{7, 1}, Max: Point{9, 5}}   // partially dominated, cannot dominate E
+	e2 := Rect{Min: Point{1, 5}, Max: Point{5, 9}}   // partially dominates E and vice versa
+	far := Rect{Min: Point{0, 9}, Max: Point{1, 10}} // incomparable-ish
+
+	if got := Dominance(e, e3); got != DomFull {
+		t.Errorf("E vs E3 = %v, want full", got)
+	}
+	if got := Dominance(e, e1); got != DomPartial {
+		t.Errorf("E vs E1 = %v, want partial", got)
+	}
+	if got := Dominance(e1, e); got != DomNone {
+		t.Errorf("E1 vs E = %v, want none", got)
+	}
+	if got := Dominance(e, e2); got != DomPartial {
+		t.Errorf("E vs E2 = %v, want partial", got)
+	}
+	if got := Dominance(e2, e); got != DomPartial {
+		t.Errorf("E2 vs E = %v, want partial", got)
+	}
+	if got := Dominance(e3, e); got != DomNone {
+		t.Errorf("E3 vs E = %v, want none", got)
+	}
+	_ = far
+}
+
+// TestQuickDominanceSoundness — Theorem 1 at entry level: DomFull means
+// every contained point pair dominates; DomNone means no pair does. Rects
+// are built as MBBs of random point sets and the relation is cross-checked
+// against exhaustive point pairs.
+func TestQuickDominanceSoundness(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	for iter := 0; iter < 4000; iter++ {
+		d := 1 + r.Intn(3)
+		mkSet := func() ([]Point, Rect) {
+			n := 1 + r.Intn(4)
+			rect := EmptyRect(d)
+			pts := make([]Point, n)
+			for i := range pts {
+				pts[i] = randPoint(r, d)
+				rect.ExtendPoint(pts[i])
+			}
+			return pts, rect
+		}
+		as, ra := mkSet()
+		bs, rb := mkSet()
+		rel := Dominance(ra, rb)
+		any, all := false, true
+		for _, a := range as {
+			for _, b := range bs {
+				if a.Dominates(b) {
+					any = true
+				} else {
+					all = false
+				}
+			}
+		}
+		switch rel {
+		case DomFull:
+			if !all {
+				t.Fatalf("DomFull but some pair does not dominate: %v vs %v", as, bs)
+			}
+		case DomNone:
+			if any {
+				t.Fatalf("DomNone but some pair dominates: %v vs %v", as, bs)
+			}
+		}
+	}
+}
+
+// TestQuickClassifyPointAgreement — the fused hot-path classification agrees
+// with the two Dominance calls it replaces.
+func TestQuickClassifyPointAgreement(t *testing.T) {
+	r := rand.New(rand.NewSource(9))
+	for iter := 0; iter < 20000; iter++ {
+		d := 1 + r.Intn(4)
+		rect := EmptyRect(d)
+		for i, n := 0, 1+r.Intn(4); i < n; i++ {
+			rect.ExtendPoint(randPoint(r, d))
+		}
+		p := randPoint(r, d)
+		dom, sub := ClassifyPoint(rect, p)
+		wantDom := Dominance(rect, PointRect(p))
+		wantSub := Dominance(PointRect(p), rect)
+		if dom != wantDom || sub != wantSub {
+			t.Fatalf("ClassifyPoint(%v..%v, %v) = (%v,%v), want (%v,%v)",
+				rect.Min, rect.Max, p, dom, sub, wantDom, wantSub)
+		}
+	}
+}
+
+// TestQuickMutualDominanceAgreement — the fused per-item check agrees with
+// two Dominates calls.
+func TestQuickMutualDominanceAgreement(t *testing.T) {
+	r := rand.New(rand.NewSource(13))
+	for i := 0; i < 30000; i++ {
+		d := 1 + r.Intn(4)
+		a, b := randPoint(r, d), randPoint(r, d)
+		aDom, bDom := MutualDominance(a, b)
+		if aDom != a.Dominates(b) || bDom != b.Dominates(a) {
+			t.Fatalf("MutualDominance(%v, %v) = (%v,%v), want (%v,%v)",
+				a, b, aDom, bDom, a.Dominates(b), b.Dominates(a))
+		}
+	}
+}
+
+func TestAuxiliaries(t *testing.T) {
+	p := Point{1, 2}
+	q := p.Clone()
+	q[0] = 9
+	if p[0] != 1 {
+		t.Fatal("Clone aliases")
+	}
+	if !p.DominatesOrEqual(Point{1, 2}) || p.DominatesOrEqual(Point{0, 2}) {
+		t.Fatal("DominatesOrEqual wrong")
+	}
+	if p.String() != "(1,2)" {
+		t.Fatalf("Point.String = %q", p.String())
+	}
+	r := Rect{Min: Point{0, 0}, Max: Point{2, 2}}
+	rc := r.Clone()
+	rc.Min[0] = 5
+	if r.Min[0] != 0 {
+		t.Fatal("Rect.Clone aliases")
+	}
+	if got := DominanceRectPoint(r, Point{3, 3}); got != DomFull {
+		t.Fatalf("rect vs point = %v", got)
+	}
+	if got := DominancePointRect(Point{-1, -1}, r); got != DomFull {
+		t.Fatalf("point vs rect = %v", got)
+	}
+	var empty Rect
+	if !empty.IsEmpty() {
+		t.Fatal("zero rect must be empty")
+	}
+	rr := r.Clone()
+	rr.Reset()
+	if !rr.IsEmpty() {
+		t.Fatal("Reset did not empty the rect")
+	}
+}
+
+func TestRelationString(t *testing.T) {
+	if DomFull.String() != "full" || DomPartial.String() != "partial" || DomNone.String() != "none" {
+		t.Fatal("Relation.String wrong")
+	}
+}
+
+func TestQuickUnionAreaMatchesUnion(t *testing.T) {
+	err := quick.Check(func(a, b, c, dd [2]float64) bool {
+		r := Rect{Min: Point{min2(a[0], a[1]), min2(b[0], b[1])}, Max: Point{max2(a[0], a[1]), max2(b[0], b[1])}}
+		s := Rect{Min: Point{min2(c[0], c[1]), min2(dd[0], dd[1])}, Max: Point{max2(c[0], c[1]), max2(dd[0], dd[1])}}
+		return UnionArea(r, s) == Union(r, s).Area()
+	}, &quick.Config{MaxCount: 3000})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func min2(a, b float64) float64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func max2(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,47 @@
+package multiinst_test
+
+import (
+	"fmt"
+	"log"
+
+	"pskyline/internal/geom"
+	"pskyline/internal/multiinst"
+)
+
+// Two uncertain objects: A is certainly at (1, 4); B is at (2, 2) or (4, 1)
+// with equal weight. Neither of B's instances is dominated by A, and B's
+// first instance dominates nothing of A either — both objects are certain
+// skyline members. Adding C, dominated by B's (2,2) half the time, shows the
+// probability arithmetic.
+func ExampleStreamWindow() {
+	w := multiinst.NewStreamWindow(10)
+	a, err := multiinst.NewObject(0, []multiinst.Instance{
+		{Point: geom.Point{1, 4}, W: 1},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	b, err := multiinst.NewObject(1, []multiinst.Instance{
+		{Point: geom.Point{2, 2}, W: 0.5},
+		{Point: geom.Point{4, 1}, W: 0.5},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	c, err := multiinst.NewObject(2, []multiinst.Instance{
+		{Point: geom.Point{3, 3}, W: 1},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	w.Push(a)
+	w.Push(b)
+	w.Push(c)
+	for _, r := range w.Skyline(0.1) {
+		fmt.Printf("object %d: Psky = %.2f\n", r.ID, r.Psky)
+	}
+	// Output:
+	// object 0: Psky = 1.00
+	// object 1: Psky = 1.00
+	// object 2: Psky = 0.50
+}

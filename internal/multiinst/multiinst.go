@@ -1,0 +1,167 @@
+// Package multiinst implements the Section VI extension "Object with
+// Multiple Elements": a sliding window over uncertain objects, each
+// consisting of a discrete set of weighted instances (the model of Pei et
+// al., VLDB 2007). Objects are atomic — all instances of an object arrive
+// and expire together — and the skyline probability of an object U over a
+// window W is
+//
+//	Psky(U) = Σ_{u ∈ U} w(u) · Π_{V ∈ W, V ≠ U} (1 − Σ_{v ∈ V, v ≺ u} w(v))
+//
+// The single-element model of the main paper is the special case of one
+// instance with weight P(a): the missing weight (1 − P) acts as a virtual
+// never-dominating, never-appearing instance, and the formula reduces to
+// Equation (1). Instance weights of an object must therefore sum to at most
+// 1. Continuous uncertainty regions are handled by Monte-Carlo
+// discretization (Section VI's suggestion), see Discretize.
+package multiinst
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"pskyline/internal/geom"
+)
+
+// Instance is one weighted location of an uncertain object.
+type Instance struct {
+	Point geom.Point
+	W     float64
+}
+
+// Object is an uncertain object with discrete instances. The instance
+// weights must be positive and sum to at most 1.
+type Object struct {
+	ID        uint64
+	Instances []Instance
+
+	mbb geom.Rect
+}
+
+// NewObject validates and returns an object.
+func NewObject(id uint64, instances []Instance) (*Object, error) {
+	if len(instances) == 0 {
+		return nil, fmt.Errorf("multiinst: object %d has no instances", id)
+	}
+	sum := 0.0
+	dims := len(instances[0].Point)
+	mbb := geom.EmptyRect(dims)
+	for _, in := range instances {
+		if in.W <= 0 {
+			return nil, fmt.Errorf("multiinst: object %d has non-positive instance weight %v", id, in.W)
+		}
+		if len(in.Point) != dims {
+			return nil, fmt.Errorf("multiinst: object %d mixes dimensionalities", id)
+		}
+		sum += in.W
+		mbb.ExtendPoint(in.Point)
+	}
+	if sum > 1+1e-9 {
+		return nil, fmt.Errorf("multiinst: object %d instance weights sum to %v > 1", id, sum)
+	}
+	return &Object{ID: id, Instances: instances, mbb: mbb}, nil
+}
+
+// MBB returns the object's instance bounding box.
+func (o *Object) MBB() geom.Rect { return o.mbb }
+
+// Discretize converts a continuous uncertainty region into a discrete
+// object by Monte-Carlo sampling: m samples from the caller's sampler, each
+// with weight exist/m (exist is the object's occurrence probability, use 1
+// for always-present objects).
+func Discretize(id uint64, m int, exist float64, seed int64, sample func(*rand.Rand) geom.Point) (*Object, error) {
+	if m <= 0 {
+		return nil, fmt.Errorf("multiinst: sample count %d must be positive", m)
+	}
+	if exist <= 0 || exist > 1 {
+		return nil, fmt.Errorf("multiinst: existence probability %v out of (0,1]", exist)
+	}
+	r := rand.New(rand.NewSource(seed))
+	ins := make([]Instance, m)
+	w := exist / float64(m)
+	for i := range ins {
+		ins[i] = Instance{Point: sample(r), W: w}
+	}
+	return NewObject(id, ins)
+}
+
+// Result is an object-level skyline answer.
+type Result struct {
+	ID   uint64
+	Psky float64
+}
+
+// Window is a count-based sliding window of uncertain objects. It keeps the
+// whole window (the paper's candidate-set pruning applies unchanged in
+// principle, but the object model is presented here as the correctness
+// extension, computed with MBB-level pruning rather than incremental
+// trees).
+type Window struct {
+	n    int
+	objs []*Object
+}
+
+// NewWindow returns a window keeping the n most recent objects (n = 0 keeps
+// everything).
+func NewWindow(n int) *Window { return &Window{n: n} }
+
+// Push appends an object, expiring the oldest if the window is full.
+func (w *Window) Push(o *Object) {
+	if w.n > 0 && len(w.objs) == w.n {
+		w.objs = w.objs[1:]
+	}
+	w.objs = append(w.objs, o)
+}
+
+// Len returns the window population.
+func (w *Window) Len() int { return len(w.objs) }
+
+// SkylineProb computes the skyline probability of the object at window
+// index i. Objects whose MBB cannot dominate any instance of the target are
+// skipped without visiting their instances (Theorem 1 at object level).
+func (w *Window) SkylineProb(i int) float64 {
+	u := w.objs[i]
+	total := 0.0
+	for _, inst := range u.Instances {
+		pr := inst.W
+		instR := geom.PointRect(inst.Point)
+		for j, v := range w.objs {
+			if j == i {
+				continue
+			}
+			if geom.Dominance(v.mbb, instR) == geom.DomNone {
+				continue
+			}
+			domW := 0.0
+			for _, vi := range v.Instances {
+				if vi.Point.Dominates(inst.Point) {
+					domW += vi.W
+				}
+			}
+			pr *= 1 - domW
+			if pr == 0 {
+				break
+			}
+		}
+		total += pr
+	}
+	return total
+}
+
+// Skyline returns the objects with skyline probability ≥ q, sorted by
+// descending probability.
+func (w *Window) Skyline(q float64) []Result {
+	var out []Result
+	for i := range w.objs {
+		if p := w.SkylineProb(i); p >= q {
+			out = append(out, Result{ID: w.objs[i].ID, Psky: p})
+		}
+	}
+	sort.Slice(out, func(a, b int) bool {
+		if out[a].Psky != out[b].Psky {
+			return out[a].Psky > out[b].Psky
+		}
+		return out[a].ID < out[b].ID
+	})
+	return out
+}

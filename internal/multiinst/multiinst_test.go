@@ -1,0 +1,194 @@
+package multiinst
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"pskyline/internal/geom"
+	"pskyline/internal/naive"
+)
+
+// bruteForce computes object skyline probabilities by enumerating every
+// combination of instance choices (including absence) across all objects.
+func bruteForce(objs []*Object) map[uint64]float64 {
+	out := map[uint64]float64{}
+	// choice[i] in [0, len(instances)] where len = absent.
+	choice := make([]int, len(objs))
+	var rec func(i int, prob float64)
+	rec = func(i int, prob float64) {
+		if prob == 0 {
+			return
+		}
+		if i == len(objs) {
+			for j, o := range objs {
+				if choice[j] == len(o.Instances) {
+					continue // absent
+				}
+				pt := o.Instances[choice[j]].Point
+				dominated := false
+				for k, v := range objs {
+					if k == j || choice[k] == len(v.Instances) {
+						continue
+					}
+					if v.Instances[choice[k]].Point.Dominates(pt) {
+						dominated = true
+						break
+					}
+				}
+				if !dominated {
+					out[o.ID] += prob
+				}
+			}
+			return
+		}
+		o := objs[i]
+		rest := 1.0
+		for ci, in := range o.Instances {
+			choice[i] = ci
+			rec(i+1, prob*in.W)
+			rest -= in.W
+		}
+		choice[i] = len(o.Instances)
+		rec(i+1, prob*rest)
+	}
+	rec(0, 1)
+	return out
+}
+
+func randObject(r *rand.Rand, id uint64, dims int) *Object {
+	n := 1 + r.Intn(3)
+	ins := make([]Instance, n)
+	budget := 1.0
+	for i := range ins {
+		pt := make(geom.Point, dims)
+		for j := range pt {
+			pt[j] = float64(r.Intn(6))
+		}
+		w := budget * (0.2 + 0.7*r.Float64()) / float64(n-i)
+		ins[i] = Instance{Point: pt, W: w}
+		budget -= w
+	}
+	o, err := NewObject(id, ins)
+	if err != nil {
+		panic(err)
+	}
+	return o
+}
+
+func TestSkylineProbAgainstBruteForce(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	for iter := 0; iter < 50; iter++ {
+		dims := 1 + r.Intn(3)
+		n := 2 + r.Intn(4)
+		w := NewWindow(0)
+		var objs []*Object
+		for i := 0; i < n; i++ {
+			o := randObject(r, uint64(i), dims)
+			objs = append(objs, o)
+			w.Push(o)
+		}
+		want := bruteForce(objs)
+		for i := range objs {
+			got := w.SkylineProb(i)
+			if math.Abs(got-want[objs[i].ID]) > 1e-9 {
+				t.Fatalf("iter %d obj %d: %v, want %v", iter, i, got, want[objs[i].ID])
+			}
+		}
+	}
+}
+
+// TestSingleInstanceReducesToElementModel — one instance with weight P(a)
+// reproduces Equation (1) of the main paper (the occurrence-probability
+// model is a special case, Section VI).
+func TestSingleInstanceReducesToElementModel(t *testing.T) {
+	r := rand.New(rand.NewSource(2))
+	x := naive.NewExact(0)
+	w := NewWindow(0)
+	for i := 0; i < 30; i++ {
+		pt := geom.Point{float64(r.Intn(8)), float64(r.Intn(8))}
+		p := 1 - r.Float64()
+		x.Push(pt, p)
+		o, err := NewObject(uint64(i), []Instance{{Point: pt, W: p}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		w.Push(o)
+	}
+	for i, pr := range x.All() {
+		if got := w.SkylineProb(i); math.Abs(got-pr.Psky.Float()) > 1e-9 {
+			t.Fatalf("obj %d: %v, want element-model %v", i, got, pr.Psky.Float())
+		}
+	}
+}
+
+func TestWindowSliding(t *testing.T) {
+	w := NewWindow(2)
+	mk := func(id uint64, x float64) *Object {
+		o, _ := NewObject(id, []Instance{{Point: geom.Point{x, x}, W: 1}})
+		return o
+	}
+	w.Push(mk(0, 1)) // dominates everything later
+	w.Push(mk(1, 2))
+	if got := w.SkylineProb(1); got != 0 {
+		t.Fatalf("dominated object prob = %v", got)
+	}
+	w.Push(mk(2, 3)) // evicts object 0
+	if w.Len() != 2 {
+		t.Fatal("window did not slide")
+	}
+	if got := w.SkylineProb(0); got != 1 { // object 1 now undominated
+		t.Fatalf("after expiry prob = %v", got)
+	}
+	sky := w.Skyline(0.5)
+	if len(sky) != 1 || sky[0].ID != 1 {
+		t.Fatalf("skyline = %v", sky)
+	}
+}
+
+func TestObjectValidation(t *testing.T) {
+	if _, err := NewObject(1, nil); err == nil {
+		t.Error("empty object accepted")
+	}
+	if _, err := NewObject(1, []Instance{{Point: geom.Point{1}, W: 0}}); err == nil {
+		t.Error("zero weight accepted")
+	}
+	if _, err := NewObject(1, []Instance{{Point: geom.Point{1}, W: 0.6}, {Point: geom.Point{2}, W: 0.6}}); err == nil {
+		t.Error("overweight object accepted")
+	}
+	if _, err := NewObject(1, []Instance{{Point: geom.Point{1}, W: 0.5}, {Point: geom.Point{1, 2}, W: 0.2}}); err == nil {
+		t.Error("mixed dimensionality accepted")
+	}
+}
+
+// TestDiscretizeMonteCarlo — a continuous uniform square discretized by
+// sampling behaves like its center of mass for dominance against a far
+// point, and converges with the sample count.
+func TestDiscretizeMonteCarlo(t *testing.T) {
+	// Object A: uniform over [0,1]²; object B: fixed point at (0.5, 0.5).
+	// B's skyline probability is P(no A instance in [0,0.5]²) ≈ 1 − 0.25.
+	a, err := Discretize(0, 4000, 1, 9, func(r *rand.Rand) geom.Point {
+		return geom.Point{r.Float64(), r.Float64()}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := NewObject(1, []Instance{{Point: geom.Point{0.5, 0.5}, W: 1}})
+	w := NewWindow(0)
+	w.Push(a)
+	w.Push(b)
+	got := w.SkylineProb(1)
+	if math.Abs(got-0.75) > 0.03 {
+		t.Fatalf("Monte-Carlo skyline prob = %v, want ≈ 0.75", got)
+	}
+	// A itself is never fully dominated by the single point.
+	if pa := w.SkylineProb(0); pa <= 0.74 || pa > 1 {
+		t.Fatalf("region object prob = %v", pa)
+	}
+	if _, err := Discretize(2, 0, 1, 1, nil); err == nil {
+		t.Error("zero samples accepted")
+	}
+	if _, err := Discretize(2, 10, 1.2, 1, func(r *rand.Rand) geom.Point { return geom.Point{0} }); err == nil {
+		t.Error("bad existence probability accepted")
+	}
+}

@@ -1,0 +1,171 @@
+package multiinst
+
+import (
+	"sort"
+
+	"pskyline/internal/geom"
+	"pskyline/internal/prob"
+)
+
+// StreamWindow maintains skyline probabilities of multi-instance objects
+// over a count-based sliding window *incrementally*: the paper's
+// Pnew/Pold decomposition (Equation (4)) carries over per instance,
+//
+//	Psky(U) = Σ_{u ∈ U} w(u) · Inew(u) · Iold(u)
+//	Inew(u) = Π over newer window objects V of (1 − Σ_{v ∈ V, v ≺ u} w(v))
+//	Iold(u) = Π over older window objects V of (1 − Σ_{v ∈ V, v ≺ u} w(v))
+//
+// so an arrival multiplies one factor into the dominated instances' Inew
+// and an expiry divides one factor out of the dominated instances' Iold.
+// Unlike the single-element engine, the candidate-set closure of Lemma 2
+// does not carry over to weighted instance sets (a newer dominator of a
+// qualified object may itself hold most of its weight in dominated
+// instances), so StreamWindow retains the whole window; object-MBB
+// dominance pruning (Theorem 1 at object level) keeps updates from
+// touching unrelated objects. Factor arithmetic is the same log-domain
+// algebra as the element engine, so instances dominated by certain
+// (weight-1) mass divide back out exactly.
+type StreamWindow struct {
+	window int
+	objs   []*winObj // arrival order; objs[0] is the oldest
+	next   uint64
+}
+
+type winObj struct {
+	obj  *Object
+	seq  uint64
+	inew []prob.Factor // per instance
+	iold []prob.Factor // per instance
+}
+
+// NewStreamWindow returns an incremental window over the n most recent
+// objects (n = 0 keeps everything; expiry then only happens via caller
+// semantics, i.e. never).
+func NewStreamWindow(n int) *StreamWindow {
+	return &StreamWindow{window: n}
+}
+
+// Len returns the window population.
+func (w *StreamWindow) Len() int { return len(w.objs) }
+
+// domWeight returns Σ weights of v's instances dominating point pt.
+func domWeight(v *Object, pt geom.Point) float64 {
+	dw := 0.0
+	for _, in := range v.Instances {
+		if in.Point.Dominates(pt) {
+			dw += in.W
+		}
+	}
+	return dw
+}
+
+// Push appends an object, expiring the oldest when the window is full, and
+// returns the object's arrival sequence number.
+func (w *StreamWindow) Push(o *Object) uint64 {
+	if w.window > 0 && len(w.objs) == w.window {
+		w.expireOldest()
+	}
+	seq := w.next
+	w.next++
+	wo := &winObj{
+		obj:  o,
+		seq:  seq,
+		inew: make([]prob.Factor, len(o.Instances)),
+		iold: make([]prob.Factor, len(o.Instances)),
+	}
+	for i := range wo.inew {
+		wo.inew[i] = prob.One()
+		wo.iold[i] = prob.One()
+	}
+	oRect := o.MBB()
+	for _, old := range w.objs {
+		relOldNew := geom.Dominance(old.obj.MBB(), oRect)
+		relNewOld := geom.Dominance(oRect, old.obj.MBB())
+		// The old object's instances may dominate the new one's: Iold of
+		// the new object's instances.
+		if relOldNew != geom.DomNone {
+			for i, in := range o.Instances {
+				if dw := domWeight(old.obj, in.Point); dw > 0 {
+					wo.iold[i] = wo.iold[i].Times(prob.OneMinus(dw))
+				}
+			}
+		}
+		// The new object's instances may dominate the old one's: Inew of
+		// the old object's instances.
+		if relNewOld != geom.DomNone {
+			for i, in := range old.obj.Instances {
+				if dw := domWeight(o, in.Point); dw > 0 {
+					old.inew[i] = old.inew[i].Times(prob.OneMinus(dw))
+				}
+			}
+		}
+	}
+	w.objs = append(w.objs, wo)
+	return seq
+}
+
+// expireOldest removes the oldest object and divides its dominance factors
+// out of every remaining object's Iold.
+func (w *StreamWindow) expireOldest() {
+	old := w.objs[0]
+	w.objs = w.objs[1:]
+	oldRect := old.obj.MBB()
+	for _, u := range w.objs {
+		if geom.Dominance(oldRect, u.obj.MBB()) == geom.DomNone {
+			continue
+		}
+		for i, in := range u.obj.Instances {
+			if dw := domWeight(old.obj, in.Point); dw > 0 {
+				u.iold[i] = u.iold[i].Over(prob.OneMinus(dw))
+			}
+		}
+	}
+}
+
+// psky returns the object's current skyline probability.
+func (wo *winObj) psky() float64 {
+	total := 0.0
+	for i, in := range wo.obj.Instances {
+		total += in.W * wo.inew[i].Times(wo.iold[i]).Float()
+	}
+	return total
+}
+
+// SkylineProbSeq returns the skyline probability of the window object with
+// the given arrival sequence number; ok is false if it has expired.
+func (w *StreamWindow) SkylineProbSeq(seq uint64) (p float64, ok bool) {
+	for _, wo := range w.objs {
+		if wo.seq == seq {
+			return wo.psky(), true
+		}
+	}
+	return 0, false
+}
+
+// Skyline returns the objects with skyline probability ≥ q, sorted by
+// descending probability (ties by ascending ID).
+func (w *StreamWindow) Skyline(q float64) []Result {
+	var out []Result
+	for _, wo := range w.objs {
+		if p := wo.psky(); p >= q {
+			out = append(out, Result{ID: wo.obj.ID, Psky: p})
+		}
+	}
+	sort.Slice(out, func(a, b int) bool {
+		if out[a].Psky != out[b].Psky {
+			return out[a].Psky > out[b].Psky
+		}
+		return out[a].ID < out[b].ID
+	})
+	return out
+}
+
+// TopK returns the k objects with the highest skyline probabilities that
+// reach at least minQ.
+func (w *StreamWindow) TopK(k int, minQ float64) []Result {
+	all := w.Skyline(minQ)
+	if len(all) > k {
+		all = all[:k]
+	}
+	return all
+}

@@ -1,0 +1,99 @@
+package multiinst
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"pskyline/internal/geom"
+)
+
+// TestStreamWindowMatchesRecompute drives the incremental window and the
+// recompute-on-query Window through identical object streams and compares
+// every skyline probability at every step.
+func TestStreamWindowMatchesRecompute(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	const windowSize = 25
+	sw := NewStreamWindow(windowSize)
+	rw := NewWindow(windowSize)
+	for i := 0; i < 400; i++ {
+		o := randObject(r, uint64(i), 2)
+		sw.Push(o)
+		rw.Push(o)
+		if (i+1)%7 != 0 {
+			continue
+		}
+		if sw.Len() != rw.Len() {
+			t.Fatalf("step %d: window sizes %d vs %d", i, sw.Len(), rw.Len())
+		}
+		for j := 0; j < rw.Len(); j++ {
+			want := rw.SkylineProb(j)
+			got, ok := sw.SkylineProbSeq(uint64(i + 1 - rw.Len() + j))
+			if !ok {
+				t.Fatalf("step %d: object %d missing from stream window", i, j)
+			}
+			if math.Abs(got-want) > 1e-9 {
+				t.Fatalf("step %d obj %d: incremental %v vs recompute %v", i, j, got, want)
+			}
+		}
+		gotSky := sw.Skyline(0.4)
+		wantSky := rw.Skyline(0.4)
+		if len(gotSky) != len(wantSky) {
+			t.Fatalf("step %d: skyline %d vs %d", i, len(gotSky), len(wantSky))
+		}
+		for j := range gotSky {
+			if gotSky[j].ID != wantSky[j].ID || math.Abs(gotSky[j].Psky-wantSky[j].Psky) > 1e-9 {
+				t.Fatalf("step %d member %d: %+v vs %+v", i, j, gotSky[j], wantSky[j])
+			}
+		}
+	}
+}
+
+// TestStreamWindowCertainInstances — weight-1 instances create exact-zero
+// factors; their expiry must divide back out exactly.
+func TestStreamWindowCertainInstances(t *testing.T) {
+	sw := NewStreamWindow(2)
+	mk := func(id uint64, x float64, w float64) *Object {
+		o, err := NewObject(id, []Instance{{Point: geom.Point{x, x}, W: w}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return o
+	}
+	sw.Push(mk(0, 1, 1)) // certain, dominates everything after it
+	sw.Push(mk(1, 2, 0.8))
+	if p, _ := sw.SkylineProbSeq(1); p != 0 {
+		t.Fatalf("dominated by certain object: psky = %v", p)
+	}
+	sw.Push(mk(2, 3, 0.5)) // expires object 0
+	if p, _ := sw.SkylineProbSeq(1); math.Abs(p-0.8) > 1e-12 {
+		t.Fatalf("after certain dominator expired: psky = %v, want 0.8", p)
+	}
+	if p, _ := sw.SkylineProbSeq(2); math.Abs(p-0.5*0.2) > 1e-12 {
+		t.Fatalf("psky(2) = %v, want 0.1", p)
+	}
+}
+
+func TestStreamWindowTopK(t *testing.T) {
+	sw := NewStreamWindow(0)
+	for i := 0; i < 5; i++ {
+		o, err := NewObject(uint64(i), []Instance{{
+			Point: geom.Point{float64(i), float64(5 - i)},
+			W:     0.5 + 0.1*float64(i),
+		}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		sw.Push(o)
+	}
+	top := sw.TopK(2, 0.1)
+	if len(top) != 2 {
+		t.Fatalf("topk = %v", top)
+	}
+	if top[0].Psky < top[1].Psky {
+		t.Fatal("topk not sorted")
+	}
+	if _, ok := sw.SkylineProbSeq(99); ok {
+		t.Fatal("unknown seq reported present")
+	}
+}

@@ -1,0 +1,102 @@
+package naive
+
+import "pskyline/internal/geom"
+
+// Certain is a dedicated sliding-window skyline for *certain* data (every
+// occurrence probability 1), in the style of the certain-case predecessors
+// the paper builds on (Lin et al. ICDE 2005; Tao & Papadias TKDE 2006):
+//
+//   - an element dominated by a newer element can never re-enter any future
+//     window's skyline (the dominator outlives it), so it is discarded
+//     immediately; the kept set is the probabilistic engine's candidate set
+//     specialized to P = 1;
+//   - among kept elements, the skyline is exactly those with no (older)
+//     kept dominator, maintained as a dominator count.
+//
+// It exists as the ablation baseline that prices the probabilistic
+// machinery: on certain data the engine must behave identically while
+// paying for probability bookkeeping.
+type Certain struct {
+	window int
+	elems  []certainElem // kept elements in arrival order
+	next   uint64
+}
+
+type certainElem struct {
+	pt  geom.Point
+	seq uint64
+	dom int // number of older kept dominators
+}
+
+// NewCertain returns a certain-data window skyline over the n most recent
+// elements.
+func NewCertain(window int) *Certain {
+	return &Certain{window: window}
+}
+
+// Push processes an arrival and expires the element leaving the window.
+func (c *Certain) Push(pt geom.Point) uint64 {
+	seq := c.next
+	c.next++
+	if c.window > 0 && seq >= uint64(c.window) {
+		c.expire(seq - uint64(c.window))
+	}
+	dom := 0
+	kept := c.elems[:0]
+	for _, e := range c.elems {
+		eDom, newDom := geom.MutualDominance(e.pt, pt)
+		if newDom {
+			// Transitivity guarantees anything e dominated is also
+			// dominated by the new element, so dropping e needs no
+			// dominator-count repair on survivors.
+			continue
+		}
+		if eDom {
+			dom++
+		}
+		kept = append(kept, e)
+	}
+	c.elems = append(kept, certainElem{pt: pt, seq: seq, dom: dom})
+	return seq
+}
+
+// expire removes the element with the given sequence number if it is still
+// kept, repairing the dominator counts of the survivors it dominated.
+func (c *Certain) expire(seq uint64) {
+	if len(c.elems) == 0 || c.elems[0].seq != seq {
+		return // already discarded by a newer dominator
+	}
+	old := c.elems[0]
+	c.elems = c.elems[1:]
+	for i := range c.elems {
+		if old.pt.Dominates(c.elems[i].pt) {
+			c.elems[i].dom--
+		}
+	}
+}
+
+// Size returns the number of kept elements (the certain candidate set).
+func (c *Certain) Size() int { return len(c.elems) }
+
+// Skyline returns the sequence numbers of the current window skyline in
+// arrival order.
+func (c *Certain) Skyline() []uint64 {
+	var out []uint64
+	for _, e := range c.elems {
+		if e.dom == 0 {
+			out = append(out, e.seq)
+		}
+	}
+	return out
+}
+
+// SkylineSize returns the current skyline cardinality.
+func (c *Certain) SkylineSize() int {
+	n := 0
+	for _, e := range c.elems {
+		if e.dom == 0 {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,60 @@
+package naive
+
+import (
+	"math/rand"
+	"testing"
+
+	"pskyline/internal/geom"
+)
+
+// TestCertainMatchesExact — the dedicated certain-data window skyline must
+// agree with the exact oracle run at P = 1 (where the q-skyline for any
+// q ≤ 1 degenerates to the classical skyline and the candidate set to the
+// no-newer-dominator set).
+func TestCertainMatchesExact(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	const window = 40
+	c := NewCertain(window)
+	x := NewExact(window)
+	for i := 0; i < 800; i++ {
+		pt := geom.Point{float64(r.Intn(12)), float64(r.Intn(12))}
+		c.Push(pt)
+		x.Push(pt, 1)
+		if i%9 != 0 {
+			continue
+		}
+		wantSky := x.Skyline(1)
+		gotSky := c.Skyline()
+		if len(gotSky) != len(wantSky) {
+			t.Fatalf("step %d: skyline %v vs %v", i, gotSky, wantSky)
+		}
+		for j := range gotSky {
+			if gotSky[j] != wantSky[j] {
+				t.Fatalf("step %d: skyline %v vs %v", i, gotSky, wantSky)
+			}
+		}
+		if c.SkylineSize() != len(wantSky) {
+			t.Fatalf("step %d: SkylineSize %d vs %d", i, c.SkylineSize(), len(wantSky))
+		}
+		wantKept := x.Candidates(1) // Pnew = 1 exactly: no newer dominator
+		if c.Size() != len(wantKept) {
+			t.Fatalf("step %d: kept %d vs %d", i, c.Size(), len(wantKept))
+		}
+	}
+}
+
+func TestCertain3D(t *testing.T) {
+	r := rand.New(rand.NewSource(2))
+	c := NewCertain(30)
+	x := NewExact(30)
+	for i := 0; i < 500; i++ {
+		pt := geom.Point{r.Float64(), r.Float64(), r.Float64()}
+		c.Push(pt)
+		x.Push(pt, 1)
+	}
+	want := x.Skyline(1)
+	got := c.Skyline()
+	if len(got) != len(want) {
+		t.Fatalf("skyline %d vs %d", len(got), len(want))
+	}
+}

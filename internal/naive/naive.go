@@ -1,0 +1,162 @@
+// Package naive provides reference implementations used as ground truth and
+// as the paper's baseline:
+//
+//   - Exact: a full-window oracle that recomputes every probability from
+//     Equation (1) on demand (O(W²) per evaluation);
+//   - Trivial: the paper's "trivial algorithm against S_{N,q}" (beginning of
+//     Section IV) — the same restricted candidate-set semantics as the
+//     aggregate R-tree engine, maintained by scanning the whole candidate
+//     list on every arrival and expiry;
+//   - SkylineProbPossibleWorlds: a possible-worlds enumerator for tiny
+//     inputs validating Equation (1) itself.
+package naive
+
+import (
+	"pskyline/internal/geom"
+	"pskyline/internal/prob"
+)
+
+// Elem is one uncertain element of a reference window.
+type Elem struct {
+	Point geom.Point
+	P     float64
+	Seq   uint64
+}
+
+// Probs bundles the reference probabilities of one element.
+type Probs struct {
+	Seq  uint64
+	Pnew prob.Factor
+	Pold prob.Factor
+	Psky prob.Factor
+}
+
+// Exact keeps the entire window and recomputes probabilities from scratch.
+// The zero value is not usable; construct with NewExact.
+type Exact struct {
+	window int // 0 = unbounded (expiry driven by caller)
+	elems  []Elem
+	next   uint64
+}
+
+// NewExact returns an oracle with a count-based window of size n (0 for
+// caller-driven expiry).
+func NewExact(window int) *Exact {
+	return &Exact{window: window}
+}
+
+// Push appends an element, expiring the oldest when the window overflows,
+// and returns its sequence number.
+func (x *Exact) Push(pt geom.Point, p float64) uint64 {
+	seq := x.next
+	x.next++
+	if x.window > 0 && len(x.elems) == x.window {
+		x.elems = x.elems[1:]
+	}
+	x.elems = append(x.elems, Elem{Point: pt, P: p, Seq: seq})
+	return seq
+}
+
+// ExpireOldest drops the oldest element (for caller-driven windows).
+func (x *Exact) ExpireOldest() {
+	if len(x.elems) > 0 {
+		x.elems = x.elems[1:]
+	}
+}
+
+// Len returns the current window population.
+func (x *Exact) Len() int { return len(x.elems) }
+
+// Elems returns the window contents in arrival order.
+func (x *Exact) Elems() []Elem { return x.elems }
+
+// All computes the unrestricted Pnew, Pold and Psky of every window element
+// (Equations (1)–(4)).
+func (x *Exact) All() []Probs {
+	out := make([]Probs, len(x.elems))
+	for i, e := range x.elems {
+		pnew, pold := prob.One(), prob.One()
+		for j, f := range x.elems {
+			if i == j || !f.Point.Dominates(e.Point) {
+				continue
+			}
+			if f.Seq > e.Seq {
+				pnew = pnew.Times(prob.OneMinus(f.P))
+			} else {
+				pold = pold.Times(prob.OneMinus(f.P))
+			}
+		}
+		out[i] = Probs{
+			Seq:  e.Seq,
+			Pnew: pnew,
+			Pold: pold,
+			Psky: prob.FromFloat(e.P).Times(pnew).Times(pold),
+		}
+	}
+	return out
+}
+
+// Candidates returns the sequence numbers of S_{N,q}: elements with
+// unrestricted Pnew ≥ q, in arrival order.
+func (x *Exact) Candidates(q float64) []uint64 {
+	qq := prob.FromFloat(q)
+	var out []uint64
+	for _, p := range x.All() {
+		if p.Pnew.AtLeast(qq) {
+			out = append(out, p.Seq)
+		}
+	}
+	return out
+}
+
+// Skyline returns the sequence numbers of the q-skyline: elements with
+// unrestricted Psky ≥ q, in arrival order.
+func (x *Exact) Skyline(q float64) []uint64 {
+	qq := prob.FromFloat(q)
+	var out []uint64
+	for _, p := range x.All() {
+		if p.Psky.AtLeast(qq) {
+			out = append(out, p.Seq)
+		}
+	}
+	return out
+}
+
+// RestrictedAll computes Pnew, Pold and Psky restricted to S_{N,q}: the
+// quantities the streaming algorithms actually maintain (Section III-A).
+func (x *Exact) RestrictedAll(q float64) []Probs {
+	all := x.All()
+	qq := prob.FromFloat(q)
+	inS := make(map[uint64]bool, len(all))
+	byIdx := make([]bool, len(all))
+	for i, p := range all {
+		if p.Pnew.AtLeast(qq) {
+			inS[p.Seq] = true
+			byIdx[i] = true
+		}
+	}
+	var out []Probs
+	for i, e := range x.elems {
+		if !byIdx[i] {
+			continue
+		}
+		pnew, pold := prob.One(), prob.One()
+		for j, f := range x.elems {
+			if i == j || !byIdx[j] || !f.Point.Dominates(e.Point) {
+				continue
+			}
+			if f.Seq > e.Seq {
+				pnew = pnew.Times(prob.OneMinus(f.P))
+			} else {
+				pold = pold.Times(prob.OneMinus(f.P))
+			}
+		}
+		out = append(out, Probs{
+			Seq:  e.Seq,
+			Pnew: pnew,
+			Pold: pold,
+			Psky: prob.FromFloat(e.P).Times(pnew).Times(pold),
+		})
+	}
+	return out
+}

@@ -1,0 +1,177 @@
+package naive
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"pskyline/internal/geom"
+)
+
+func randElems(r *rand.Rand, n, dims int, allowOnes bool) []Elem {
+	out := make([]Elem, n)
+	for i := range out {
+		pt := make(geom.Point, dims)
+		for j := range pt {
+			pt[j] = float64(r.Intn(8))
+		}
+		p := 1 - r.Float64()
+		if allowOnes && r.Intn(5) == 0 {
+			p = 1
+		}
+		out[i] = Elem{Point: pt, P: p, Seq: uint64(i)}
+	}
+	return out
+}
+
+// TestEquationOneAgainstPossibleWorlds validates Equation (1): the closed
+// form P(a)·Π(1−P(a')) equals the sum over possible worlds in which a is on
+// the skyline.
+func TestEquationOneAgainstPossibleWorlds(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	for iter := 0; iter < 30; iter++ {
+		dims := 1 + r.Intn(3)
+		n := 2 + r.Intn(11)
+		elems := randElems(r, n, dims, true)
+		worlds := SkylineProbPossibleWorlds(elems)
+
+		x := NewExact(0)
+		for _, e := range elems {
+			x.Push(e.Point, e.P)
+		}
+		for i, p := range x.All() {
+			if math.Abs(p.Psky.Float()-worlds[i]) > 1e-9 {
+				t.Fatalf("iter %d elem %d: Eq(1) gives %v, possible worlds give %v",
+					iter, i, p.Psky.Float(), worlds[i])
+			}
+		}
+	}
+}
+
+// TestPnewPoldDecomposition validates Equation (4): Psky = P·Pold·Pnew.
+func TestPnewPoldDecomposition(t *testing.T) {
+	r := rand.New(rand.NewSource(2))
+	elems := randElems(r, 40, 2, true)
+	x := NewExact(0)
+	for _, e := range elems {
+		x.Push(e.Point, e.P)
+	}
+	for i, p := range x.All() {
+		prod := elems[i].P * p.Pold.Float() * p.Pnew.Float()
+		if math.Abs(p.Psky.Float()-prod) > 1e-12 {
+			t.Fatalf("elem %d: decomposition broken", i)
+		}
+	}
+}
+
+// TestCandidateClosure validates Lemma 2: the candidate set is closed under
+// newer dominators — every element dominating a candidate from a later
+// arrival position is itself a candidate.
+func TestCandidateClosure(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	for iter := 0; iter < 20; iter++ {
+		elems := randElems(r, 60, 2, false)
+		x := NewExact(0)
+		for _, e := range elems {
+			x.Push(e.Point, e.P)
+		}
+		q := 0.2 + 0.6*r.Float64()
+		cands := map[uint64]bool{}
+		for _, s := range x.Candidates(q) {
+			cands[s] = true
+		}
+		for _, a := range elems {
+			if !cands[a.Seq] {
+				continue
+			}
+			for _, b := range elems {
+				if b.Seq > a.Seq && b.Point.Dominates(a.Point) && !cands[b.Seq] {
+					t.Fatalf("q=%v: candidate %d dominated by newer non-candidate %d", q, a.Seq, b.Seq)
+				}
+			}
+		}
+	}
+}
+
+// TestTrivialMatchesExact cross-checks the trivial engine's candidate set
+// and skyline classification against the oracle over a sliding stream.
+func TestTrivialMatchesExact(t *testing.T) {
+	r := rand.New(rand.NewSource(4))
+	const window, q = 40, 0.35
+	tr := NewTrivial(window, q)
+	x := NewExact(window)
+	for i := 0; i < 900; i++ {
+		pt := geom.Point{float64(r.Intn(10)), float64(r.Intn(10))}
+		p := 1 - r.Float64()
+		if r.Intn(6) == 0 {
+			p = 1
+		}
+		tr.Push(pt, p)
+		x.Push(pt, p)
+		if i%7 != 0 {
+			continue
+		}
+		wantC := x.Candidates(q)
+		if len(wantC) != tr.Size() {
+			t.Fatalf("step %d: |S| %d vs exact %d", i, tr.Size(), len(wantC))
+		}
+		got := map[uint64]bool{}
+		for _, e := range tr.Elems() {
+			got[e.Seq] = true
+		}
+		for _, s := range wantC {
+			if !got[s] {
+				t.Fatalf("step %d: candidate %d missing from trivial", i, s)
+			}
+		}
+		wantSky := x.Skyline(q)
+		gotSky := tr.Skyline(q)
+		if len(wantSky) != len(gotSky) {
+			t.Fatalf("step %d: skyline size %d vs %d", i, len(gotSky), len(wantSky))
+		}
+		if tr.SkylineSize() != len(wantSky) {
+			t.Fatalf("step %d: SkylineSize %d vs %d", i, tr.SkylineSize(), len(wantSky))
+		}
+	}
+}
+
+func TestSkylineCertain(t *testing.T) {
+	pts := []geom.Point{{1, 5}, {2, 2}, {5, 1}, {3, 3}, {2, 2}}
+	got := SkylineCertain(pts)
+	// (3,3) dominated by (2,2); duplicates (2,2) both undominated.
+	want := []int{0, 1, 2, 4}
+	if len(got) != len(want) {
+		t.Fatalf("skyline %v, want %v", got, want)
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("skyline %v, want %v", got, want)
+		}
+	}
+}
+
+func TestWorldsSizeGuard(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on oversized input")
+		}
+	}()
+	SkylineProbPossibleWorlds(make([]Elem, MaxWorldElems+1))
+}
+
+func TestExactExpiry(t *testing.T) {
+	x := NewExact(2)
+	x.Push(geom.Point{1, 1}, 0.5)
+	x.Push(geom.Point{2, 2}, 0.5)
+	x.Push(geom.Point{3, 3}, 0.5) // evicts the first
+	if x.Len() != 2 {
+		t.Fatalf("len = %d", x.Len())
+	}
+	if x.Elems()[0].Seq != 1 {
+		t.Fatalf("oldest = %d", x.Elems()[0].Seq)
+	}
+	x.ExpireOldest()
+	if x.Len() != 1 || x.Elems()[0].Seq != 2 {
+		t.Fatal("manual expiry broken")
+	}
+}

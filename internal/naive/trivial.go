@@ -1,0 +1,159 @@
+package naive
+
+import (
+	"sort"
+
+	"pskyline/internal/geom"
+	"pskyline/internal/prob"
+)
+
+// TrivialElem is a candidate element of the trivial engine with its
+// restricted probabilities.
+type TrivialElem struct {
+	Point geom.Point
+	P     float64
+	Seq   uint64
+	Pnew  prob.Factor
+	Pold  prob.Factor
+	// InSky is the continuously maintained q-skyline membership.
+	InSky bool
+	pf    prob.Factor
+	om    prob.Factor
+}
+
+// Psky returns P · Pold · Pnew.
+func (e *TrivialElem) Psky() prob.Factor { return e.pf.Times(e.Pold).Times(e.Pnew) }
+
+// Trivial is the paper's baseline (beginning of Section IV): it maintains
+// exactly the candidate set S_{N,q} with the restricted probabilities by
+// visiting every candidate on every arrival and expiry, and then chooses
+// the elements with Psky ≥ q — O(|S_{N,q}|) amortized per element, with no
+// entry-level pruning. It serves both as the Figure 8 comparison baseline
+// and as a semantics oracle for the aggregate R-tree engine (the two must
+// maintain identical candidate sets and probabilities).
+type Trivial struct {
+	window int
+	q      float64
+	qq     prob.Factor
+	elems  []*TrivialElem // candidate set in arrival order
+	next   uint64
+	nSky   int // current |SKY_{N,q}|, maintained by the per-update choose pass
+}
+
+// NewTrivial returns a trivial engine with threshold q and count window
+// size window (0 for caller-driven expiry via ExpireSeq).
+func NewTrivial(window int, q float64) *Trivial {
+	return &Trivial{window: window, q: q, qq: prob.FromFloat(q)}
+}
+
+// Push processes an arrival, expiring the element leaving the window first.
+func (t *Trivial) Push(pt geom.Point, p float64) uint64 {
+	seq := t.next
+	t.next++
+	if t.window > 0 && seq >= uint64(t.window) {
+		t.ExpireSeq(seq - uint64(t.window))
+	}
+	t.insert(&TrivialElem{
+		Point: pt, P: p, Seq: seq,
+		Pnew: prob.One(), Pold: prob.One(),
+		pf: prob.FromFloat(p), om: prob.OneMinus(p),
+	})
+	return seq
+}
+
+func (t *Trivial) insert(a *TrivialElem) {
+	var removed []*TrivialElem
+	kept := t.elems[:0]
+	// Task 1/2: update Pnew of dominated candidates, split off those whose
+	// Pnew drops below q, and accumulate Pold(a_new) from its dominators.
+	for _, e := range t.elems {
+		switch {
+		case e.Point.Dominates(a.Point):
+			a.Pold = a.Pold.Times(e.om)
+			kept = append(kept, e)
+		case a.Point.Dominates(e.Point):
+			e.Pnew = e.Pnew.Times(a.om)
+			if e.Pnew.Less(t.qq) {
+				removed = append(removed, e)
+			} else {
+				kept = append(kept, e)
+			}
+		default:
+			kept = append(kept, e)
+		}
+	}
+	t.elems = kept
+	// Task 3: strip the removed dominators' factors from survivors' Pold.
+	for _, r := range removed {
+		for _, e := range t.elems {
+			if r.Point.Dominates(e.Point) {
+				e.Pold = e.Pold.Over(r.om)
+			}
+		}
+	}
+	t.elems = append(t.elems, a)
+	t.choose()
+}
+
+// choose runs the paper's per-update selection pass: scan the candidate set
+// and mark the elements whose restricted skyline probability reaches q.
+// This is what makes the trivial algorithm a *continuous* operator rather
+// than a query-time one, and it is part of its O(|S_{N,q}|) per-element
+// cost.
+func (t *Trivial) choose() {
+	n := 0
+	for _, e := range t.elems {
+		in := e.Psky().AtLeast(t.qq)
+		e.InSky = in
+		if in {
+			n++
+		}
+	}
+	t.nSky = n
+}
+
+// ExpireSeq expires the element with the given sequence number (a no-op if
+// it is not a candidate).
+func (t *Trivial) ExpireSeq(seq uint64) {
+	idx := -1
+	for i, e := range t.elems {
+		if e.Seq == seq {
+			idx = i
+			break
+		}
+	}
+	if idx < 0 {
+		return
+	}
+	old := t.elems[idx]
+	t.elems = append(t.elems[:idx], t.elems[idx+1:]...)
+	for _, e := range t.elems {
+		if old.Point.Dominates(e.Point) {
+			e.Pold = e.Pold.Over(old.om)
+		}
+	}
+	t.choose()
+}
+
+// Size returns |S_{N,q}|.
+func (t *Trivial) Size() int { return len(t.elems) }
+
+// Elems returns the candidate set in arrival order.
+func (t *Trivial) Elems() []*TrivialElem { return t.elems }
+
+// Skyline returns the candidates with restricted Psky ≥ qPrime (qPrime ≥ q),
+// sorted by descending probability.
+func (t *Trivial) Skyline(qPrime float64) []*TrivialElem {
+	qq := prob.FromFloat(qPrime)
+	var out []*TrivialElem
+	for _, e := range t.elems {
+		if e.Psky().AtLeast(qq) {
+			out = append(out, e)
+		}
+	}
+	sort.Slice(out, func(a, b int) bool { return out[b].Psky().Less(out[a].Psky()) })
+	return out
+}
+
+// SkylineSize returns the continuously maintained |SKY_{N,q}|.
+func (t *Trivial) SkylineSize() int { return t.nSky }

@@ -1,0 +1,77 @@
+package naive
+
+import (
+	"pskyline/internal/geom"
+)
+
+// MaxWorldElems bounds the input size of the possible-worlds enumerator
+// (2^n worlds are enumerated).
+const MaxWorldElems = 20
+
+// SkylineProbPossibleWorlds computes the skyline probability of every
+// element by enumerating all 2^n possible worlds and summing the
+// probabilities of the worlds in which the element appears on the skyline
+// (the definition preceding Equation (1)). It exists to validate Equation
+// (1) and the oracles; n must not exceed MaxWorldElems.
+func SkylineProbPossibleWorlds(elems []Elem) []float64 {
+	n := len(elems)
+	if n > MaxWorldElems {
+		panic("naive: too many elements for possible-worlds enumeration")
+	}
+	out := make([]float64, n)
+	for world := 0; world < 1<<uint(n); world++ {
+		pw := 1.0
+		for i, e := range elems {
+			if world&(1<<uint(i)) != 0 {
+				pw *= e.P
+			} else {
+				pw *= 1 - e.P
+			}
+		}
+		if pw == 0 {
+			continue
+		}
+		for i := range elems {
+			if world&(1<<uint(i)) == 0 {
+				continue
+			}
+			if onSkyline(elems, world, i) {
+				out[i] += pw
+			}
+		}
+	}
+	return out
+}
+
+// onSkyline reports whether element i is on the skyline of the world whose
+// membership bitmask is world.
+func onSkyline(elems []Elem, world int, i int) bool {
+	for j := range elems {
+		if j == i || world&(1<<uint(j)) == 0 {
+			continue
+		}
+		if elems[j].Point.Dominates(elems[i].Point) {
+			return false
+		}
+	}
+	return true
+}
+
+// SkylineCertain returns the indices of the classical skyline of a certain
+// data set (ignoring probabilities): elements dominated by no other.
+func SkylineCertain(pts []geom.Point) []int {
+	var out []int
+	for i := range pts {
+		dominated := false
+		for j := range pts {
+			if j != i && pts[j].Dominates(pts[i]) {
+				dominated = true
+				break
+			}
+		}
+		if !dominated {
+			out = append(out, i)
+		}
+	}
+	return out
+}

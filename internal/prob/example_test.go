@@ -1,0 +1,34 @@
+package prob_test
+
+import (
+	"fmt"
+
+	"pskyline/internal/prob"
+)
+
+// Factors survive products that underflow float64 and divide exact zeros
+// back out — the two hazards of maintaining Π(1−P) over long windows.
+func ExampleFactor() {
+	f := prob.One()
+	half := prob.FromFloat(0.5)
+	for i := 0; i < 10000; i++ {
+		f = f.Times(half) // 0.5^10000 ≈ 10^-3010: far below float64
+	}
+	fmt.Println("underflowed float:", f.Float(), "recoverable:", !f.IsZero())
+	for i := 0; i < 10000; i++ {
+		f = f.Over(half)
+	}
+	fmt.Printf("unwound: %.6f\n", f.Float())
+
+	// A dominator with P = 1 contributes an exact zero factor; its expiry
+	// divides the zero back out instead of computing 0/0.
+	certain := prob.OneMinus(1.0)
+	g := prob.FromFloat(0.8).Times(certain)
+	fmt.Println("with certain dominator:", g.Float())
+	fmt.Printf("after it expires: %.2f\n", g.Over(certain).Float())
+	// Output:
+	// underflowed float: 0 recoverable: true
+	// unwound: 1.000000
+	// with certain dominator: 0
+	// after it expires: 0.80
+}

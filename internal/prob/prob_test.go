@@ -1,0 +1,294 @@
+package prob
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestZeroValueIsOne(t *testing.T) {
+	var f Factor
+	if !f.IsOne() {
+		t.Fatal("zero value is not the identity")
+	}
+	if f.Float() != 1 {
+		t.Fatalf("Float() = %v, want 1", f.Float())
+	}
+	if f.IsZero() {
+		t.Fatal("identity reported as zero")
+	}
+}
+
+func TestBasicOps(t *testing.T) {
+	half := FromFloat(0.5)
+	quarter := half.Times(half)
+	if got := quarter.Float(); math.Abs(got-0.25) > 1e-15 {
+		t.Fatalf("0.5*0.5 = %v", got)
+	}
+	back := quarter.Over(half)
+	if got := back.Float(); math.Abs(got-0.5) > 1e-15 {
+		t.Fatalf("0.25/0.5 = %v", got)
+	}
+	if !half.ApproxEqual(back, 1e-12) {
+		t.Fatal("round trip not ApproxEqual")
+	}
+}
+
+func TestOneMinus(t *testing.T) {
+	cases := []struct{ p, want float64 }{
+		{0, 1}, {0.25, 0.75}, {0.5, 0.5}, {1, 0},
+		{1e-18, 1 - 1e-18},
+	}
+	for _, c := range cases {
+		got := OneMinus(c.p).Float()
+		if math.Abs(got-c.want) > 1e-15 {
+			t.Errorf("OneMinus(%v) = %v, want %v", c.p, got, c.want)
+		}
+	}
+	if !OneMinus(1).IsZero() {
+		t.Error("OneMinus(1) is not exact zero")
+	}
+}
+
+func TestZeroFactorAlgebra(t *testing.T) {
+	z := OneMinus(1)
+	half := FromFloat(0.5)
+	prod := half.Times(z)
+	if !prod.IsZero() || prod.Float() != 0 {
+		t.Fatal("product with zero factor is not zero")
+	}
+	// Removing the zero factor restores the value exactly.
+	restored := prod.Over(z)
+	if !restored.ApproxEqual(half, 1e-12) {
+		t.Fatalf("restored = %v, want 0.5", restored.Float())
+	}
+	// Two zero factors: removing one leaves an exact zero.
+	prod2 := prod.Times(z)
+	if !prod2.Over(z).IsZero() {
+		t.Fatal("removing one of two zero factors must stay zero")
+	}
+}
+
+func TestOverPanicsOnExcessZeros(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	FromFloat(0.5).Over(Zero())
+}
+
+func TestUnderflowResistance(t *testing.T) {
+	// 10^5 factors of 0.5: far below the smallest float64, but recoverable.
+	f := One()
+	half := FromFloat(0.5)
+	for i := 0; i < 100_000; i++ {
+		f = f.Times(half)
+	}
+	// Float() underflows to 0 here, which is fine — the log value is
+	// intact and the factor is still not an *exact* zero.
+	if f.IsZero() {
+		t.Fatal("underflow must not become an exact zero")
+	}
+	for i := 0; i < 100_000; i++ {
+		f = f.Over(half)
+	}
+	if got := f.Float(); math.Abs(got-1) > 1e-6 {
+		t.Fatalf("after unwinding 1e5 factors: %v, want 1", got)
+	}
+}
+
+func TestOrderRefinement(t *testing.T) {
+	// More zero factors sorts strictly lower; this keeps min/max stable
+	// under common division.
+	z1 := Zero()
+	z2 := Zero().Times(Zero())
+	if !z2.Less(z1) {
+		t.Fatal("two zero factors must sort below one")
+	}
+	if !z1.Less(FromFloat(0.1)) {
+		t.Fatal("zero must sort below positive")
+	}
+	if Min(z1, z2) != z2 {
+		t.Fatal("Min must pick the more-zeroed factor")
+	}
+	if Max(z1, z2) != z1 {
+		t.Fatal("Max must pick the less-zeroed factor")
+	}
+}
+
+func TestCmp(t *testing.T) {
+	a, b := FromFloat(0.3), FromFloat(0.7)
+	if a.Cmp(b) != -1 || b.Cmp(a) != 1 || a.Cmp(a) != 0 {
+		t.Fatal("Cmp inconsistent")
+	}
+	if !a.AtLeast(a) || a.AtLeast(b) || !b.AtLeast(a) {
+		t.Fatal("AtLeast inconsistent")
+	}
+}
+
+// randFactor builds a factor from a few random (1−p) terms, occasionally
+// including exact zeros.
+func randFactor(r *rand.Rand) Factor {
+	f := One()
+	for i, n := 0, r.Intn(5); i < n; i++ {
+		if r.Intn(8) == 0 {
+			f = f.Times(Zero())
+		} else {
+			f = f.Times(OneMinus(r.Float64()))
+		}
+	}
+	return f
+}
+
+func TestQuickAlgebra(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	// Commutativity, associativity and inverse, with zero counts.
+	for i := 0; i < 5000; i++ {
+		a, b, c := randFactor(r), randFactor(r), randFactor(r)
+		if !a.Times(b).ApproxEqual(b.Times(a), 1e-12) {
+			t.Fatalf("commutativity: %v vs %v", a, b)
+		}
+		if !a.Times(b).Times(c).ApproxEqual(a.Times(b.Times(c)), 1e-12) {
+			t.Fatalf("associativity")
+		}
+		if !a.Times(b).Over(b).ApproxEqual(a, 1e-12) {
+			t.Fatalf("inverse: (%v*%v)/%v != %v", a, b, b, a)
+		}
+	}
+}
+
+// TestQuickOrderInvariance: the order refinement is preserved by common
+// multiplication and division — the property the lazy aggregate updates
+// depend on.
+func TestQuickOrderInvariance(t *testing.T) {
+	r := rand.New(rand.NewSource(2))
+	for i := 0; i < 5000; i++ {
+		a, b, m := randFactor(r), randFactor(r), randFactor(r)
+		if a.Less(b) != a.Times(m).Less(b.Times(m)) {
+			t.Fatalf("order not preserved by multiplication: a=%v b=%v m=%v", a, b, m)
+		}
+		am, bm := a.Times(m), b.Times(m)
+		if am.Over(m).Less(bm.Over(m)) != a.Less(b) {
+			t.Fatalf("order not preserved by division")
+		}
+	}
+}
+
+// TestQuickFloatAgreement: for factors without zero terms, comparisons agree
+// with plain float comparison of the represented values.
+func TestQuickFloatAgreement(t *testing.T) {
+	err := quick.Check(func(ps []float64) bool {
+		a, b := One(), One()
+		for i, p := range ps {
+			p = math.Abs(p)
+			p -= math.Floor(p) // into [0,1)
+			if i%2 == 0 {
+				a = a.Times(OneMinus(p))
+			} else {
+				b = b.Times(OneMinus(p))
+			}
+		}
+		af, bf := a.Float(), b.Float()
+		if af != bf {
+			return a.Less(b) == (af < bf)
+		}
+		return true
+	}, &quick.Config{MaxCount: 2000})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestString(t *testing.T) {
+	if s := FromFloat(0.25).String(); s != "0.25" {
+		t.Errorf("String() = %q", s)
+	}
+	if s := Zero().String(); s != "0(z=1)" {
+		t.Errorf("zero String() = %q", s)
+	}
+}
+
+func TestMarshalRoundTrip(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	for i := 0; i < 500; i++ {
+		f := randFactor(r)
+		data, err := f.MarshalBinary()
+		if err != nil {
+			t.Fatal(err)
+		}
+		var g Factor
+		if err := g.UnmarshalBinary(data); err != nil {
+			t.Fatal(err)
+		}
+		if g != f {
+			t.Fatalf("round trip changed %v -> %v", f, g)
+		}
+	}
+	var g Factor
+	if err := g.UnmarshalBinary([]byte{1, 2, 3}); err == nil {
+		t.Error("short encoding accepted")
+	}
+	bad, _ := FromFloat(0.5).MarshalBinary()
+	bad[0] = 0xFF // negative zero count
+	if err := g.UnmarshalBinary(bad); err == nil {
+		t.Error("negative zero count accepted")
+	}
+}
+
+func TestFromFloatValidation(t *testing.T) {
+	for _, v := range []float64{-1, math.NaN()} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("FromFloat(%v) did not panic", v)
+				}
+			}()
+			FromFloat(v)
+		}()
+	}
+	for _, v := range []float64{-0.1, 1.1, math.NaN()} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("OneMinus(%v) did not panic", v)
+				}
+			}()
+			OneMinus(v)
+		}()
+	}
+}
+
+func TestMulFloatAndLog(t *testing.T) {
+	f := FromFloat(0.5).MulFloat(0.5)
+	if math.Abs(f.Float()-0.25) > 1e-15 {
+		t.Fatalf("MulFloat = %v", f.Float())
+	}
+	if math.Abs(f.Log()-math.Log(0.25)) > 1e-12 {
+		t.Fatalf("Log = %v", f.Log())
+	}
+	if !math.IsInf(Zero().Log(), -1) {
+		t.Fatal("Log of zero factor must be -Inf")
+	}
+}
+
+func BenchmarkTimes(b *testing.B) {
+	f := One()
+	g := OneMinus(0.3)
+	for i := 0; i < b.N; i++ {
+		f = f.Times(g)
+	}
+	_ = f
+}
+
+// BenchmarkNaiveFloatMul is the ablation comparator: raw float64 products
+// are ~2-3x faster per op but underflow and cannot represent P = 1 factors
+// reversibly (see package comment).
+func BenchmarkNaiveFloatMul(b *testing.B) {
+	f := 1.0
+	for i := 0; i < b.N; i++ {
+		f *= 0.7
+	}
+	_ = f
+}

@@ -1,0 +1,156 @@
+// Package stats implements the analytical size bounds of Section III-B:
+// higher-order harmonic numbers, the dominance-count distribution bound of
+// Theorem 7 and the resulting poly-logarithmic expectations for the skyline
+// and candidate sets. The experiment harness and tests use these to check
+// that measured sizes stay under the paper's theory.
+package stats
+
+import "math"
+
+// Harmonic returns the d-th order harmonic number H_{d,l}:
+//
+//	H_{1,l} = Σ_{i=1..l} 1/i
+//	H_{d,l} = Σ_{i=1..l} H_{d-1,i} / i
+//
+// For d = 0 it returns 1 for any l ≥ 1 (the natural base of the recursion
+// used in Theorem 7). Computation is O(d·l).
+func Harmonic(d, l int) float64 {
+	if l < 1 {
+		return 0
+	}
+	if d == 0 {
+		return 1
+	}
+	// h[i] carries H_{order,i}; start at order 0 (identically 1).
+	h := make([]float64, l+1)
+	for i := 1; i <= l; i++ {
+		h[i] = 1
+	}
+	for order := 1; order <= d; order++ {
+		acc := 0.0
+		for i := 1; i <= l; i++ {
+			acc += h[i] / float64(i)
+			h[i] = acc
+		}
+	}
+	return h[l]
+}
+
+// PDomAtMost bounds P(DOMT_i^k), the probability that at most k of N
+// independently placed elements dominate a random element in d dimensions
+// with distinct per-dimension values (Theorem 7):
+//
+//	d = 1:  exactly (k+1)/N
+//	d ≥ 2:  ≤ (k+1)/N · (1 + H_{d-1,N} − H_{d-1,k+1})
+//
+// The result is clamped to [0, 1].
+func PDomAtMost(n, d, k int) float64 {
+	if n <= 0 {
+		return 0
+	}
+	if k >= n-1 {
+		return 1
+	}
+	var p float64
+	if d == 1 {
+		p = float64(k+1) / float64(n)
+	} else {
+		p = float64(k+1) / float64(n) * (1 + Harmonic(d-1, n) - Harmonic(d-1, k+1))
+	}
+	return math.Min(1, math.Max(0, p))
+}
+
+// maxDomCount returns the largest dominator count k such that base·(1−p)^k
+// still reaches q (clamped to [0, n−1]). For the skyline bound base = p; for
+// the candidate (Pnew) bound base = 1.
+func maxDomCount(n int, p, q, base float64) int {
+	if q > base {
+		return 0
+	}
+	k := 0
+	if p > 0 && p < 1 {
+		k = int(math.Floor(math.Log(q/base) / math.Log(1-p)))
+	} else if p == 0 {
+		k = n - 1
+	}
+	if k > n-1 {
+		k = n - 1
+	}
+	if k < 0 {
+		k = 0
+	}
+	return k
+}
+
+// ExpectedSkylineUpper bounds E(|SKY_{N,q}|) for independent data with
+// constant occurrence probability p: an element with k dominators has
+// Psky = p·(1−p)^k, so it is a q-skyline point exactly when k ≤ k_q =
+// ⌊log_{1−p}(q/p)⌋, and E(|SKY_{N,q}|) = Σ_i P(DOMT_i^{k_q}) ≤
+// N·PDomAtMost(N, d, k_q) (exact for d ≤ 2, Theorem 7 bound above).
+func ExpectedSkylineUpper(n, d int, p, q float64) float64 {
+	if n <= 0 || p <= 0 || q > p {
+		return 0
+	}
+	return float64(n) * PDomAtMost(n, d, maxDomCount(n, p, q, p))
+}
+
+// ExpectedCandidateUpper bounds E(|S_{N,q}|) via Theorem 8: a candidate has
+// Pnew = (1−p)^k over its k newer dominators, and "newer dominator" is
+// dominance in the (d+1)-dimensional space obtained by adding arrival order
+// as a dimension. Hence E(|S_{N,q}|) ≤ N·PDomAtMost(N, d+1, k_q) with
+// k_q = ⌊log_{1−p}(q)⌋.
+func ExpectedCandidateUpper(n, d int, p, q float64) float64 {
+	if n <= 0 || p < 0 || q > 1 {
+		return 0
+	}
+	return float64(n) * PDomAtMost(n, d+1, maxDomCount(n, p, q, 1))
+}
+
+// QualifiedWorldSkylineUpper is the paper's Corollary 3 (Equation (8))
+// verbatim: an upper bound on Σ_i E[Psky_i · 1{Psky_i ≥ q}] — the expected
+// size of the intersection of a sampled possible world's skyline with the
+// q-skyline (each q-skyline element weighted by its skyline probability).
+// It is the quantity the paper's Theorem 6 analyzes and is at most
+// ExpectedSkylineUpper.
+func QualifiedWorldSkylineUpper(n, d int, p, q float64) float64 {
+	if n <= 0 || p <= 0 || q > p {
+		return 0
+	}
+	kq := maxDomCount(n, p, q, p)
+	qk := func(k int) float64 { return p * math.Pow(1-p, float64(k)) }
+	inner := 0.0
+	for j := 0; j < kq; j++ {
+		inner += PDomAtMost(n, d, j) * (qk(j) - qk(j+1))
+	}
+	inner += PDomAtMost(n, d, kq) * qk(kq)
+	return float64(n) * inner
+}
+
+// Mean returns the arithmetic mean of xs (0 for empty input).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// Quantile returns the p-quantile (0 ≤ p ≤ 1) of xs by nearest-rank on a
+// sorted copy; 0 for empty input.
+func Quantile(xs []float64, p float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := append([]float64(nil), xs...)
+	// Insertion sort is fine for the harness's small sample sets.
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+	idx := int(p * float64(len(s)-1))
+	return s[idx]
+}

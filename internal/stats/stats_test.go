@@ -1,0 +1,205 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"pskyline/internal/geom"
+	"pskyline/internal/naive"
+)
+
+func TestHarmonicFirstOrder(t *testing.T) {
+	// H_{1,l} = Σ 1/i, asymptotically ln l + γ.
+	if got := Harmonic(1, 1); got != 1 {
+		t.Fatalf("H_{1,1} = %v", got)
+	}
+	if got := Harmonic(1, 4); math.Abs(got-(1+0.5+1.0/3+0.25)) > 1e-12 {
+		t.Fatalf("H_{1,4} = %v", got)
+	}
+	const gamma = 0.5772156649
+	l := 100000
+	if got := Harmonic(1, l); math.Abs(got-(math.Log(float64(l))+gamma)) > 1e-4 {
+		t.Fatalf("H_{1,%d} = %v, want ≈ ln l + γ", l, got)
+	}
+}
+
+func TestHarmonicRecursion(t *testing.T) {
+	// H_{d,l} = Σ_{i≤l} H_{d-1,i}/i, checked directly for small cases.
+	for d := 2; d <= 4; d++ {
+		for l := 1; l <= 30; l++ {
+			want := 0.0
+			for i := 1; i <= l; i++ {
+				want += Harmonic(d-1, i) / float64(i)
+			}
+			if got := Harmonic(d, l); math.Abs(got-want) > 1e-9 {
+				t.Fatalf("H_{%d,%d} = %v, want %v", d, l, got, want)
+			}
+		}
+	}
+}
+
+func TestHarmonicGrowth(t *testing.T) {
+	// H_{d,N} = O(ln^d N): the ratio to ln^d N stays bounded.
+	for d := 1; d <= 3; d++ {
+		for _, n := range []int{1000, 10000, 100000} {
+			ratio := Harmonic(d, n) / math.Pow(math.Log(float64(n)), float64(d))
+			if ratio > 1.2 {
+				t.Fatalf("H_{%d,%d} exceeds ln^d N by %vx", d, n, ratio)
+			}
+		}
+	}
+}
+
+func TestPDomAtMostD1Exact(t *testing.T) {
+	// Theorem 7, d = 1: exactly (k+1)/N.
+	for _, k := range []int{0, 3, 9} {
+		if got := PDomAtMost(100, 1, k); math.Abs(got-float64(k+1)/100) > 1e-12 {
+			t.Fatalf("P(DOMT^%d) = %v", k, got)
+		}
+	}
+	if PDomAtMost(10, 2, 9) != 1 {
+		t.Fatal("k = N−1 must give probability 1")
+	}
+}
+
+// TestPDomAtMostBoundsMonteCarlo — the Theorem 7 bound must dominate the
+// empirical probability that at most k of N random points dominate a random
+// point, for d = 2 and 3.
+func TestPDomAtMostBoundsMonteCarlo(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	const n, trials = 60, 4000
+	for _, d := range []int{2, 3} {
+		for _, k := range []int{0, 1, 3, 6} {
+			hits := 0
+			for trial := 0; trial < trials; trial++ {
+				pts := make([]geom.Point, n)
+				for i := range pts {
+					pts[i] = make(geom.Point, d)
+					for j := range pts[i] {
+						pts[i][j] = r.Float64()
+					}
+				}
+				dom := 0
+				for i := 1; i < n; i++ {
+					if pts[i].Dominates(pts[0]) {
+						dom++
+					}
+				}
+				if dom <= k {
+					hits++
+				}
+			}
+			emp := float64(hits) / trials
+			bound := PDomAtMost(n, d, k)
+			// Allow Monte-Carlo noise (3 sigma).
+			noise := 3 * math.Sqrt(emp*(1-emp)/trials)
+			if emp > bound+noise {
+				t.Fatalf("d=%d k=%d: empirical %.4f exceeds bound %.4f", d, k, emp, bound)
+			}
+		}
+	}
+}
+
+// TestExpectedSkylineUpperDominatesMeasurement — the Corollary 3 bound must
+// exceed the measured expected q-skyline size on independent data with
+// constant probabilities.
+func TestExpectedSkylineUpperDominatesMeasurement(t *testing.T) {
+	r := rand.New(rand.NewSource(2))
+	const n, trials = 80, 60
+	for _, d := range []int{2, 3} {
+		for _, p := range []float64{1.0, 0.7, 0.4} {
+			q := 0.3 * p
+			total := 0
+			for trial := 0; trial < trials; trial++ {
+				x := naive.NewExact(0)
+				for i := 0; i < n; i++ {
+					pt := make(geom.Point, d)
+					for j := range pt {
+						pt[j] = r.Float64()
+					}
+					x.Push(pt, p)
+				}
+				total += len(x.Skyline(q))
+			}
+			measured := float64(total) / trials
+			bound := ExpectedSkylineUpper(n, d, p, q)
+			if measured > bound*1.1 { // small tolerance for sampling noise
+				t.Fatalf("d=%d p=%v q=%v: measured %.2f exceeds bound %.2f", d, p, q, measured, bound)
+			}
+			// The paper's Corollary 3 quantity weights each skyline member
+			// by its skyline probability and must be the smaller bound.
+			if w := QualifiedWorldSkylineUpper(n, d, p, q); w > bound+1e-9 {
+				t.Fatalf("d=%d p=%v q=%v: weighted bound %.2f exceeds membership bound %.2f", d, p, q, w, bound)
+			}
+		}
+	}
+}
+
+// TestQualifiedWorldBoundDominatesWeightedMeasurement — Corollary 3 against
+// its own quantity: Σ E[Psky·1{Psky≥q}] measured by simulation.
+func TestQualifiedWorldBoundDominatesWeightedMeasurement(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	const n, trials = 80, 60
+	for _, d := range []int{2, 3} {
+		for _, p := range []float64{0.7, 0.4} {
+			q := 0.3 * p
+			total := 0.0
+			for trial := 0; trial < trials; trial++ {
+				x := naive.NewExact(0)
+				for i := 0; i < n; i++ {
+					pt := make(geom.Point, d)
+					for j := range pt {
+						pt[j] = r.Float64()
+					}
+					x.Push(pt, p)
+				}
+				for _, pr := range x.All() {
+					if v := pr.Psky.Float(); v >= q {
+						total += v
+					}
+				}
+			}
+			measured := total / trials
+			bound := QualifiedWorldSkylineUpper(n, d, p, q)
+			if measured > bound*1.1 {
+				t.Fatalf("d=%d p=%v: weighted measurement %.2f exceeds Corollary 3 bound %.2f",
+					d, p, measured, bound)
+			}
+		}
+	}
+}
+
+func TestExpectedCandidateUpperSane(t *testing.T) {
+	// The candidate bound is at least the skyline bound (candidates are
+	// skylines of a (d+1)-dimensional space) and grows poly-logarithmically.
+	for _, n := range []int{1000, 10000, 100000} {
+		c := ExpectedCandidateUpper(n, 3, 0.5, 0.3)
+		s := ExpectedSkylineUpper(n, 3, 0.5, 0.3)
+		if c < s {
+			t.Fatalf("n=%d: candidate bound %v below skyline bound %v", n, c, s)
+		}
+		if c >= float64(n) {
+			t.Fatalf("n=%d: candidate bound %v not sublinear", n, c)
+		}
+	}
+	// Poly-logarithmic growth: increasing n 10x increases the bound far
+	// less than 10x.
+	r := ExpectedCandidateUpper(100000, 3, 0.5, 0.3) / ExpectedCandidateUpper(10000, 3, 0.5, 0.3)
+	if r > 3 {
+		t.Fatalf("candidate bound ratio for 10x n = %v, want ≪ 10", r)
+	}
+}
+
+func TestMeanQuantile(t *testing.T) {
+	xs := []float64{5, 1, 4, 2, 3}
+	if Mean(xs) != 3 {
+		t.Fatalf("mean = %v", Mean(xs))
+	}
+	if Quantile(xs, 0) != 1 || Quantile(xs, 1) != 5 || Quantile(xs, 0.5) != 3 {
+		t.Fatal("quantiles wrong")
+	}
+	if Mean(nil) != 0 || Quantile(nil, 0.5) != 0 {
+		t.Fatal("empty input handling wrong")
+	}
+}

@@ -1,0 +1,65 @@
+package streamgen
+
+import (
+	"math"
+	"math/rand"
+)
+
+// Stock simulates the paper's NYSE trade stream (2M Dell Inc. transactions,
+// Dec 2000 – May 2001) as a 2-dimensional uncertain stream: per-share price
+// follows a geometric random walk with intraday mean reversion, volume is
+// log-normal with occasional block trades, and occurrence probabilities are
+// assigned by a ProbModel exactly as the paper assigns them to the real
+// trace (uniform by default).
+//
+// A deal dominates another when it is cheaper per share and larger in
+// volume, so the skyline dimensions are (price, −volume): smaller is better
+// on both. The substitution preserves what the experiments exercise — a 2-d
+// stream whose good corners are few and drift over time.
+type Stock struct {
+	r      *rand.Rand
+	prob   ProbModel
+	price  float64 // current per-share price in dollars
+	anchor float64 // slow-moving reference for mean reversion
+	ts     int64   // trade time in milliseconds
+}
+
+// NewStock returns a stock-trade stream.
+func NewStock(pm ProbModel, seed int64) *Stock {
+	if pm == nil {
+		pm = UniformProb{}
+	}
+	return &Stock{
+		r:      rand.New(rand.NewSource(seed)),
+		prob:   pm,
+		price:  25.0, // Dell traded in the $17–$30 band over that period
+		anchor: 25.0,
+	}
+}
+
+// Next implements Stream.
+func (s *Stock) Next() Element {
+	// Geometric random walk with a pull toward the slow anchor; the anchor
+	// itself drifts to create multi-day trends.
+	s.anchor *= math.Exp(s.r.NormFloat64() * 0.0004)
+	rev := 0.01 * math.Log(s.anchor/s.price)
+	s.price *= math.Exp(s.r.NormFloat64()*0.002 + rev)
+
+	// Log-normal volume in shares; ~2% of trades are large blocks.
+	vol := math.Exp(s.r.NormFloat64()*1.1 + math.Log(800))
+	if s.r.Float64() < 0.02 {
+		vol *= 20 + 80*s.r.Float64()
+	}
+	volume := math.Ceil(vol)
+
+	// Trades arrive every few hundred milliseconds.
+	s.ts += int64(50 + s.r.Intn(900))
+
+	// Smaller is better on both skyline dimensions: price as-is, volume
+	// negated.
+	return Element{
+		Point: []float64{s.price, -volume},
+		P:     s.prob.Sample(s.r),
+		TS:    s.ts,
+	}
+}

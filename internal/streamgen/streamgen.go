@@ -1,0 +1,220 @@
+// Package streamgen generates the uncertain data streams of the paper's
+// evaluation (Section V): synthetic spatial distributions following the
+// methodology of Börzsönyi et al. (independent, correlated, anti-correlated)
+// combined with uniform or normal occurrence-probability models, plus a
+// synthetic stock-trade stream standing in for the proprietary NYSE trace.
+//
+// All generators are deterministic for a given seed.
+package streamgen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"pskyline/internal/geom"
+)
+
+// Element is one generated stream element.
+type Element struct {
+	Point geom.Point
+	P     float64
+	TS    int64
+}
+
+// Stream produces an unbounded sequence of elements.
+type Stream interface {
+	Next() Element
+}
+
+// Distribution selects the spatial distribution of synthetic points.
+type Distribution int
+
+const (
+	// Independent draws every coordinate uniformly and independently from
+	// [0, 1).
+	Independent Distribution = iota
+	// Correlated draws points close to the main diagonal: an element good
+	// in one dimension tends to be good in all.
+	Correlated
+	// Anticorrelated draws points close to the anti-diagonal hyperplane
+	// Σx ≈ const: an element good in one dimension tends to be bad in the
+	// others. This maximizes skyline sizes and is the paper's most
+	// challenging distribution.
+	Anticorrelated
+	// Clustered draws points from a handful of Gaussian clusters with
+	// uniformly placed centers — the lumpy distribution common in skyline
+	// evaluations, stressing MBB overlap in the index.
+	Clustered
+)
+
+func (d Distribution) String() string {
+	switch d {
+	case Independent:
+		return "inde"
+	case Correlated:
+		return "corr"
+	case Anticorrelated:
+		return "anti"
+	case Clustered:
+		return "clus"
+	default:
+		return fmt.Sprintf("Distribution(%d)", int(d))
+	}
+}
+
+// ProbModel samples occurrence probabilities.
+type ProbModel interface {
+	Sample(r *rand.Rand) float64
+	String() string
+}
+
+// UniformProb draws probabilities uniformly from (0, 1], the paper's
+// default model.
+type UniformProb struct{}
+
+// Sample implements ProbModel.
+func (UniformProb) Sample(r *rand.Rand) float64 { return 1 - r.Float64() }
+
+func (UniformProb) String() string { return "uniform" }
+
+// NormalProb draws probabilities from N(Mu, Sd) clamped into (0, 1]; the
+// paper varies Mu from 0.1 to 0.9 with Sd = 0.3.
+type NormalProb struct {
+	Mu float64
+	Sd float64
+}
+
+// Sample implements ProbModel.
+func (n NormalProb) Sample(r *rand.Rand) float64 {
+	sd := n.Sd
+	if sd == 0 {
+		sd = 0.3
+	}
+	p := r.NormFloat64()*sd + n.Mu
+	if p < 1e-3 {
+		p = 1e-3
+	}
+	if p > 1 {
+		p = 1
+	}
+	return p
+}
+
+func (n NormalProb) String() string { return fmt.Sprintf("normal(%.2g)", n.Mu) }
+
+// ConstProb always returns P.
+type ConstProb struct{ P float64 }
+
+// Sample implements ProbModel.
+func (c ConstProb) Sample(r *rand.Rand) float64 { return c.P }
+
+func (c ConstProb) String() string { return fmt.Sprintf("const(%.2g)", c.P) }
+
+// Gen generates synthetic spatial elements.
+type Gen struct {
+	r        *rand.Rand
+	dims     int
+	dist     Distribution
+	prob     ProbModel
+	ts       int64
+	clusters []geom.Point
+}
+
+// New returns a synthetic stream of dims-dimensional elements.
+func New(dims int, dist Distribution, pm ProbModel, seed int64) *Gen {
+	if dims < 1 {
+		panic("streamgen: dims must be >= 1")
+	}
+	if pm == nil {
+		pm = UniformProb{}
+	}
+	g := &Gen{r: rand.New(rand.NewSource(seed)), dims: dims, dist: dist, prob: pm}
+	if dist == Clustered {
+		g.clusters = make([]geom.Point, 5)
+		for i := range g.clusters {
+			c := make(geom.Point, dims)
+			for j := range c {
+				c[j] = 0.15 + 0.7*g.r.Float64()
+			}
+			g.clusters[i] = c
+		}
+	}
+	return g
+}
+
+// Next implements Stream. Timestamps advance by one per element.
+func (g *Gen) Next() Element {
+	g.ts++
+	return Element{Point: g.point(), P: g.prob.Sample(g.r), TS: g.ts}
+}
+
+func (g *Gen) point() geom.Point {
+	p := make(geom.Point, g.dims)
+	switch g.dist {
+	case Independent:
+		for i := range p {
+			p[i] = g.r.Float64()
+		}
+	case Correlated:
+		// A common "goodness" level plus small independent noise keeps all
+		// coordinates close to the diagonal.
+		v := clamp01(g.r.NormFloat64()*0.25 + 0.5)
+		for i := range p {
+			p[i] = clamp01(v + g.r.NormFloat64()*0.05)
+		}
+	case Clustered:
+		c := g.clusters[g.r.Intn(len(g.clusters))]
+		for i := range p {
+			p[i] = clamp01(c[i] + g.r.NormFloat64()*0.05)
+		}
+	case Anticorrelated:
+		// Start on the plane Σx = d·v and shift mass pairwise between
+		// dimensions, preserving the sum: coordinates become negatively
+		// correlated while the point stays near the anti-diagonal. The
+		// plane level v is kept tight around 0.5 (between-plane variance
+		// creates dominance; within-plane spread prevents it) and several
+		// rounds of full-range shifts spread the point inside the plane.
+		v := clamp01(g.r.NormFloat64()*0.08 + 0.5)
+		for i := range p {
+			p[i] = v
+		}
+		for round := 0; round < 3*g.dims; round++ {
+			i := g.r.Intn(g.dims)
+			j := g.r.Intn(g.dims)
+			if i == j {
+				continue
+			}
+			// The shift keeps both coordinates inside [0, 1].
+			lo := max64(-p[i], p[j]-1)
+			hi := min64(1-p[i], p[j])
+			d := lo + g.r.Float64()*(hi-lo)
+			p[i] += d
+			p[j] -= d
+		}
+	}
+	return p
+}
+
+func clamp01(v float64) float64 {
+	if v < 0 {
+		return 0
+	}
+	if v > 1 {
+		return 1
+	}
+	return v
+}
+
+func max64(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func min64(a, b float64) float64 {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,183 @@
+package streamgen
+
+import (
+	"math"
+	"testing"
+)
+
+func TestClusteredShape(t *testing.T) {
+	g := New(2, Clustered, UniformProb{}, 5)
+	// Points must concentrate near a handful of centers: the average
+	// distance to the nearest of the generator's own cluster centers is
+	// tiny compared to uniform data.
+	centers := g.clusters
+	if len(centers) == 0 {
+		t.Fatal("no clusters initialized")
+	}
+	sum := 0.0
+	const n = 4000
+	for i := 0; i < n; i++ {
+		p := g.Next().Point
+		best := math.Inf(1)
+		for _, c := range centers {
+			d := 0.0
+			for j := range p {
+				d += (p[j] - c[j]) * (p[j] - c[j])
+			}
+			if d < best {
+				best = d
+			}
+		}
+		sum += math.Sqrt(best)
+	}
+	if mean := sum / n; mean > 0.12 {
+		t.Fatalf("mean distance to nearest center %.3f, want clustered", mean)
+	}
+	if Clustered.String() != "clus" {
+		t.Fatal("Clustered.String wrong")
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	for _, dist := range []Distribution{Independent, Correlated, Anticorrelated, Clustered} {
+		a := New(3, dist, UniformProb{}, 42)
+		b := New(3, dist, UniformProb{}, 42)
+		for i := 0; i < 100; i++ {
+			x, y := a.Next(), b.Next()
+			if !x.Point.Equal(y.Point) || x.P != y.P || x.TS != y.TS {
+				t.Fatalf("%v: generation not deterministic at %d", dist, i)
+			}
+		}
+	}
+	s1, s2 := NewStock(UniformProb{}, 7), NewStock(UniformProb{}, 7)
+	for i := 0; i < 100; i++ {
+		x, y := s1.Next(), s2.Next()
+		if !x.Point.Equal(y.Point) || x.P != y.P {
+			t.Fatalf("stock generation not deterministic at %d", i)
+		}
+	}
+}
+
+func TestRangesAndValidity(t *testing.T) {
+	for _, dist := range []Distribution{Independent, Correlated, Anticorrelated, Clustered} {
+		g := New(4, dist, UniformProb{}, 1)
+		for i := 0; i < 5000; i++ {
+			el := g.Next()
+			if len(el.Point) != 4 {
+				t.Fatalf("%v: dims %d", dist, len(el.Point))
+			}
+			for _, v := range el.Point {
+				if v < 0 || v > 1 || math.IsNaN(v) {
+					t.Fatalf("%v: coordinate %v out of [0,1]", dist, v)
+				}
+			}
+			if el.P <= 0 || el.P > 1 {
+				t.Fatalf("%v: probability %v out of (0,1]", dist, el.P)
+			}
+		}
+	}
+}
+
+func correlation(g *Gen, n int) float64 {
+	var sx, sy, sxx, syy, sxy float64
+	for i := 0; i < n; i++ {
+		p := g.Next().Point
+		x, y := p[0], p[1]
+		sx += x
+		sy += y
+		sxx += x * x
+		syy += y * y
+		sxy += x * y
+	}
+	fn := float64(n)
+	cov := sxy/fn - (sx/fn)*(sy/fn)
+	vx := sxx/fn - (sx/fn)*(sx/fn)
+	vy := syy/fn - (sy/fn)*(sy/fn)
+	return cov / math.Sqrt(vx*vy)
+}
+
+// TestCorrelationSigns — the distributions must actually be (anti-)
+// correlated: strongly positive for Correlated, clearly negative for
+// Anticorrelated, near zero for Independent.
+func TestCorrelationSigns(t *testing.T) {
+	const n = 20000
+	if c := correlation(New(2, Correlated, UniformProb{}, 1), n); c < 0.7 {
+		t.Errorf("correlated data has correlation %.3f, want > 0.7", c)
+	}
+	if c := correlation(New(2, Anticorrelated, UniformProb{}, 1), n); c > -0.3 {
+		t.Errorf("anti-correlated data has correlation %.3f, want < -0.3", c)
+	}
+	if c := correlation(New(2, Independent, UniformProb{}, 1), n); math.Abs(c) > 0.05 {
+		t.Errorf("independent data has correlation %.3f, want ~0", c)
+	}
+}
+
+func TestProbModels(t *testing.T) {
+	g := New(1, Independent, NormalProb{Mu: 0.5, Sd: 0.3}, 3)
+	sum, n := 0.0, 20000
+	for i := 0; i < n; i++ {
+		p := g.Next().P
+		if p <= 0 || p > 1 {
+			t.Fatalf("normal probability %v out of range", p)
+		}
+		sum += p
+	}
+	if mean := sum / float64(n); math.Abs(mean-0.5) > 0.03 {
+		t.Errorf("normal(0.5) sample mean %.3f", mean)
+	}
+
+	c := New(1, Independent, ConstProb{P: 0.8}, 1)
+	for i := 0; i < 10; i++ {
+		if c.Next().P != 0.8 {
+			t.Fatal("const model not constant")
+		}
+	}
+
+	// Extreme means stay clamped inside (0, 1].
+	lo := New(1, Independent, NormalProb{Mu: 0.05, Sd: 0.3}, 1)
+	for i := 0; i < 5000; i++ {
+		if p := lo.Next().P; p <= 0 || p > 1 {
+			t.Fatalf("clamped normal out of range: %v", p)
+		}
+	}
+}
+
+func TestStockShape(t *testing.T) {
+	s := NewStock(UniformProb{}, 1)
+	lastTS := int64(0)
+	minP, maxP := math.Inf(1), math.Inf(-1)
+	for i := 0; i < 20000; i++ {
+		el := s.Next()
+		if len(el.Point) != 2 {
+			t.Fatal("stock stream is not 2-d")
+		}
+		price, negVol := el.Point[0], el.Point[1]
+		if price <= 0 {
+			t.Fatalf("price %v", price)
+		}
+		if negVol >= 0 {
+			t.Fatalf("volume dimension must be negated, got %v", negVol)
+		}
+		if el.TS <= lastTS {
+			t.Fatalf("timestamps must strictly increase: %d after %d", el.TS, lastTS)
+		}
+		lastTS = el.TS
+		minP = math.Min(minP, price)
+		maxP = math.Max(maxP, price)
+	}
+	if minP < 5 || maxP > 150 {
+		t.Errorf("price wandered out of a plausible band: [%v, %v]", minP, maxP)
+	}
+	if maxP/minP < 1.01 {
+		t.Error("price never moved")
+	}
+}
+
+func TestDistributionString(t *testing.T) {
+	if Independent.String() != "inde" || Correlated.String() != "corr" || Anticorrelated.String() != "anti" {
+		t.Fatal("Distribution.String wrong")
+	}
+	if (UniformProb{}).String() != "uniform" {
+		t.Fatal("UniformProb.String wrong")
+	}
+}

@@ -1,0 +1,323 @@
+// Package pskyline is a continuous probabilistic skyline operator over
+// sliding windows of uncertain data streams, implementing
+//
+//	W. Zhang, X. Lin, Y. Zhang, W. Wang, J. X. Yu.
+//	"Probabilistic Skyline Operator over Sliding Windows", ICDE 2009.
+//
+// Each stream element is a point in a d-dimensional numeric space (smaller
+// values are better on every dimension) with an occurrence probability
+// P ∈ (0, 1]. Over the N most recent elements, the skyline probability of an
+// element a is
+//
+//	Psky(a) = P(a) · Π_{a' in window, a' dominates a} (1 − P(a'))
+//
+// and the q-skyline is the set of elements with Psky ≥ q. A Monitor answers
+// the continuous q-skyline, ad-hoc queries at any threshold q' ≥ q,
+// multi-threshold (MSKY) monitoring, probabilistic top-k, and time-based
+// windows, while keeping only the candidate set S_{N,q} — expected
+// poly-logarithmic in N — indexed in aggregate R-trees.
+//
+// Quickstart:
+//
+//	m, err := pskyline.NewMonitor(pskyline.Options{
+//		Dims:       2,
+//		Window:     100_000,
+//		Thresholds: []float64{0.3},
+//	})
+//	...
+//	for e := range stream {
+//		m.Push(pskyline.Element{Point: e.Point, Prob: e.Prob, Data: e.ID})
+//	}
+//	for _, s := range m.Skyline() {
+//		fmt.Println(s.Point, s.Psky, s.Data)
+//	}
+package pskyline
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"pskyline/internal/core"
+	"pskyline/internal/geom"
+)
+
+// Element is one uncertain stream element handed to Push.
+type Element struct {
+	// Point is the element's location; smaller coordinates dominate. Its
+	// length must equal Options.Dims.
+	Point []float64
+	// Prob is the occurrence probability, in (0, 1].
+	Prob float64
+	// TS is an application timestamp. It is required (and must be
+	// non-decreasing) when the Monitor uses a time-based window, and
+	// otherwise only stored.
+	TS int64
+	// Data is an arbitrary payload returned with query results.
+	Data any
+}
+
+// SkyPoint is one element of a skyline answer.
+type SkyPoint struct {
+	// Seq is the element's arrival position (0-based).
+	Seq uint64
+	// Point is the element's location.
+	Point []float64
+	// Prob is the element's occurrence probability.
+	Prob float64
+	// Psky is the element's skyline probability in the current window.
+	Psky float64
+	// TS is the timestamp supplied at Push.
+	TS int64
+	// Data is the payload supplied at Push.
+	Data any
+}
+
+// Options configures a Monitor. Exactly one of Window and Period must be
+// positive.
+type Options struct {
+	// Dims is the dimensionality of the data space (≥ 1).
+	Dims int
+	// Window is the count-based sliding window size N: queries cover the N
+	// most recent elements.
+	Window int
+	// Period selects a time-based window instead: queries cover elements
+	// with TS within the most recent Period time units. Pushes must then
+	// carry non-decreasing TS values.
+	Period int64
+	// Thresholds are the continuously maintained skyline probability
+	// thresholds q_1 > … > q_k (MSKY when more than one). Ad-hoc queries
+	// accept any q' ≥ q_k. At least one threshold is required.
+	Thresholds []float64
+	// MaxEntries overrides the aggregate R-tree fanout (0 = default).
+	MaxEntries int
+	// OnEnter and OnLeave, if set, are called during Push whenever an
+	// element enters or leaves the q_1-skyline. Callbacks run while the
+	// Monitor's lock is held: they must not call back into the Monitor.
+	OnEnter func(SkyPoint)
+	OnLeave func(SkyPoint)
+	// TopK enables continuous top-k monitoring (Section VI): after any
+	// Push that changes the ranked list of the TopK candidates with the
+	// highest skyline probabilities ≥ TopKMinQ, OnTopK receives the new
+	// ranking. TopKMinQ defaults to the smallest threshold. Like OnEnter,
+	// OnTopK runs under the Monitor's lock.
+	TopK     int
+	TopKMinQ float64
+	OnTopK   func([]SkyPoint)
+}
+
+// Monitor is a continuous probabilistic skyline operator. It is safe for
+// concurrent use.
+type Monitor struct {
+	mu     sync.Mutex
+	eng    *core.Engine
+	data   map[uint64]any
+	period int64
+	opts   Options
+	topk   *core.TopKTracker
+}
+
+// NewMonitor returns a Monitor for the given options.
+func NewMonitor(opt Options) (*Monitor, error) {
+	if (opt.Window > 0) == (opt.Period > 0) {
+		return nil, errors.New("pskyline: exactly one of Window and Period must be positive")
+	}
+	m := &Monitor{
+		data:   make(map[uint64]any),
+		period: opt.Period,
+		opts:   opt,
+	}
+	eng, err := core.NewEngine(core.Options{
+		Dims:       opt.Dims,
+		Window:     opt.Window,
+		Thresholds: opt.Thresholds,
+		MaxEntries: opt.MaxEntries,
+		OnChange:   m.onChange,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("pskyline: %w", err)
+	}
+	m.eng = eng
+	if opt.TopK > 0 {
+		minQ := opt.TopKMinQ
+		if minQ == 0 {
+			ths := eng.Thresholds()
+			minQ = ths[len(ths)-1]
+		}
+		m.topk, err = core.NewTopKTracker(eng, opt.TopK, minQ)
+		if err != nil {
+			return nil, fmt.Errorf("pskyline: %w", err)
+		}
+	}
+	return m, nil
+}
+
+// onChange runs under m.mu (the engine is only driven from Push).
+func (m *Monitor) onChange(ev core.Event) {
+	enter := ev.FromBand != 0 && ev.ToBand == 0
+	leave := ev.FromBand == 0 && ev.ToBand != 0
+	if enter && m.opts.OnEnter != nil {
+		m.opts.OnEnter(m.skyPointOf(ev))
+	}
+	if leave && m.opts.OnLeave != nil {
+		m.opts.OnLeave(m.skyPointOf(ev))
+	}
+	if ev.ToBand == -1 {
+		delete(m.data, ev.Item.Seq)
+	}
+}
+
+func (m *Monitor) skyPointOf(ev core.Event) SkyPoint {
+	it := ev.Item
+	return SkyPoint{
+		Seq:   it.Seq,
+		Point: it.Point,
+		Prob:  it.P,
+		TS:    it.TS,
+		Data:  m.data[it.Seq],
+	}
+}
+
+// Push processes one arriving element and returns its sequence number.
+func (m *Monitor) Push(e Element) (uint64, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.period > 0 {
+		m.eng.ExpireOlderThan(e.TS - m.period)
+	}
+	// Record the payload before the engine runs so departure events
+	// (including the degenerate immediate ones) can clean it up.
+	seq := m.eng.Processed()
+	if e.Data != nil {
+		m.data[seq] = e.Data
+	}
+	it, err := m.eng.Push(geom.Point(e.Point), e.Prob, e.TS)
+	if err != nil {
+		delete(m.data, seq)
+		return 0, fmt.Errorf("pskyline: %w", err)
+	}
+	if m.topk != nil {
+		changed, top, err := m.topk.Refresh()
+		if err == nil && changed && m.opts.OnTopK != nil {
+			m.opts.OnTopK(m.results(top))
+		}
+	}
+	return it.Seq, nil
+}
+
+func (m *Monitor) results(rs []core.Result) []SkyPoint {
+	out := make([]SkyPoint, len(rs))
+	for i, r := range rs {
+		out[i] = SkyPoint{
+			Seq:   r.Seq,
+			Point: r.Point,
+			Prob:  r.P,
+			Psky:  r.Psky,
+			TS:    r.TS,
+			Data:  m.data[r.Seq],
+		}
+	}
+	return out
+}
+
+// Skyline returns the current q_1-skyline sorted by descending skyline
+// probability.
+func (m *Monitor) Skyline() []SkyPoint {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.results(m.eng.Skyline())
+}
+
+// Query answers an ad-hoc skyline query at threshold q' ≥ q_k (QSKY).
+func (m *Monitor) Query(qPrime float64) ([]SkyPoint, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	rs, err := m.eng.Query(qPrime)
+	if err != nil {
+		return nil, fmt.Errorf("pskyline: %w", err)
+	}
+	return m.results(rs), nil
+}
+
+// TopK returns the k elements with the highest skyline probabilities among
+// those with Psky ≥ minQ (minQ ≥ q_k), in descending order.
+func (m *Monitor) TopK(k int, minQ float64) ([]SkyPoint, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	rs, err := m.eng.TopK(k, minQ)
+	if err != nil {
+		return nil, fmt.Errorf("pskyline: %w", err)
+	}
+	return m.results(rs), nil
+}
+
+// Thresholds returns the maintained thresholds, sorted descending.
+func (m *Monitor) Thresholds() []float64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.eng.Thresholds()
+}
+
+// AddThreshold begins maintaining an additional threshold (a new MSKY user
+// registering a confidence level). The threshold must be above the smallest
+// maintained one: candidates for looser thresholds were already discarded.
+//
+// Threshold changes redefine the band structure in place without emitting
+// enter/leave events: if the new threshold becomes the largest, OnEnter and
+// OnLeave simply track the new q_1-skyline from the next Push onward.
+func (m *Monitor) AddThreshold(q float64) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if err := m.eng.AddThreshold(q); err != nil {
+		return fmt.Errorf("pskyline: %w", err)
+	}
+	return nil
+}
+
+// RemoveThreshold stops maintaining a threshold (an MSKY user leaving). The
+// smallest threshold cannot be removed — it bounds the retained state.
+func (m *Monitor) RemoveThreshold(q float64) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if err := m.eng.RemoveThreshold(q); err != nil {
+		return fmt.Errorf("pskyline: %w", err)
+	}
+	return nil
+}
+
+// Stats reports the operator's size counters.
+type Stats struct {
+	// Processed is the number of elements pushed so far.
+	Processed uint64
+	// Candidates is the current candidate set size |S_{N,q_k}|.
+	Candidates int
+	// Skyline is the current |SKY_{N,q_1}|.
+	Skyline int
+	// MaxCandidates and MaxSkyline are the maxima observed over the
+	// stream so far.
+	MaxCandidates int
+	MaxSkyline    int
+}
+
+// Stats returns current and peak sizes.
+func (m *Monitor) Stats() Stats {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return Stats{
+		Processed:     m.eng.Processed(),
+		Candidates:    m.eng.CandidateSize(),
+		Skyline:       m.eng.SkylineSize(),
+		MaxCandidates: m.eng.MaxCandidateSize(),
+		MaxSkyline:    m.eng.MaxSkylineSize(),
+	}
+}
+
+// Counters returns the operator's accumulated work counters (entries
+// classified, elements touched, lazy entry updates, candidate removals and
+// band moves) — useful for capacity planning and for verifying that the
+// index is pruning effectively on a given workload.
+func (m *Monitor) Counters() core.Counters {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.eng.Counters()
+}

@@ -1,0 +1,81 @@
+package pskyline
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+
+	"pskyline/internal/core"
+)
+
+// monitorSnapshot wraps the engine checkpoint with the monitor's own state.
+type monitorSnapshot struct {
+	Period int64
+	Data   map[uint64]any
+}
+
+// Snapshot writes a checkpoint of the monitor to w: the full candidate set
+// with exact probabilities, stream position, window state, statistics and
+// element payloads. Payload values are encoded with encoding/gob — custom
+// payload types must be registered with gob.Register before snapshotting
+// and restoring. Callbacks are configuration, not state; re-supply them to
+// RestoreMonitor.
+func (m *Monitor) Snapshot(w io.Writer) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	enc := gob.NewEncoder(w)
+	if err := enc.Encode(monitorSnapshot{Period: m.period, Data: m.data}); err != nil {
+		return fmt.Errorf("pskyline: snapshot: %w", err)
+	}
+	return m.eng.SnapshotTo(enc)
+}
+
+// RestoreOptions re-attaches configuration that is not part of a
+// checkpoint: callbacks and continuous top-k tracking.
+type RestoreOptions struct {
+	OnEnter func(SkyPoint)
+	OnLeave func(SkyPoint)
+	// TopK, TopKMinQ and OnTopK re-enable continuous top-k monitoring, as
+	// in Options.
+	TopK     int
+	TopKMinQ float64
+	OnTopK   func([]SkyPoint)
+}
+
+// RestoreMonitor reads a checkpoint written by Snapshot and returns a
+// monitor that continues exactly where the snapshotted one stopped.
+func RestoreMonitor(r io.Reader, ro RestoreOptions) (*Monitor, error) {
+	dec := gob.NewDecoder(r)
+	var ms monitorSnapshot
+	if err := dec.Decode(&ms); err != nil {
+		return nil, fmt.Errorf("pskyline: restore: %w", err)
+	}
+	m := &Monitor{
+		data:   ms.Data,
+		period: ms.Period,
+		opts: Options{
+			OnEnter: ro.OnEnter, OnLeave: ro.OnLeave,
+			TopK: ro.TopK, TopKMinQ: ro.TopKMinQ, OnTopK: ro.OnTopK,
+		},
+	}
+	if m.data == nil {
+		m.data = make(map[uint64]any)
+	}
+	eng, err := core.RestoreFrom(dec, core.RestoreOptions{OnChange: m.onChange})
+	if err != nil {
+		return nil, fmt.Errorf("pskyline: restore: %w", err)
+	}
+	m.eng = eng
+	if ro.TopK > 0 {
+		minQ := ro.TopKMinQ
+		if minQ == 0 {
+			ths := eng.Thresholds()
+			minQ = ths[len(ths)-1]
+		}
+		m.topk, err = core.NewTopKTracker(eng, ro.TopK, minQ)
+		if err != nil {
+			return nil, fmt.Errorf("pskyline: restore: %w", err)
+		}
+	}
+	return m, nil
+}
