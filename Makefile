@@ -1,0 +1,28 @@
+# Development and CI entry points. `make ci` is exactly what the GitHub
+# Actions workflow runs.
+
+GO ?= go
+
+.PHONY: build vet test race bench-concurrent ci
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+# The whole suite under the race detector: the concurrency stress tests in
+# concurrent_test.go and view_test.go are written to give it dense
+# single-writer/many-reader interleavings.
+race:
+	$(GO) test -race -count=1 ./...
+
+# Short-mode smoke run of the concurrent read-throughput benchmark; on a
+# multi-core machine ns/op should stay roughly flat as readers grow.
+bench-concurrent:
+	$(GO) test -run '^$$' -bench BenchmarkConcurrentReaders -benchtime 1000x -short .
+
+ci: build vet test race bench-concurrent

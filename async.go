@@ -1,0 +1,179 @@
+package pskyline
+
+import "sync"
+
+// maxIngestBatch bounds how many queued elements the background goroutine
+// ingests under one lock hold (and thus per published view): large enough to
+// amortize view publication, small enough to keep view freshness and writer
+// lock holds bounded.
+const maxIngestBatch = 256
+
+// asyncQueue is the bounded single-consumer ingestion queue behind
+// Options.AsyncQueue. Producers (Push/PushBatch) reserve sequence numbers
+// and enqueue under enqMu — the reservation order is the channel order, and
+// the single consumer ingests in channel order, so the reserved numbers are
+// exactly the ones the engine will assign. The channel's capacity is the
+// backpressure bound: a full queue blocks producers.
+type asyncQueue struct {
+	m     *Monitor
+	ch    chan Element
+	flush chan chan struct{} // Drain requests, acknowledged when the queue is empty
+	done  chan struct{}      // closed when the consumer goroutine exits
+
+	enqMu  sync.Mutex
+	next   uint64 // next sequence number to reserve
+	closed bool
+}
+
+func newAsyncQueue(m *Monitor, capacity int) *asyncQueue {
+	q := &asyncQueue{
+		m:     m,
+		ch:    make(chan Element, capacity),
+		flush: make(chan chan struct{}),
+		done:  make(chan struct{}),
+		next:  m.eng.NextSeq(),
+	}
+	go q.run()
+	return q
+}
+
+// enqueue reserves the next sequence number for e and queues it, blocking
+// while the queue is full. The element is already validated.
+func (q *asyncQueue) enqueue(e Element) (uint64, error) {
+	q.enqMu.Lock()
+	defer q.enqMu.Unlock()
+	if q.closed {
+		return 0, ErrClosed
+	}
+	seq := q.next
+	q.next++
+	q.ch <- e
+	return seq, nil
+}
+
+// enqueueBatch reserves len(es) consecutive sequence numbers and queues the
+// elements in order, blocking as the queue fills. Returns the first number.
+func (q *asyncQueue) enqueueBatch(es []Element) (uint64, error) {
+	q.enqMu.Lock()
+	defer q.enqMu.Unlock()
+	if q.closed {
+		return 0, ErrClosed
+	}
+	first := q.next
+	q.next += uint64(len(es))
+	for i := range es {
+		q.ch <- es[i]
+	}
+	return first, nil
+}
+
+// run is the single consumer: it drains the queue in batches of up to
+// maxIngestBatch elements, ingests each batch under the Monitor's lock and
+// publishes one view per batch.
+func (q *asyncQueue) run() {
+	defer close(q.done)
+	buf := make([]Element, 0, maxIngestBatch)
+	for {
+		select {
+		case e, ok := <-q.ch:
+			if !ok {
+				return
+			}
+			buf = q.gather(append(buf[:0], e))
+			q.m.ingestBatch(buf)
+		case ack := <-q.flush:
+			// Every element sent before the Drain call is already
+			// buffered in ch (its send completed first), so a
+			// non-blocking sweep empties everything Drain must wait for.
+			buf = buf[:0]
+			for {
+				select {
+				case e, ok := <-q.ch:
+					if !ok {
+						break
+					}
+					buf = append(buf, e)
+					if len(buf) == cap(buf) {
+						q.m.ingestBatch(buf)
+						buf = buf[:0]
+					}
+					continue
+				default:
+				}
+				break
+			}
+			if len(buf) > 0 {
+				q.m.ingestBatch(buf)
+			}
+			close(ack)
+		}
+	}
+}
+
+// gather opportunistically tops the batch up with whatever is already
+// queued, without blocking.
+func (q *asyncQueue) gather(buf []Element) []Element {
+	for len(buf) < cap(buf) {
+		select {
+		case e, ok := <-q.ch:
+			if !ok {
+				return buf
+			}
+			buf = append(buf, e)
+		default:
+			return buf
+		}
+	}
+	return buf
+}
+
+// ingestBatch runs a drained batch through the engine and publishes one
+// fresh view. The elements were validated before enqueueing, so engine
+// errors indicate a bug, not bad input.
+func (m *Monitor) ingestBatch(es []Element) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for i := range es {
+		if _, err := m.ingestLocked(es[i]); err != nil {
+			panic("pskyline: validated element rejected by engine: " + err.Error())
+		}
+	}
+	m.refreshTopKLocked()
+	m.publishLocked()
+}
+
+// Drain blocks until every element enqueued before the call has been
+// ingested and is visible to readers through the published view. Without an
+// async queue it returns immediately: synchronous pushes publish before
+// they return.
+func (m *Monitor) Drain() {
+	if m.aq == nil {
+		return
+	}
+	ack := make(chan struct{})
+	select {
+	case m.aq.flush <- ack:
+		<-ack
+	case <-m.aq.done:
+		// Consumer already shut down; Close drained the queue first.
+	}
+}
+
+// Close drains and shuts down the async ingestion goroutine. Further Push
+// and PushBatch calls return ErrClosed; queries keep serving the final
+// published view. Close is idempotent and safe to call concurrently.
+// Without an async queue it is a no-op.
+func (m *Monitor) Close() error {
+	if m.aq == nil {
+		return nil
+	}
+	q := m.aq
+	q.enqMu.Lock()
+	if !q.closed {
+		q.closed = true
+		close(q.ch)
+	}
+	q.enqMu.Unlock()
+	<-q.done
+	return nil
+}

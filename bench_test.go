@@ -11,8 +11,11 @@ package pskyline_test
 import (
 	"fmt"
 	"math/rand"
+	"sync"
+	"sync/atomic"
 	"testing"
 
+	"pskyline"
 	"pskyline/internal/bench"
 	"pskyline/internal/core"
 	"pskyline/internal/naive"
@@ -366,6 +369,106 @@ func BenchmarkTopK(b *testing.B) {
 					b.Fatal(err)
 				}
 			}
+		})
+	}
+}
+
+// benchSink keeps the compiler from eliding benchmark read operations.
+var benchSink atomic.Int64
+
+// BenchmarkConcurrentReaders measures aggregate lock-free read throughput
+// against a continuously writing Monitor: one writer goroutine streams
+// anti-correlated 3-d elements through Push while R reader goroutines split
+// b.N read operations (a mix of Skyline, Query and TopK served from the
+// published view). ns/op is the aggregate per-read latency; with the RCU
+// read path it should stay flat — i.e. total reads/sec should scale — as R
+// grows on a multi-core machine, because readers contend with nothing.
+func BenchmarkConcurrentReaders(b *testing.B) {
+	window := benchWindow / 4
+	if testing.Short() {
+		window = 2_000
+	}
+	for _, readers := range []int{1, 4, 16} {
+		b.Run(fmt.Sprintf("readers=%d", readers), func(b *testing.B) {
+			m, err := pskyline.NewMonitor(pskyline.Options{
+				Dims: 3, Window: window, Thresholds: []float64{benchQ},
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			src := benchStream(anti3())
+			toElement := func(el streamgen.Element) pskyline.Element {
+				return pskyline.Element{Point: el.Point, Prob: el.P, TS: el.TS}
+			}
+			batch := make([]pskyline.Element, 0, 512)
+			for i := 0; i < 2*window; i++ {
+				batch = append(batch, toElement(src.Next()))
+				if len(batch) == cap(batch) {
+					if _, err := m.PushBatch(batch); err != nil {
+						b.Fatal(err)
+					}
+					batch = batch[:0]
+				}
+			}
+			if _, err := m.PushBatch(batch); err != nil {
+				b.Fatal(err)
+			}
+
+			stop := make(chan struct{})
+			writerDone := make(chan struct{})
+			go func() {
+				defer close(writerDone)
+				for {
+					select {
+					case <-stop:
+						return
+					default:
+					}
+					if _, err := m.Push(toElement(src.Next())); err != nil {
+						b.Error(err)
+						return
+					}
+				}
+			}()
+
+			var next atomic.Int64
+			var wg sync.WaitGroup
+			b.ResetTimer()
+			for g := 0; g < readers; g++ {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					for {
+						i := next.Add(1)
+						if i > int64(b.N) {
+							return
+						}
+						switch i % 3 {
+						case 0:
+							benchSink.Add(int64(len(m.Skyline())))
+						case 1:
+							res, err := m.Query(0.5)
+							if err != nil {
+								b.Error(err)
+								return
+							}
+							benchSink.Add(int64(len(res)))
+						case 2:
+							res, err := m.TopK(10, benchQ)
+							if err != nil {
+								b.Error(err)
+								return
+							}
+							benchSink.Add(int64(len(res)))
+						}
+					}
+				}()
+			}
+			wg.Wait()
+			b.StopTimer()
+			close(stop)
+			<-writerDone
+			b.ReportMetric(float64(m.View().Processed()), "writes")
 		})
 	}
 }

@@ -4,18 +4,27 @@
 //
 // By default it prints enter/leave events for the q_1-skyline as the window
 // slides; -snapshot N prints a skyline snapshot every N elements instead,
-// and -summary prints only the final statistics.
+// and -summary prints only the final statistics. Snapshots are served from
+// the monitor's published read view — the same lock-free path a concurrent
+// query workload would use while the stream keeps flowing.
+//
+// -batch B ingests the stream through PushBatch in batches of B elements,
+// and -async C routes ingestion through a bounded async queue of capacity C
+// (drained before every snapshot print and at exit); both amortize view
+// publication on write-heavy streams.
 //
 // Usage:
 //
 //	datagen -dist anti -dims 3 -n 200000 | pskyline -dims 3 -window 100000 -q 0.3 -summary
 //	pskyline -dims 2 -window 1000 -q 0.5,0.3 -snapshot 500 < stream.csv
+//	pskyline -dims 3 -window 100000 -q 0.3 -batch 512 -async 4096 -summary < stream.csv
 package main
 
 import (
 	"bufio"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strconv"
 	"strings"
@@ -23,6 +32,20 @@ import (
 
 	"pskyline"
 )
+
+// config collects the parsed command line so tests can drive run directly.
+type config struct {
+	dims       int
+	window     int
+	period     int64
+	thresholds []float64
+	snapshot   int
+	summary    bool
+	file       string
+	ckpt       string
+	batch      int
+	async      int
+}
 
 func main() {
 	var (
@@ -34,6 +57,8 @@ func main() {
 		summary  = flag.Bool("summary", false, "print only final statistics")
 		file     = flag.String("f", "", "input file (default stdin)")
 		ckpt     = flag.String("checkpoint", "", "checkpoint file: loaded at start if present, written at exit")
+		batch    = flag.Int("batch", 1, "ingest the stream in batches of this many elements")
+		async    = flag.Int("async", 0, "route ingestion through a bounded async queue of this capacity (0 = synchronous)")
 	)
 	flag.Parse()
 
@@ -46,48 +71,67 @@ func main() {
 		thresholds = append(thresholds, q)
 	}
 
-	opt := pskyline.Options{Dims: *dims, Thresholds: thresholds}
-	if *period > 0 {
-		opt.Period = *period
-	} else {
-		opt.Window = *window
+	cfg := config{
+		dims: *dims, window: *window, period: *period, thresholds: thresholds,
+		snapshot: *snapshot, summary: *summary, file: *file, ckpt: *ckpt,
+		batch: *batch, async: *async,
 	}
-	quiet := *summary || *snapshot > 0
+	if err := run(cfg, os.Stdin, os.Stdout, os.Stderr); err != nil {
+		fatal("%v", err)
+	}
+}
+
+// run executes one streaming session: restore-or-create the monitor, feed
+// the input through it (optionally batched and/or async), serve snapshot
+// prints from the published view, and checkpoint at exit.
+func run(cfg config, stdin io.Reader, out, errw io.Writer) error {
+	if cfg.batch < 1 {
+		return fmt.Errorf("batch size %d < 1", cfg.batch)
+	}
+	opt := pskyline.Options{Dims: cfg.dims, Thresholds: cfg.thresholds, AsyncQueue: cfg.async}
+	if cfg.period > 0 {
+		opt.Period = cfg.period
+	} else {
+		opt.Window = cfg.window
+	}
+	quiet := cfg.summary || cfg.snapshot > 0
 	if !quiet {
 		opt.OnEnter = func(p pskyline.SkyPoint) {
-			fmt.Printf("+ seq=%d pt=%v p=%.3f\n", p.Seq, p.Point, p.Prob)
+			fmt.Fprintf(out, "+ seq=%d pt=%v p=%.3f\n", p.Seq, p.Point, p.Prob)
 		}
 		opt.OnLeave = func(p pskyline.SkyPoint) {
-			fmt.Printf("- seq=%d pt=%v\n", p.Seq, p.Point)
+			fmt.Fprintf(out, "- seq=%d pt=%v\n", p.Seq, p.Point)
 		}
 	}
 	var m *pskyline.Monitor
 	var err error
-	if *ckpt != "" {
-		if f, ferr := os.Open(*ckpt); ferr == nil {
+	if cfg.ckpt != "" {
+		if f, ferr := os.Open(cfg.ckpt); ferr == nil {
 			m, err = pskyline.RestoreMonitor(f, pskyline.RestoreOptions{
 				OnEnter: opt.OnEnter, OnLeave: opt.OnLeave,
+				AsyncQueue: cfg.async,
 			})
 			f.Close()
 			if err != nil {
-				fatal("restore %s: %v", *ckpt, err)
+				return fmt.Errorf("restore %s: %v", cfg.ckpt, err)
 			}
-			fmt.Fprintf(os.Stderr, "pskyline: resumed from %s (%d elements seen)\n",
-				*ckpt, m.Stats().Processed)
+			fmt.Fprintf(errw, "pskyline: resumed from %s (%d elements seen)\n",
+				cfg.ckpt, m.Stats().Processed)
 		}
 	}
 	if m == nil {
 		m, err = pskyline.NewMonitor(opt)
 		if err != nil {
-			fatal("%v", err)
+			return err
 		}
 	}
+	defer m.Close()
 
-	in := os.Stdin
-	if *file != "" {
-		f, err := os.Open(*file)
+	in := stdin
+	if cfg.file != "" {
+		f, err := os.Open(cfg.file)
 		if err != nil {
-			fatal("%v", err)
+			return err
 		}
 		defer f.Close()
 		in = f
@@ -97,49 +141,73 @@ func main() {
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
 	count := 0
 	start := time.Now()
+	batch := make([]pskyline.Element, 0, cfg.batch)
+	flush := func() error {
+		if len(batch) == 0 {
+			return nil
+		}
+		if _, err := m.PushBatch(batch); err != nil {
+			return err
+		}
+		batch = batch[:0]
+		return nil
+	}
 	for sc.Scan() {
 		line := strings.TrimSpace(sc.Text())
 		if line == "" || strings.HasPrefix(line, "#") {
 			continue
 		}
-		el, err := parseLine(line, *dims)
+		el, err := parseLine(line, cfg.dims)
 		if err != nil {
-			fatal("line %d: %v", count+1, err)
+			return fmt.Errorf("line %d: %v", count+1, err)
 		}
-		if _, err := m.Push(el); err != nil {
-			fatal("line %d: %v", count+1, err)
+		batch = append(batch, el)
+		if len(batch) == cfg.batch {
+			if err := flush(); err != nil {
+				return fmt.Errorf("line %d: %v", count+1, err)
+			}
 		}
 		count++
-		if *snapshot > 0 && count%*snapshot == 0 {
-			sky := m.Skyline()
-			fmt.Printf("@%d skyline (%d points):\n", count, len(sky))
+		if cfg.snapshot > 0 && count%cfg.snapshot == 0 {
+			if err := flush(); err != nil {
+				return fmt.Errorf("line %d: %v", count, err)
+			}
+			m.Drain() // with -async: make everything ingested so far visible
+			v := m.View()
+			sky := v.Skyline()
+			fmt.Fprintf(out, "@%d skyline (%d points):\n", v.Processed(), len(sky))
 			for _, p := range sky {
-				fmt.Printf("  seq=%d pt=%v psky=%.4f\n", p.Seq, p.Point, p.Psky)
+				fmt.Fprintf(out, "  seq=%d pt=%v psky=%.4f\n", p.Seq, p.Point, p.Psky)
 			}
 		}
 	}
 	if err := sc.Err(); err != nil {
-		fatal("read: %v", err)
+		return fmt.Errorf("read: %v", err)
 	}
+	if err := flush(); err != nil {
+		return err
+	}
+	m.Drain()
 	elapsed := time.Since(start)
-	if *ckpt != "" {
-		f, err := os.Create(*ckpt)
+	if cfg.ckpt != "" {
+		f, err := os.Create(cfg.ckpt)
 		if err != nil {
-			fatal("checkpoint: %v", err)
+			return fmt.Errorf("checkpoint: %v", err)
 		}
 		if err := m.Snapshot(f); err != nil {
-			fatal("checkpoint: %v", err)
+			return fmt.Errorf("checkpoint: %v", err)
 		}
 		if err := f.Close(); err != nil {
-			fatal("checkpoint: %v", err)
+			return fmt.Errorf("checkpoint: %v", err)
 		}
-		fmt.Fprintf(os.Stderr, "pskyline: checkpoint written to %s\n", *ckpt)
+		fmt.Fprintf(errw, "pskyline: checkpoint written to %s\n", cfg.ckpt)
 	}
 	st := m.Stats()
-	fmt.Printf("processed %d elements in %v (%.0f elems/sec)\n",
+	fmt.Fprintf(out, "processed %d elements in %v (%.0f elems/sec)\n",
 		count, elapsed.Round(time.Millisecond), float64(count)/elapsed.Seconds())
-	fmt.Printf("candidates: now %d, max %d; skyline: now %d, max %d\n",
+	fmt.Fprintf(out, "candidates: now %d, max %d; skyline: now %d, max %d\n",
 		st.Candidates, st.MaxCandidates, st.Skyline, st.MaxSkyline)
+	return nil
 }
 
 // parseLine parses "x1,...,xd,prob[,ts]".

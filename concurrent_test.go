@@ -1,0 +1,172 @@
+package pskyline_test
+
+import (
+	"io"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"pskyline"
+)
+
+// raceStress runs one writer against many concurrent readers over thousands
+// of elements. Readers hammer every lock-free entry point (View, Skyline,
+// Query, TopK, Thresholds) plus the locked ones (Stats, Counters, Snapshot,
+// Drain) while the writer mixes Push and PushBatch. The assertions are
+// deliberately light — deep consistency is covered by view_test.go — because
+// this test's job is to give the race detector a dense interleaving to chew
+// on.
+func raceStress(t *testing.T, opt pskyline.Options, readers int) {
+	const dims = 3
+	n := 6000
+	if testing.Short() {
+		n = 1500
+	}
+	opt.Dims = dims
+	m := mustMonitor(t, opt)
+	defer m.Close()
+	stream := genElements(31, n, dims, true)
+	qk := opt.Thresholds[len(opt.Thresholds)-1]
+
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	var readOps atomic.Int64
+	for g := 0; g < readers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			r := rand.New(rand.NewSource(int64(100 + g)))
+			for i := 0; ; i++ {
+				select {
+				case <-done:
+					return
+				default:
+				}
+				readOps.Add(1)
+				switch i % 8 {
+				case 0:
+					v := m.View()
+					if v == nil {
+						t.Error("View returned nil")
+						return
+					}
+					_ = v.Candidates()
+				case 1:
+					_ = m.Skyline()
+				case 2:
+					q := qk + r.Float64()*(1-qk)
+					if _, err := m.Query(q); err != nil {
+						t.Errorf("query(%v): %v", q, err)
+						return
+					}
+				case 3:
+					if _, err := m.TopK(5, qk); err != nil {
+						t.Errorf("topk: %v", err)
+						return
+					}
+				case 4:
+					_ = m.Thresholds()
+				case 5:
+					_ = m.Stats()
+				case 6:
+					_ = m.Counters()
+				case 7:
+					if err := m.Snapshot(io.Discard); err != nil {
+						t.Errorf("snapshot: %v", err)
+						return
+					}
+				}
+			}
+		}(g)
+	}
+
+	// Single writer: mixed Push / PushBatch / occasional Drain.
+	w := rand.New(rand.NewSource(99))
+	for i := 0; i < n; {
+		switch w.Intn(4) {
+		case 0:
+			if _, err := m.Push(stream[i]); err != nil {
+				t.Fatalf("push %d: %v", i, err)
+			}
+			i++
+		case 1:
+			m.Drain()
+		default:
+			sz := 1 + w.Intn(64)
+			if i+sz > n {
+				sz = n - i
+			}
+			if _, err := m.PushBatch(stream[i : i+sz]); err != nil {
+				t.Fatalf("batch at %d: %v", i, err)
+			}
+			i += sz
+		}
+	}
+	m.Drain()
+	close(done)
+	wg.Wait()
+
+	if got := m.View().Processed(); got != uint64(n) {
+		t.Fatalf("processed %d, want %d", got, n)
+	}
+	if readOps.Load() == 0 {
+		t.Fatal("readers performed no operations")
+	}
+}
+
+func TestConcurrentStress(t *testing.T) {
+	raceStress(t, pskyline.Options{
+		Window: 800, Thresholds: []float64{0.5, 0.3},
+	}, 8)
+}
+
+func TestConcurrentStressAsync(t *testing.T) {
+	raceStress(t, pskyline.Options{
+		Window: 800, Thresholds: []float64{0.5, 0.3}, AsyncQueue: 128,
+	}, 8)
+}
+
+// TestConcurrentCloseAndDrain exercises the async queue's shutdown paths:
+// concurrent Drain and Close calls racing each other and racing producers.
+func TestConcurrentCloseAndDrain(t *testing.T) {
+	m := mustMonitor(t, pskyline.Options{
+		Dims: 2, Window: 200, Thresholds: []float64{0.3}, AsyncQueue: 16,
+	})
+	stream := genElements(41, 500, 2, false)
+	var wg sync.WaitGroup
+	wg.Add(3)
+	go func() {
+		defer wg.Done()
+		for _, e := range stream {
+			if _, err := m.Push(e); err != nil {
+				if err != pskyline.ErrClosed {
+					t.Errorf("push: %v", err)
+				}
+				return
+			}
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 50; i++ {
+			m.Drain()
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 200; i++ {
+			_ = m.Skyline()
+		}
+		if err := m.Close(); err != nil {
+			t.Errorf("close: %v", err)
+		}
+	}()
+	wg.Wait()
+	// Idempotent close; drain after close must not hang.
+	if err := m.Close(); err != nil {
+		t.Fatal(err)
+	}
+	m.Drain()
+	_ = m.Skyline() // queries keep serving the final view
+}

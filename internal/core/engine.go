@@ -67,8 +67,15 @@ type Event struct {
 	ToBand   int
 }
 
-// Engine is the continuous probabilistic skyline operator. It is not safe
-// for concurrent use; wrap it in a mutex for multi-goroutine access.
+// Engine is the continuous probabilistic skyline operator. No Engine method
+// is safe to call concurrently with any other — queries read the same lazy
+// multipliers that Push rewrites, so even "read-only" calls (Query, TopK,
+// Candidates, BandResults) must be serialized with writes. The intended
+// multi-goroutine shape is single-writer with snapshot reads: one goroutine
+// owns the engine (taking a mutex if several produce), and read traffic is
+// served from immutable copies extracted under that mutex via BandResults,
+// as the pskyline package's Monitor does with its published views. Band
+// generation counters (BandGen) make those copies cheap to keep current.
 type Engine struct {
 	dims   int
 	window int
@@ -77,6 +84,8 @@ type Engine struct {
 	trees  []*aggrtree.Tree
 	inS    map[uint64]*aggrtree.Item
 	next   uint64
+
+	bandGen []uint64 // per-band logical mutation counters (see view.go)
 
 	trackArrivals bool
 	arrivals      []arrival // FIFO of arrivals for time-based expiry
@@ -175,6 +184,7 @@ func NewEngine(opt Options) (*Engine, error) {
 	for i := 0; i <= len(qf); i++ {
 		e.trees = append(e.trees, aggrtree.New(opt.Dims, cfg))
 	}
+	e.bandGen = make([]uint64, len(qf)+1)
 	return e, nil
 }
 

@@ -29,6 +29,7 @@ func (e *Engine) expire(seq uint64) {
 	band := e.treeIndexOf(it)
 	delete(e.inS, seq)
 	e.trees[band].DeleteItem(it)
+	e.touch(band)
 	e.emit(it, band, -1)
 
 	om := it.OneMinusP()
@@ -36,7 +37,9 @@ func (e *Engine) expire(seq uint64) {
 	s.affN, s.affI = s.affN[:0], s.affI[:0]
 	for bi, tr := range e.trees {
 		if tr.Size() > 0 {
-			e.probeExpire(tr.Root(), bi, it.Point, om, &s.affN, &s.affI)
+			if e.probeExpire(tr.Root(), bi, it.Point, om, &s.affN, &s.affI) {
+				e.touch(bi)
+			}
 		}
 	}
 

@@ -1,0 +1,124 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"pskyline/internal/geom"
+)
+
+// identicalResults reports bit-for-bit equality of two extractions.
+func identicalResults(a, b []Result) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		x, y := a[i], b[i]
+		if x.Seq != y.Seq || x.TS != y.TS ||
+			math.Float64bits(x.P) != math.Float64bits(y.P) ||
+			math.Float64bits(x.Psky) != math.Float64bits(y.Psky) ||
+			math.Float64bits(x.Pnew) != math.Float64bits(y.Pnew) ||
+			math.Float64bits(x.Pold) != math.Float64bits(y.Pold) {
+			return false
+		}
+		for d := range x.Point {
+			if math.Float64bits(x.Point[d]) != math.Float64bits(y.Point[d]) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// TestBandGenContract verifies the generation-counter contract BandGen
+// documents and the pskyline read views rely on: as long as a band's
+// generation is unchanged, BandResults returns a byte-identical extraction —
+// across insertions, lazy push-downs, band moves, window expiry and R-tree
+// restructuring.
+func TestBandGenContract(t *testing.T) {
+	const (
+		dims   = 3
+		window = 200
+	)
+	n := 3000
+	if testing.Short() {
+		n = 800
+	}
+	eng, err := NewEngine(Options{
+		Dims: dims, Window: window, Thresholds: []float64{0.5, 0.3},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	nb := len(eng.Thresholds()) + 1
+
+	type cached struct {
+		gen uint64
+		res []Result
+	}
+	cache := make([]cached, nb)
+	for i := range cache {
+		cache[i] = cached{gen: eng.BandGen(i), res: eng.BandResults(i)}
+	}
+
+	r := rand.New(rand.NewSource(17))
+	reuseHits := 0
+	for i := 0; i < n; i++ {
+		pt := make(geom.Point, dims)
+		s := 0.0
+		for d := range pt {
+			pt[d] = r.Float64()
+			s += pt[d]
+		}
+		shift := (float64(dims)/2 - s) / float64(dims) * 0.8
+		for d := range pt {
+			pt[d] += shift
+		}
+		if _, err := eng.Push(pt, 1-r.Float64(), int64(i)); err != nil {
+			t.Fatalf("push %d: %v", i, err)
+		}
+		for b := 0; b < nb; b++ {
+			gen := eng.BandGen(b)
+			fresh := eng.BandResults(b)
+			if gen == cache[b].gen {
+				reuseHits++
+				if !identicalResults(cache[b].res, fresh) {
+					t.Fatalf("push %d: band %d generation %d unchanged but extraction differs", i, b, gen)
+				}
+			}
+			cache[b] = cached{gen: gen, res: fresh}
+		}
+	}
+	// The contract is only useful if unchanged generations actually occur.
+	if reuseHits == 0 {
+		t.Fatal("no push left any band generation unchanged; the test is vacuous")
+	}
+
+	// Threshold changes renumber the bands: every generation must advance so
+	// cached extractions cannot be carried across the renumbering.
+	before := make([]uint64, nb)
+	for i := range before {
+		before[i] = eng.BandGen(i)
+	}
+	if err := eng.AddThreshold(0.7); err != nil {
+		t.Fatal(err)
+	}
+	for i := range before {
+		if eng.BandGen(i) == before[i] {
+			t.Fatalf("AddThreshold left band %d generation unchanged", i)
+		}
+	}
+	before = make([]uint64, nb+1)
+	for i := range before {
+		before[i] = eng.BandGen(i)
+	}
+	if err := eng.RemoveThreshold(0.7); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < nb; i++ {
+		if eng.BandGen(i) == before[i] {
+			t.Fatalf("RemoveThreshold left band %d generation unchanged", i)
+		}
+	}
+}

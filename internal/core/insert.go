@@ -51,7 +51,11 @@ func (e *Engine) insert(it *aggrtree.Item) {
 	// Phase 1: probe.
 	for bi, tr := range e.trees {
 		if tr.Size() > 0 {
-			pold, _ = e.probeInsert(tr.Root(), bi, it, om, pold, &s.domN, &s.domI)
+			var ch bool
+			pold, ch = e.probeInsert(tr.Root(), bi, it, om, pold, &s.domN, &s.domI)
+			if ch {
+				e.touch(bi)
+			}
 		}
 	}
 
@@ -124,6 +128,7 @@ func (e *Engine) insert(it *aggrtree.Item) {
 	for _, x := range s.removedI {
 		delete(e.inS, x.it.Seq)
 		e.trees[x.band].DeleteItem(x.it)
+		e.touch(x.band)
 		e.emit(x.it, x.band, -1)
 	}
 	e.applyMoves(s.moves)
@@ -134,6 +139,7 @@ func (e *Engine) insert(it *aggrtree.Item) {
 	b := e.bandOf(it.Psky())
 	e.trees[b].InsertItem(it)
 	e.inS[it.Seq] = it
+	e.touch(b)
 	e.emit(it, -1, b)
 }
 
@@ -290,6 +296,7 @@ func (e *Engine) updateOld(removedN []nodeT, removedI []itemT, surviveN []nodeT,
 // stripPold removes the departed dominators' combined non-occurrence factor
 // f from a survivor's Pold, raising its skyline probability.
 func (e *Engine) stripPold(s joinEnt, f prob.Factor) {
+	e.touch(s.band)
 	if s.n != nil {
 		if e.eager {
 			s.n.ApplyDeepOld(f)
@@ -372,6 +379,8 @@ func (e *Engine) applyMoves(moves []itemMove) {
 	for _, m := range moves {
 		e.trees[m.from].DeleteItem(m.it)
 		e.trees[m.to].InsertItem(m.it)
+		e.touch(m.from)
+		e.touch(m.to)
 		e.emit(m.it, m.from, m.to)
 	}
 }

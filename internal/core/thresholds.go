@@ -60,6 +60,8 @@ func (e *Engine) AddThreshold(q float64) error {
 	e.qs = append(e.qs, prob.Factor{})
 	copy(e.qs[pos+1:], e.qs[pos:])
 	e.qs[pos] = qq
+	e.bandGen = append(e.bandGen, 0)
+	e.touchAll()
 	return nil
 }
 
@@ -92,5 +94,7 @@ func (e *Engine) RemoveThreshold(q float64) error {
 	e.trees = append(e.trees[:pos], e.trees[pos+1:]...)
 	e.qf = append(e.qf[:pos], e.qf[pos+1:]...)
 	e.qs = append(e.qs[:pos], e.qs[pos+1:]...)
+	e.bandGen = e.bandGen[:len(e.bandGen)-1]
+	e.touchAll()
 	return nil
 }

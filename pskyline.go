@@ -37,10 +37,14 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"pskyline/internal/core"
 	"pskyline/internal/geom"
 )
+
+// ErrClosed is returned by Push and PushBatch after Close.
+var ErrClosed = errors.New("pskyline: monitor is closed")
 
 // Element is one uncertain stream element handed to Push.
 type Element struct {
@@ -100,27 +104,65 @@ type Options struct {
 	// Push that changes the ranked list of the TopK candidates with the
 	// highest skyline probabilities ≥ TopKMinQ, OnTopK receives the new
 	// ranking. TopKMinQ defaults to the smallest threshold. Like OnEnter,
-	// OnTopK runs under the Monitor's lock.
+	// OnTopK runs under the Monitor's lock. With PushBatch or an async
+	// queue the ranking is re-derived once per ingestion batch, so
+	// intermediate rankings inside a batch are not reported.
 	TopK     int
 	TopKMinQ float64
 	OnTopK   func([]SkyPoint)
+
+	// AsyncQueue, when positive, decouples producers from ingestion: Push
+	// and PushBatch validate the elements, enqueue them on a bounded
+	// buffer of this capacity (blocking for backpressure when it is full)
+	// and return immediately with the sequence numbers the elements will
+	// receive. A single background goroutine drains the buffer in batches,
+	// updates the engine and publishes a fresh read view once per batch.
+	// Use Drain to wait for the queue to empty and Close to shut the
+	// goroutine down. Zero disables the queue: Push and PushBatch then
+	// ingest synchronously and a view is published before they return.
+	AsyncQueue int
 }
 
 // Monitor is a continuous probabilistic skyline operator. It is safe for
-// concurrent use.
+// concurrent use by any number of goroutines.
+//
+// Internally the Monitor is split into a single-writer ingestion path and a
+// lock-free read path. Writers (Push, PushBatch, AddThreshold, ...) are
+// serialized on a mutex and, after every completed update, publish an
+// immutable View of the full answerable state through an atomic pointer.
+// Readers (Skyline, Query, TopK, View) only load that pointer: they never
+// block the writer, never block each other, and never touch the live
+// R-trees, so read throughput scales with cores.
+//
+// Memory model: a read observes exactly the state left by the most recently
+// published update — never a partially applied one. A batch (PushBatch or an
+// async ingestion batch) publishes once at the end, so readers see either
+// the state before the whole batch or after it, nothing in between. The
+// atomic publication gives the usual happens-before edge: once a reader
+// obtains a view containing element a, it also observes every effect of the
+// writes up to and including a's ingestion.
 type Monitor struct {
-	mu     sync.Mutex
+	mu     sync.Mutex // guards eng, data, topk, lastGens
 	eng    *core.Engine
 	data   map[uint64]any
 	period int64
 	opts   Options
 	topk   *core.TopKTracker
+	dims   int
+
+	view     atomic.Pointer[View]
+	lastGens []uint64 // engine band generations at last publish
+
+	aq *asyncQueue // nil when Options.AsyncQueue == 0
 }
 
 // NewMonitor returns a Monitor for the given options.
 func NewMonitor(opt Options) (*Monitor, error) {
 	if (opt.Window > 0) == (opt.Period > 0) {
 		return nil, errors.New("pskyline: exactly one of Window and Period must be positive")
+	}
+	if opt.AsyncQueue < 0 {
+		return nil, errors.New("pskyline: AsyncQueue must be >= 0")
 	}
 	m := &Monitor{
 		data:   make(map[uint64]any),
@@ -148,6 +190,11 @@ func NewMonitor(opt Options) (*Monitor, error) {
 		if err != nil {
 			return nil, fmt.Errorf("pskyline: %w", err)
 		}
+	}
+	m.dims = eng.Dims()
+	m.publishLocked()
+	if opt.AsyncQueue > 0 {
+		m.aq = newAsyncQueue(m, opt.AsyncQueue)
 	}
 	return m, nil
 }
@@ -178,16 +225,89 @@ func (m *Monitor) skyPointOf(ev core.Event) SkyPoint {
 	}
 }
 
+// validate replicates the engine's element checks so that enqueueing and
+// batching can reject bad input up front, before any element is ingested.
+func (m *Monitor) validate(e Element) error {
+	if len(e.Point) != m.dims {
+		return fmt.Errorf("pskyline: point dimensionality %d != %d", len(e.Point), m.dims)
+	}
+	if e.Prob <= 0 || e.Prob > 1 {
+		return fmt.Errorf("pskyline: occurrence probability %v out of (0,1]", e.Prob)
+	}
+	return nil
+}
+
 // Push processes one arriving element and returns its sequence number.
+//
+// With an async queue (Options.AsyncQueue > 0) Push only validates and
+// enqueues the element — blocking when the queue is full — and returns the
+// sequence number the element will receive once the background goroutine
+// ingests it; call Drain to wait for queries to observe it.
 func (m *Monitor) Push(e Element) (uint64, error) {
+	if err := m.validate(e); err != nil {
+		return 0, err
+	}
+	if m.aq != nil {
+		return m.aq.enqueue(e)
+	}
 	m.mu.Lock()
 	defer m.mu.Unlock()
+	seq, err := m.ingestLocked(e)
+	if err != nil {
+		return 0, err
+	}
+	m.refreshTopKLocked()
+	m.publishLocked()
+	return seq, nil
+}
+
+// PushBatch processes a batch of arriving elements as one write: the
+// elements are validated up front (an invalid element fails the whole batch
+// before anything is ingested), ingested in order, and a single read view is
+// published afterwards, so concurrent readers observe either none or all of
+// the batch. The elements receive consecutive sequence numbers starting at
+// the returned value. Batching amortizes view publication: for write-heavy
+// streams it is substantially cheaper than element-wise Push.
+//
+// With an async queue the batch is enqueued whole (blocking when the queue
+// is full) and ingested by the background goroutine.
+func (m *Monitor) PushBatch(es []Element) (uint64, error) {
+	for i := range es {
+		if err := m.validate(es[i]); err != nil {
+			return 0, fmt.Errorf("batch element %d: %w", i, err)
+		}
+	}
+	if m.aq != nil {
+		return m.aq.enqueueBatch(es)
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	first := m.eng.NextSeq()
+	for i := range es {
+		if _, err := m.ingestLocked(es[i]); err != nil {
+			// Unreachable after up-front validation; publish what was
+			// ingested so readers stay consistent with the engine.
+			m.refreshTopKLocked()
+			m.publishLocked()
+			return 0, fmt.Errorf("batch element %d: %w", i, err)
+		}
+	}
+	if len(es) > 0 {
+		m.refreshTopKLocked()
+		m.publishLocked()
+	}
+	return first, nil
+}
+
+// ingestLocked runs one element through the engine. Callers hold m.mu and
+// publish a view afterwards.
+func (m *Monitor) ingestLocked(e Element) (uint64, error) {
 	if m.period > 0 {
 		m.eng.ExpireOlderThan(e.TS - m.period)
 	}
 	// Record the payload before the engine runs so departure events
 	// (including the degenerate immediate ones) can clean it up.
-	seq := m.eng.Processed()
+	seq := m.eng.NextSeq()
 	if e.Data != nil {
 		m.data[seq] = e.Data
 	}
@@ -196,13 +316,65 @@ func (m *Monitor) Push(e Element) (uint64, error) {
 		delete(m.data, seq)
 		return 0, fmt.Errorf("pskyline: %w", err)
 	}
-	if m.topk != nil {
-		changed, top, err := m.topk.Refresh()
-		if err == nil && changed && m.opts.OnTopK != nil {
-			m.opts.OnTopK(m.results(top))
+	return it.Seq, nil
+}
+
+// refreshTopKLocked re-derives the continuous top-k ranking and fires
+// OnTopK if the ranked membership changed. Callers hold m.mu.
+func (m *Monitor) refreshTopKLocked() {
+	if m.topk == nil {
+		return
+	}
+	changed, top, err := m.topk.Refresh()
+	if err == nil && changed && m.opts.OnTopK != nil {
+		m.opts.OnTopK(m.results(top))
+	}
+}
+
+// publishLocked captures the engine's current bands into an immutable View
+// and swaps it in for readers. Bands whose generation counter is unchanged
+// since the previous publication are reused from the previous view
+// (copy-on-write): the engine guarantees an unchanged generation means a
+// byte-identical extraction. Callers hold m.mu.
+func (m *Monitor) publishLocked() {
+	ths := m.eng.Thresholds()
+	nb := len(ths) + 1
+	prev := m.view.Load()
+	reuse := prev != nil && len(prev.bands) == nb && len(m.lastGens) == nb
+	bands := make([][]SkyPoint, nb)
+	gens := make([]uint64, nb)
+	for i := 0; i < nb; i++ {
+		gens[i] = m.eng.BandGen(i)
+		if reuse && m.lastGens[i] == gens[i] {
+			bands[i] = prev.bands[i]
+			continue
+		}
+		bands[i] = m.extractBandLocked(i)
+	}
+	m.lastGens = gens
+	m.view.Store(&View{
+		processed:  m.eng.Processed(),
+		thresholds: ths,
+		bands:      bands,
+	})
+}
+
+// extractBandLocked copies threshold band i out of the engine, attaching
+// payloads. Callers hold m.mu.
+func (m *Monitor) extractBandLocked(i int) []SkyPoint {
+	rs := m.eng.BandResults(i)
+	out := make([]SkyPoint, len(rs))
+	for j, r := range rs {
+		out[j] = SkyPoint{
+			Seq:   r.Seq,
+			Point: r.Point,
+			Prob:  r.P,
+			Psky:  r.Psky,
+			TS:    r.TS,
+			Data:  m.data[r.Seq],
 		}
 	}
-	return it.Seq, nil
+	return out
 }
 
 func (m *Monitor) results(rs []core.Result) []SkyPoint {
@@ -220,42 +392,36 @@ func (m *Monitor) results(rs []core.Result) []SkyPoint {
 	return out
 }
 
-// Skyline returns the current q_1-skyline sorted by descending skyline
-// probability.
-func (m *Monitor) Skyline() []SkyPoint {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	return m.results(m.eng.Skyline())
+// View returns the most recently published read view. It never returns nil
+// and never blocks: the view is swapped in atomically by the writer, and
+// reading it contends with nothing. Use it to answer several queries
+// against one consistent snapshot of the stream.
+func (m *Monitor) View() *View {
+	return m.view.Load()
 }
 
-// Query answers an ad-hoc skyline query at threshold q' ≥ q_k (QSKY).
+// Skyline returns the current q_1-skyline sorted by descending skyline
+// probability. It reads the published view: it never blocks on the writer.
+func (m *Monitor) Skyline() []SkyPoint {
+	return m.view.Load().Skyline()
+}
+
+// Query answers an ad-hoc skyline query at threshold q' ≥ q_k (QSKY). It
+// reads the published view: it never blocks on the writer.
 func (m *Monitor) Query(qPrime float64) ([]SkyPoint, error) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	rs, err := m.eng.Query(qPrime)
-	if err != nil {
-		return nil, fmt.Errorf("pskyline: %w", err)
-	}
-	return m.results(rs), nil
+	return m.view.Load().Query(qPrime)
 }
 
 // TopK returns the k elements with the highest skyline probabilities among
-// those with Psky ≥ minQ (minQ ≥ q_k), in descending order.
+// those with Psky ≥ minQ (minQ ≥ q_k), in descending order. It reads the
+// published view: it never blocks on the writer.
 func (m *Monitor) TopK(k int, minQ float64) ([]SkyPoint, error) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	rs, err := m.eng.TopK(k, minQ)
-	if err != nil {
-		return nil, fmt.Errorf("pskyline: %w", err)
-	}
-	return m.results(rs), nil
+	return m.view.Load().TopK(k, minQ)
 }
 
 // Thresholds returns the maintained thresholds, sorted descending.
 func (m *Monitor) Thresholds() []float64 {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	return m.eng.Thresholds()
+	return m.view.Load().Thresholds()
 }
 
 // AddThreshold begins maintaining an additional threshold (a new MSKY user
@@ -271,6 +437,7 @@ func (m *Monitor) AddThreshold(q float64) error {
 	if err := m.eng.AddThreshold(q); err != nil {
 		return fmt.Errorf("pskyline: %w", err)
 	}
+	m.publishLocked()
 	return nil
 }
 
@@ -282,6 +449,7 @@ func (m *Monitor) RemoveThreshold(q float64) error {
 	if err := m.eng.RemoveThreshold(q); err != nil {
 		return fmt.Errorf("pskyline: %w", err)
 	}
+	m.publishLocked()
 	return nil
 }
 

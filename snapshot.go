@@ -20,6 +20,11 @@ type monitorSnapshot struct {
 // payload types must be registered with gob.Register before snapshotting
 // and restoring. Callbacks are configuration, not state; re-supply them to
 // RestoreMonitor.
+//
+// Snapshot captures the ingested state: with an async queue, elements still
+// sitting in the queue are NOT part of the checkpoint even though their
+// Push already returned. Call Drain first to checkpoint a deterministic
+// cut of the stream.
 func (m *Monitor) Snapshot(w io.Writer) error {
 	m.mu.Lock()
 	defer m.mu.Unlock()
@@ -40,6 +45,9 @@ type RestoreOptions struct {
 	TopK     int
 	TopKMinQ float64
 	OnTopK   func([]SkyPoint)
+	// AsyncQueue re-enables the bounded async ingestion queue, as in
+	// Options.
+	AsyncQueue int
 }
 
 // RestoreMonitor reads a checkpoint written by Snapshot and returns a
@@ -56,6 +64,7 @@ func RestoreMonitor(r io.Reader, ro RestoreOptions) (*Monitor, error) {
 		opts: Options{
 			OnEnter: ro.OnEnter, OnLeave: ro.OnLeave,
 			TopK: ro.TopK, TopKMinQ: ro.TopKMinQ, OnTopK: ro.OnTopK,
+			AsyncQueue: ro.AsyncQueue,
 		},
 	}
 	if m.data == nil {
@@ -76,6 +85,11 @@ func RestoreMonitor(r io.Reader, ro RestoreOptions) (*Monitor, error) {
 		if err != nil {
 			return nil, fmt.Errorf("pskyline: restore: %w", err)
 		}
+	}
+	m.dims = eng.Dims()
+	m.publishLocked()
+	if ro.AsyncQueue > 0 {
+		m.aq = newAsyncQueue(m, ro.AsyncQueue)
 	}
 	return m, nil
 }

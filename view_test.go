@@ -1,0 +1,234 @@
+package pskyline_test
+
+import (
+	"math"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"pskyline"
+)
+
+// boundaryTol absorbs the float-vs-log-domain representation gap at band
+// boundaries: the engine classifies bands on log-domain factors while views
+// filter on the reported float64 probabilities, so an element sitting
+// exactly on a threshold can land within a ULP of it.
+const boundaryTol = 1e-9
+
+// checkViewInvariants asserts the internal consistency of one published
+// view; these properties must hold for any view captured at any moment.
+func checkViewInvariants(t *testing.T, v *pskyline.View, r *rand.Rand) {
+	t.Helper()
+	ths := v.Thresholds()
+	q1, qk := ths[0], ths[len(ths)-1]
+
+	// Candidates are globally sorted by descending skyline probability, and
+	// the band partition sizes add up.
+	cands := v.Candidates()
+	for i := 1; i < len(cands); i++ {
+		if cands[i].Psky > cands[i-1].Psky {
+			t.Fatalf("candidates out of order at %d: %v after %v", i, cands[i].Psky, cands[i-1].Psky)
+		}
+	}
+	total := 0
+	for _, s := range v.BandSizes() {
+		total += s
+	}
+	if total != len(cands) || total != v.NumCandidates() {
+		t.Fatalf("band sizes sum %d, candidates %d, NumCandidates %d", total, len(cands), v.NumCandidates())
+	}
+
+	// Every skyline member clears the top threshold.
+	sky := v.Skyline()
+	for _, p := range sky {
+		if p.Psky < q1-boundaryTol {
+			t.Fatalf("skyline member seq %d has psky %v < q1 %v", p.Seq, p.Psky, q1)
+		}
+	}
+
+	// Query is monotone: for q' ≥ q, Query(q') ⊆ Query(q); and the skyline
+	// is contained in Query(q1).
+	qlo := qk + r.Float64()*(1-qk)
+	qhi := qlo + r.Float64()*(1-qlo)
+	lo, err := v.Query(qlo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hi, err := v.Query(qhi)
+	if err != nil {
+		t.Fatal(err)
+	}
+	loSet := make(map[uint64]bool, len(lo))
+	for _, p := range lo {
+		loSet[p.Seq] = true
+		if p.Psky < qlo-boundaryTol {
+			t.Fatalf("query(%v) reported seq %d with psky %v", qlo, p.Seq, p.Psky)
+		}
+	}
+	for _, p := range hi {
+		if !loSet[p.Seq] {
+			t.Fatalf("query(%v) result seq %d missing from query(%v)", qhi, p.Seq, qlo)
+		}
+	}
+	qres, err := v.Query(q1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inQ1 := make(map[uint64]bool, len(qres))
+	for _, p := range qres {
+		inQ1[p.Seq] = true
+	}
+	for _, p := range sky {
+		if !inQ1[p.Seq] {
+			t.Fatalf("skyline seq %d missing from query(q1)", p.Seq)
+		}
+	}
+
+	// TopK(k, q) is exactly the first min(k, len) entries of Query(q).
+	k := 1 + r.Intn(8)
+	top, err := v.TopK(k, qlo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantLen := k
+	if len(lo) < k {
+		wantLen = len(lo)
+	}
+	if len(top) != wantLen {
+		t.Fatalf("topk(%d, %v) returned %d results, query has %d", k, qlo, len(top), len(lo))
+	}
+	for i, p := range top {
+		if p.Seq != lo[i].Seq || p.Psky != lo[i].Psky {
+			t.Fatalf("topk[%d] = seq %d, query[%d] = seq %d", i, p.Seq, i, lo[i].Seq)
+		}
+	}
+
+	// Out-of-range thresholds are rejected.
+	if _, err := v.Query(qk / 2); err == nil {
+		t.Fatal("query below q_k accepted")
+	}
+	if _, err := v.Query(1.5); err == nil {
+		t.Fatal("query above 1 accepted")
+	}
+	if _, err := v.TopK(3, qk/2); err == nil {
+		t.Fatal("topk below q_k accepted")
+	}
+	if res, err := v.TopK(0, qk); err != nil || res != nil {
+		t.Fatalf("topk(0) = %v, %v", res, err)
+	}
+}
+
+// TestViewConsistencyMidStream checks every read-path invariant on views
+// captured while a writer is actively mutating the monitor: reads must be
+// internally consistent at every instant, not only between pushes.
+func TestViewConsistencyMidStream(t *testing.T) {
+	const dims = 3
+	n := 5000
+	if testing.Short() {
+		n = 1500
+	}
+	m := mustMonitor(t, pskyline.Options{
+		Dims: dims, Window: 600, Thresholds: []float64{0.5, 0.3},
+	})
+	stream := genElements(53, n, dims, true)
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		r := rand.New(rand.NewSource(61))
+		for i := 0; i < n; {
+			sz := 1 + r.Intn(32)
+			if i+sz > n {
+				sz = n - i
+			}
+			if _, err := m.PushBatch(stream[i : i+sz]); err != nil {
+				t.Errorf("batch at %d: %v", i, err)
+				return
+			}
+			i += sz
+		}
+	}()
+
+	r := rand.New(rand.NewSource(67))
+	var lastProcessed uint64
+	checks := 0
+	for {
+		v := m.View()
+		if v.Processed() < lastProcessed {
+			t.Fatalf("processed went backwards: %d after %d", v.Processed(), lastProcessed)
+		}
+		lastProcessed = v.Processed()
+		checkViewInvariants(t, v, r)
+		checks++
+		if lastProcessed == uint64(n) {
+			break
+		}
+	}
+	wg.Wait()
+	if checks < 2 {
+		t.Fatalf("only %d consistency checks ran", checks)
+	}
+}
+
+// TestViewImmutable pins the publication contract: a view captured at some
+// stream position never changes, no matter how many writes, threshold
+// changes or expiries happen afterwards.
+func TestViewImmutable(t *testing.T) {
+	const dims = 2
+	m := mustMonitor(t, pskyline.Options{
+		Dims: dims, Window: 150, Thresholds: []float64{0.5, 0.3},
+	})
+	stream := genElements(71, 900, dims, true)
+	if _, err := m.PushBatch(stream[:300]); err != nil {
+		t.Fatal(err)
+	}
+	v := m.View()
+	before := fingerprint(v)
+
+	// Mutate heavily: enough pushes to cycle the window twice, plus
+	// threshold churn.
+	if _, err := m.PushBatch(stream[300:]); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.AddThreshold(0.7); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.RemoveThreshold(0.7); err != nil {
+		t.Fatal(err)
+	}
+
+	if after := fingerprint(v); after != before {
+		t.Fatal("captured view changed after subsequent writes")
+	}
+	if v.Processed() == m.View().Processed() {
+		t.Fatal("monitor did not advance past the captured view")
+	}
+}
+
+// fingerprint reduces a view to a comparable value covering every byte of
+// its observable state.
+func fingerprint(v *pskyline.View) uint64 {
+	h := uint64(14695981039346656037) // FNV-64 offset basis
+	mix := func(x uint64) {
+		h ^= x
+		h *= 1099511628211
+	}
+	mix(v.Processed())
+	for _, q := range v.Thresholds() {
+		mix(math.Float64bits(q))
+	}
+	for _, s := range v.BandSizes() {
+		mix(uint64(s))
+	}
+	for _, c := range v.Candidates() {
+		mix(c.Seq)
+		mix(uint64(c.TS))
+		mix(math.Float64bits(c.Prob))
+		mix(math.Float64bits(c.Psky))
+		for _, x := range c.Point {
+			mix(math.Float64bits(x))
+		}
+	}
+	return h
+}
