@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build vet test race bench-concurrent ci
+.PHONY: build vet test race bench-concurrent bench bench-smoke ci
 
 build:
 	$(GO) build ./...
@@ -25,4 +25,18 @@ race:
 bench-concurrent:
 	$(GO) test -run '^$$' -bench BenchmarkConcurrentReaders -benchtime 1000x -short .
 
-ci: build vet test race bench-concurrent
+# Full ingestion benchmark trajectory: appends a machine-readable run
+# (ns/op, B/op, allocs/op, elems/sec for Push, PushBatch, expiry, mixed)
+# to BENCH_ingest.json. Label it after the change being measured, e.g.
+#   make bench BENCH_LABEL=my-change
+BENCH_LABEL ?= local
+bench:
+	$(GO) run ./cmd/pskybench -ingest -out BENCH_ingest.json -label "$(BENCH_LABEL)"
+
+# Fast benchmark smoke pass over the hot packages under the race detector:
+# catches benchmarks that crash, race or regress catastrophically without
+# paying for statistically meaningful timings.
+bench-smoke:
+	$(GO) test -run '^$$' -bench . -benchtime 100x -benchmem -race ./internal/aggrtree/ ./internal/geom/ ./internal/core/
+
+ci: build vet test race bench-concurrent bench-smoke

@@ -127,16 +127,15 @@ func (q *asyncQueue) gather(buf []Element) []Element {
 	return buf
 }
 
-// ingestBatch runs a drained batch through the engine and publishes one
-// fresh view. The elements were validated before enqueueing, so engine
-// errors indicate a bug, not bad input.
+// ingestBatch runs a drained batch through the engine — as one engine-level
+// batch insert for count-based windows — and publishes one fresh view. The
+// elements were validated before enqueueing, so engine errors indicate a
+// bug, not bad input.
 func (m *Monitor) ingestBatch(es []Element) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	for i := range es {
-		if _, err := m.ingestLocked(es[i]); err != nil {
-			panic("pskyline: validated element rejected by engine: " + err.Error())
-		}
+	if _, err := m.ingestBatchLocked(es); err != nil {
+		panic("pskyline: validated element rejected by engine: " + err.Error())
 	}
 	m.refreshTopKLocked()
 	m.publishLocked()

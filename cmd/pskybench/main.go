@@ -25,8 +25,29 @@ func main() {
 		n          = flag.Int("n", bench.DefaultScale.N, "stream length")
 		w          = flag.Int("w", bench.DefaultScale.Window, "sliding window size")
 		paperScale = flag.Bool("paper-scale", false, "use the paper's n=2M, N=1M (slow)")
+
+		ingest       = flag.Bool("ingest", false, "run the ingestion benchmark harness instead of the figure experiments")
+		ingestOut    = flag.String("out", "BENCH_ingest.json", "trajectory file the -ingest run is appended to")
+		ingestLabel  = flag.String("label", "local", "label naming the -ingest run in the trajectory file")
+		ingestWindow = flag.Int("ingest-window", 0, "sliding window of the -ingest workloads (0 = default 10000)")
+		ingestShort  = flag.Bool("ingest-short", false, "shrink the -ingest workloads for smoke runs")
 	)
 	flag.Parse()
+
+	if *ingest {
+		fmt.Printf("pskybench: ingestion workloads (label %q)\n", *ingestLabel)
+		run := bench.Ingest(bench.IngestConfig{
+			Window: *ingestWindow,
+			Short:  *ingestShort,
+			Label:  *ingestLabel,
+		}, os.Stdout)
+		if err := bench.WriteIngest(*ingestOut, run); err != nil {
+			fmt.Fprintln(os.Stderr, "pskybench:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("pskybench: appended run %q to %s\n", run.Label, *ingestOut)
+		return
+	}
 
 	scale := bench.Scale{N: *n, Window: *w}
 	if *paperScale {

@@ -51,6 +51,10 @@ type Item struct {
 	pf     prob.Factor // FromFloat(P), cached
 	oneMin prob.Factor // OneMinus(P), cached
 	leaf   *Node       // leaf currently containing the item
+
+	// freed marks an item sitting in an ItemPool freelist; attachItem and
+	// CheckInvariants reject freed items.
+	freed bool
 }
 
 // NewItem returns an item with Pnew = Pold = 1 for an element arriving with
@@ -86,6 +90,10 @@ func (it *Item) OneMinusP() prob.Factor { return it.oneMin }
 // Leaf returns the leaf node currently storing the item, or nil if the item
 // is not in any tree.
 func (it *Item) Leaf() *Node { return it.leaf }
+
+// Freed reports whether the item sits in a pool freelist (use-after-free
+// diagnostic).
+func (it *Item) Freed() bool { return it.freed }
 
 // Rect returns the degenerate bounding box of the item's point.
 func (it *Item) Rect() geom.Rect { return geom.PointRect(it.Point) }

@@ -33,6 +33,11 @@ type Node struct {
 	// multipliers (but including all lazies strictly below).
 	pskyMin, pskyMax prob.Factor
 	pnewMin, pnewMax prob.Factor
+
+	// freed marks a node currently sitting in a NodePool freelist. Attach
+	// operations and CheckInvariants reject freed nodes so a stale pointer
+	// into recycled memory fails loudly instead of corrupting aggregates.
+	freed bool
 }
 
 func newNode(dims, level int) *Node {
@@ -303,7 +308,14 @@ func refreshUp(n *Node) {
 	}
 }
 
+// Freed reports whether the node sits in a pool freelist (use-after-free
+// diagnostic).
+func (n *Node) Freed() bool { return n.freed }
+
 func (n *Node) attachChild(c *Node) {
+	if n.freed || c.freed {
+		panic("aggrtree: attachChild on freed node")
+	}
 	c.parent = n
 	n.children = append(n.children, c)
 }
@@ -320,6 +332,9 @@ func (n *Node) detachChild(c *Node) {
 }
 
 func (n *Node) attachItem(it *Item) {
+	if n.freed || it.freed {
+		panic("aggrtree: attachItem on freed node or item")
+	}
 	it.leaf = n
 	n.items = append(n.items, it)
 }

@@ -1,0 +1,236 @@
+package aggrtree
+
+import (
+	"math/rand"
+	"testing"
+
+	"pskyline/internal/geom"
+	"pskyline/internal/prob"
+)
+
+// withPoison runs fn with freed-node poisoning enabled so any read through a
+// stale pointer trips the invariant checks.
+func withPoison(t *testing.T, fn func()) {
+	t.Helper()
+	old := PoisonEnabled()
+	SetPoison(true)
+	defer SetPoison(old)
+	fn()
+}
+
+// TestPoolRecyclingStorm drives randomized insert/delete storms through a
+// pooled tree with poisoning on, interleaving lazy multipliers, and asserts
+// that recycled nodes never leak stale aggregates, items, or lazy
+// multipliers: the invariants must hold and every item's exact (pnew, pold)
+// must match a shadow oracle that applies the same multipliers item-wise.
+func TestPoolRecyclingStorm(t *testing.T) {
+	withPoison(t, func() {
+		for _, dims := range []int{2, 3} {
+			r := rand.New(rand.NewSource(int64(40 + dims)))
+			pool := NewNodePool(dims)
+			ipool := NewItemPool()
+			tr := New(dims, Config{MaxEntries: 5, NodePool: pool})
+			oracle := map[uint64]stormPV{}
+			var live []*Item
+			seq := uint64(0)
+			for step := 0; step < 4000; step++ {
+				switch {
+				case len(live) == 0 || r.Float64() < 0.55:
+					pt := make(geom.Point, dims)
+					for i := range pt {
+						pt[i] = r.Float64()
+					}
+					it := ipool.Get(pt, 1-r.Float64(), seq)
+					seq++
+					tr.InsertItem(it)
+					live = append(live, it)
+					oracle[it.Seq] = stormPV{prob.One(), prob.One()}
+				case r.Float64() < 0.85:
+					i := r.Intn(len(live))
+					it := live[i]
+					tr.DeleteItem(it)
+					live[i] = live[len(live)-1]
+					live = live[:len(live)-1]
+					delete(oracle, it.Seq)
+					ipool.Put(it)
+				default:
+					// Apply a lazy multiplier at a random node and mirror it
+					// item-wise in the oracle.
+					n := tr.Root()
+					for n.Level() > 0 && r.Float64() < 0.7 {
+						cs := n.Children()
+						n = cs[r.Intn(len(cs))]
+					}
+					f := prob.OneMinus(r.Float64() * 0.9)
+					useNew := r.Intn(2) == 0
+					if useNew {
+						n.MulLazyNew(f)
+					} else {
+						n.MulLazyOld(f)
+					}
+					RefreshPath(n.Parent())
+					applyOracle(n, f, useNew, oracle)
+				}
+				if step%101 == 0 {
+					if err := tr.CheckInvariants(); err != nil {
+						t.Fatalf("dims=%d step %d: %v", dims, step, err)
+					}
+				}
+			}
+			if err := tr.CheckInvariants(); err != nil {
+				t.Fatalf("dims=%d final: %v", dims, err)
+			}
+			if tr.Size() != len(live) {
+				t.Fatalf("dims=%d: size %d != live %d", dims, tr.Size(), len(live))
+			}
+			// Every live item must carry its exact oracle probabilities: a
+			// recycled node leaking a stale lazy multiplier would show up
+			// here as a wrong pnew or pold.
+			visited := 0
+			tr.WalkItems(func(it *Item, pnew, pold prob.Factor) bool {
+				visited++
+				want, ok := oracle[it.Seq]
+				if !ok {
+					t.Fatalf("dims=%d: unexpected item %d in tree", dims, it.Seq)
+				}
+				if !pnew.ApproxEqual(want.pnew, 1e-9) || !pold.ApproxEqual(want.pold, 1e-9) {
+					t.Fatalf("dims=%d item %d: probs (%v,%v) != oracle (%v,%v)",
+						dims, it.Seq, pnew, pold, want.pnew, want.pold)
+				}
+				return true
+			})
+			if visited != len(live) {
+				t.Fatalf("dims=%d: walked %d items, want %d", dims, visited, len(live))
+			}
+			// Drain the window completely (the mass-expiry shape): every
+			// node the tree shed must land in the pool, then rebuilding from
+			// the warm pool must produce a clean tree again.
+			for _, it := range live {
+				tr.DeleteItem(it)
+				ipool.Put(it)
+			}
+			if err := tr.CheckInvariants(); err != nil {
+				t.Fatalf("dims=%d drained: %v", dims, err)
+			}
+			if pool.FreeLen() == 0 {
+				t.Fatalf("dims=%d: drain recycled no nodes", dims)
+			}
+			if ipool.FreeLen() == 0 {
+				t.Fatalf("dims=%d: drain recycled no items", dims)
+			}
+			for i := 0; i < 200; i++ {
+				pt := make(geom.Point, dims)
+				for j := range pt {
+					pt[j] = r.Float64()
+				}
+				tr.InsertItem(ipool.Get(pt, 1-r.Float64(), seq))
+				seq++
+			}
+			if err := tr.CheckInvariants(); err != nil {
+				t.Fatalf("dims=%d rebuilt from warm pool: %v", dims, err)
+			}
+		}
+	})
+}
+
+type stormPV struct{ pnew, pold prob.Factor }
+
+func applyOracle(n *Node, f prob.Factor, isNew bool, oracle map[uint64]stormPV) {
+	if n.IsLeaf() {
+		for _, it := range n.Items() {
+			v := oracle[it.Seq]
+			if isNew {
+				v.pnew = v.pnew.Times(f)
+			} else {
+				v.pold = v.pold.Over(f)
+			}
+			oracle[it.Seq] = v
+		}
+		return
+	}
+	for _, c := range n.Children() {
+		applyOracle(c, f, isNew, oracle)
+	}
+}
+
+// TestPoolSharedAcrossTrees moves whole entries between two trees sharing a
+// pool — the engine's band-migration pattern — under poisoning.
+func TestPoolSharedAcrossTrees(t *testing.T) {
+	withPoison(t, func() {
+		r := rand.New(rand.NewSource(77))
+		pool := NewNodePool(2)
+		a := New(2, Config{MaxEntries: 5, NodePool: pool})
+		b := New(2, Config{MaxEntries: 5, NodePool: pool})
+		for i := 0; i < 300; i++ {
+			a.InsertItem(randItem(r, 2, uint64(i)))
+		}
+		for round := 0; round < 6; round++ {
+			src, dst := a, b
+			if round%2 == 1 {
+				src, dst = b, a
+			}
+			root := src.RemoveEntry(src.Root())
+			dst.InsertEntry(root)
+			for _, tr := range []*Tree{a, b} {
+				if err := tr.CheckInvariants(); err != nil {
+					t.Fatalf("round %d: %v", round, err)
+				}
+			}
+		}
+		if a.Size()+b.Size() != 300 {
+			t.Fatalf("items lost: %d + %d != 300", a.Size(), b.Size())
+		}
+	})
+}
+
+// TestPoolDoubleFreePanics pins the loud-failure contract.
+func TestPoolDoubleFreePanics(t *testing.T) {
+	pool := NewNodePool(2)
+	n := pool.get(2, 0)
+	pool.put(n)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("double free did not panic")
+		}
+	}()
+	pool.put(n)
+}
+
+// TestItemPoolReinitMatchesNewItem checks that a recycled item is
+// indistinguishable from a freshly constructed one.
+func TestItemPoolReinitMatchesNewItem(t *testing.T) {
+	withPoison(t, func() {
+		ipool := NewItemPool()
+		it := ipool.Get(geom.Point{1, 2}, 0.4, 7)
+		it.Pnew = it.Pnew.Times(prob.OneMinus(0.5))
+		it.Pold = it.Pold.Times(prob.OneMinus(0.25))
+		it.Band = 3
+		it.TS = 99
+		ipool.Put(it)
+		got := ipool.Get(geom.Point{3, 4}, 0.6, 8)
+		want := NewItem(geom.Point{3, 4}, 0.6, 8)
+		if got != it {
+			t.Fatal("pool did not recycle the freed item")
+		}
+		if !got.Point.Equal(want.Point) || got.P != want.P || got.Seq != want.Seq ||
+			got.TS != want.TS || got.Band != want.Band || got.Freed() ||
+			got.Pnew != want.Pnew || got.Pold != want.Pold ||
+			got.pf != want.pf || got.oneMin != want.oneMin || got.leaf != nil {
+			t.Fatalf("recycled item %+v != fresh %+v", got, want)
+		}
+	})
+}
+
+// TestFreedItemAttachPanics pins that a freed item cannot re-enter a tree.
+func TestFreedItemAttachPanics(t *testing.T) {
+	ipool := NewItemPool()
+	it := ipool.Get(geom.Point{1, 2}, 0.5, 0)
+	ipool.Put(it)
+	tr := New(2, Config{})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("inserting a freed item did not panic")
+		}
+	}()
+	tr.InsertItem(it)
+}

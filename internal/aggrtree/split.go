@@ -8,38 +8,50 @@ import (
 
 // splitNode partitions an overflowing node's entries between the node and a
 // fresh sibling using Guttman's quadratic split, and returns the sibling.
-// The caller refreshes both nodes and attaches the sibling.
+// The caller refreshes both nodes and attaches the sibling. All staging
+// goes through the tree's scratch buffers: splits happen one at a time on
+// the unwind of an insertion, so the buffers are never live twice.
 func (t *Tree) splitNode(n *Node) *Node {
-	sib := newNode(t.dims, n.level)
+	sib := t.newNode(n.level)
 	if n.level > 0 {
-		entries := n.children
-		n.children = nil
-		rects := make([]geom.Rect, len(entries))
-		for i, e := range entries {
-			rects[i] = e.rect
+		entries := append(t.scratch.entries[:0], n.children...)
+		n.children = n.children[:0]
+		rects := t.scratch.rects[:0]
+		for _, e := range entries {
+			rects = append(rects, e.rect)
 		}
-		ga, gb := quadraticPartition(rects, t.min)
+		ga, gb := t.quadraticPartition(rects, t.min)
 		for _, i := range ga {
 			n.attachChild(entries[i])
 		}
 		for _, i := range gb {
 			sib.attachChild(entries[i])
 		}
+		for i := range entries {
+			entries[i] = nil
+		}
+		t.scratch.entries = entries[:0]
+		t.scratch.rects = rects[:0]
 		return sib
 	}
-	items := n.items
-	n.items = nil
-	rects := make([]geom.Rect, len(items))
-	for i, it := range items {
-		rects[i] = it.Rect()
+	items := append(t.scratch.items[:0], n.items...)
+	n.items = n.items[:0]
+	rects := t.scratch.rects[:0]
+	for _, it := range items {
+		rects = append(rects, it.Rect())
 	}
-	ga, gb := quadraticPartition(rects, t.min)
+	ga, gb := t.quadraticPartition(rects, t.min)
 	for _, i := range ga {
 		n.attachItem(items[i])
 	}
 	for _, i := range gb {
 		sib.attachItem(items[i])
 	}
+	for i := range items {
+		items[i] = nil
+	}
+	t.scratch.items = items[:0]
+	t.scratch.rects = rects[:0]
 	return sib
 }
 
@@ -47,16 +59,23 @@ func (t *Tree) splitNode(n *Node) *Node {
 // of at least minFill entries each, following Guttman's quadratic method:
 // seed the groups with the pair wasting the most area when joined, then
 // repeatedly assign the entry with the greatest preference difference to the
-// group whose MBB it enlarges least.
-func quadraticPartition(rects []geom.Rect, minFill int) (groupA, groupB []int) {
+// group whose MBB it enlarges least. The returned index slices alias the
+// tree's scratch buffers and are valid until the next split.
+func (t *Tree) quadraticPartition(rects []geom.Rect, minFill int) (groupA, groupB []int) {
 	nEntries := len(rects)
 	seedA, seedB := pickSeeds(rects)
-	groupA = append(groupA, seedA)
-	groupB = append(groupB, seedB)
-	mbbA := rects[seedA].Clone()
-	mbbB := rects[seedB].Clone()
+	groupA = append(t.scratch.groupA[:0], seedA)
+	groupB = append(t.scratch.groupB[:0], seedB)
+	mbbA, mbbB := t.scratch.mbbA, t.scratch.mbbB
+	copy(mbbA.Min, rects[seedA].Min)
+	copy(mbbA.Max, rects[seedA].Max)
+	copy(mbbB.Min, rects[seedB].Min)
+	copy(mbbB.Max, rects[seedB].Max)
 
-	assigned := make([]bool, nEntries)
+	assigned := t.scratch.assigned[:0]
+	for i := 0; i < nEntries; i++ {
+		assigned = append(assigned, false)
+	}
 	assigned[seedA], assigned[seedB] = true, true
 	remaining := nEntries - 2
 
@@ -70,7 +89,7 @@ func quadraticPartition(rects []geom.Rect, minFill int) (groupA, groupB []int) {
 					assigned[i] = true
 				}
 			}
-			return groupA, groupB
+			break
 		}
 		if len(groupB)+remaining == minFill {
 			for i := 0; i < nEntries; i++ {
@@ -79,7 +98,7 @@ func quadraticPartition(rects []geom.Rect, minFill int) (groupA, groupB []int) {
 					assigned[i] = true
 				}
 			}
-			return groupA, groupB
+			break
 		}
 		// PickNext: entry with the greatest |d1 − d2|.
 		next, bestDiff := -1, -1.0
@@ -117,6 +136,9 @@ func quadraticPartition(rects []geom.Rect, minFill int) (groupA, groupB []int) {
 			mbbB.ExtendRect(rects[next])
 		}
 	}
+	t.scratch.groupA = groupA
+	t.scratch.groupB = groupB
+	t.scratch.assigned = assigned
 	return groupA, groupB
 }
 

@@ -15,6 +15,10 @@ type Config struct {
 	// MaxEntries is the maximum fanout of a node; the minimum fill is 40%
 	// of it. Zero selects DefaultMaxEntries.
 	MaxEntries int
+	// NodePool, when non-nil, recycles nodes the tree sheds instead of
+	// leaving them to the GC. Trees that exchange entries (the engine's
+	// band trees) must share one pool.
+	NodePool *NodePool
 }
 
 // Tree is an aggregate R-tree over uncertain stream elements.
@@ -24,12 +28,39 @@ type Tree struct {
 	min  int
 	root *Node
 	size int
+	pool *NodePool
+
+	// Reusable buffers for the non-reentrant structural operations
+	// (pushPath, condense, splitNode); see treeScratch.
+	scratch treeScratch
+}
+
+// treeScratch holds per-tree buffers for structural operations so the
+// steady-state insert/delete churn stops allocating. Safe because none of
+// the operations that use a given buffer re-enters itself: pushPath never
+// nests, condense's reinsertions only ever split (insertEntryInto and
+// insertItemInto never condense), and splits complete one at a time on the
+// way up.
+type treeScratch struct {
+	chain       []*Node // pushPath root-to-leaf chain
+	orphanItems []*Item // condense
+	orphanNodes []*Node // condense
+	entries     []*Node // splitNode staging
+	items       []*Item // splitNode staging
+	rects       []geom.Rect
+	groupA      []int
+	groupB      []int
+	assigned    []bool
+	mbbA, mbbB  geom.Rect // quadraticPartition group MBBs
 }
 
 // New returns an empty aggregate R-tree for dims-dimensional points.
 func New(dims int, cfg Config) *Tree {
 	if dims < 1 {
 		panic("aggrtree: dims must be >= 1")
+	}
+	if cfg.NodePool != nil && cfg.NodePool.dims != dims {
+		panic("aggrtree: NodePool dimensionality mismatch")
 	}
 	max := cfg.MaxEntries
 	if max == 0 {
@@ -42,8 +73,20 @@ func New(dims int, cfg Config) *Tree {
 	if min < 1 {
 		min = 1
 	}
-	return &Tree{dims: dims, max: max, min: min, root: newNode(dims, 0)}
+	t := &Tree{dims: dims, max: max, min: min, pool: cfg.NodePool}
+	t.root = t.newNode(0)
+	t.scratch.mbbA = geom.EmptyRect(dims)
+	t.scratch.mbbB = geom.EmptyRect(dims)
+	return t
 }
+
+// newNode builds or recycles a node at the given level.
+func (t *Tree) newNode(level int) *Node { return t.pool.get(t.dims, level) }
+
+// freeNode recycles a node the tree no longer references. Without a pool
+// the node still gets its freed flag set (catching stale pointers in
+// validating tests) but is left to the GC.
+func (t *Tree) freeNode(n *Node) { t.pool.put(n) }
 
 // Dims returns the tree's dimensionality.
 func (t *Tree) Dims() int { return t.dims }
@@ -64,7 +107,37 @@ func (t *Tree) InsertItem(it *Item) {
 func (t *Tree) insertItemInto(it *Item) {
 	n := t.chooseNode(it.Rect(), 0)
 	n.attachItem(it)
+	if len(n.items) <= t.max {
+		addItemUp(n, it)
+		return
+	}
 	t.splitUpAndRefresh(n)
+}
+
+// addItemUp folds a single freshly attached item into the aggregates of its
+// root path without refreshing each node from scratch. chooseNode pushed the
+// whole path, so no lazy multipliers sit between the item and any ancestor:
+// the item contributes exactly it.Psky() and it.Pnew to every stored
+// aggregate above it. Rect extension, count and min/max merges therefore
+// equal what a full refresh would compute; only pnoc accumulates in a
+// different float association order, which stays within the tolerance
+// CheckInvariants grants probability aggregates.
+func addItemUp(n *Node, it *Item) {
+	s := it.Psky()
+	for m := n; m != nil; m = m.parent {
+		m.rect.ExtendPoint(it.Point)
+		m.pnoc = m.pnoc.Times(it.oneMin)
+		if m.count == 0 {
+			m.pskyMin, m.pskyMax = s, s
+			m.pnewMin, m.pnewMax = it.Pnew, it.Pnew
+		} else {
+			m.pskyMin = prob.Min(m.pskyMin, s)
+			m.pskyMax = prob.Max(m.pskyMax, s)
+			m.pnewMin = prob.Min(m.pnewMin, it.Pnew)
+			m.pnewMax = prob.Max(m.pnewMax, it.Pnew)
+		}
+		m.count++
+	}
 }
 
 // DeleteItem removes an element located via its leaf back-pointer. The
@@ -94,7 +167,9 @@ func (t *Tree) InsertEntry(e *Node) {
 
 func (t *Tree) insertEntryInto(e *Node) {
 	if t.root.count == 0 && e.level >= t.root.level {
-		// Empty tree: adopt the subtree as the new root.
+		// Empty tree: adopt the subtree as the new root and recycle the
+		// empty shell.
+		t.freeNode(t.root)
 		e.parent = nil
 		t.root = e
 		return
@@ -108,15 +183,16 @@ func (t *Tree) insertEntryInto(e *Node) {
 				it.leaf = nil
 				t.insertItemInto(it)
 			}
-			e.items = nil
+			t.freeNode(e)
 			return
 		}
-		children := e.children
-		e.children = nil
-		for _, c := range children {
+		// e is unreachable from the tree, so iterating its children while
+		// reinserting them is safe; the shell is recycled afterwards.
+		for _, c := range e.children {
 			c.parent = nil
 			t.insertEntryInto(c)
 		}
+		t.freeNode(e)
 		return
 	}
 	n := t.chooseNode(e.rect, e.level+1)
@@ -132,7 +208,7 @@ func (t *Tree) RemoveEntry(e *Node) *Node {
 		if e != t.root {
 			panic("aggrtree: RemoveEntry: detached entry")
 		}
-		t.root = newNode(t.dims, 0)
+		t.root = t.newNode(0)
 		t.size = 0
 		return e
 	}
@@ -215,13 +291,17 @@ func walk(n *Node, accNew, accOld prob.Factor, fn func(*Item, prob.Factor, prob.
 // pushPath pushes lazy multipliers top-down along the path from the root to
 // n (inclusive).
 func (t *Tree) pushPath(n *Node) {
-	var chain []*Node
+	chain := t.scratch.chain[:0]
 	for m := n; m != nil; m = m.parent {
 		chain = append(chain, m)
 	}
 	for i := len(chain) - 1; i >= 0; i-- {
 		chain[i].Push()
 	}
+	for i := range chain {
+		chain[i] = nil
+	}
+	t.scratch.chain = chain[:0]
 }
 
 // chooseNode descends from the root to a node at attachLevel, choosing the
@@ -234,8 +314,7 @@ func (t *Tree) chooseNode(r geom.Rect, attachLevel int) *Node {
 		var best *Node
 		bestEnl, bestArea := 0.0, 0.0
 		for _, c := range n.children {
-			enl := c.rect.Enlargement(r)
-			area := c.rect.Area()
+			enl, area := geom.EnlargeArea(c.rect, r)
 			if best == nil || enl < bestEnl || (enl == bestEnl && (area < bestArea ||
 				(area == bestArea && c.fanout() < best.fanout()))) {
 				best, bestEnl, bestArea = c, enl, area
@@ -263,7 +342,7 @@ func (t *Tree) splitUpAndRefresh(n *Node) {
 		n.refresh()
 		sib.refresh()
 		if n.parent == nil {
-			root := newNode(t.dims, n.level+1)
+			root := t.newNode(n.level + 1)
 			root.attachChild(n)
 			root.attachChild(sib)
 			root.refresh()
@@ -280,8 +359,8 @@ func (t *Tree) splitUpAndRefresh(n *Node) {
 // multipliers along the path must already be pushed (DeleteItem and
 // RemoveEntry do so).
 func (t *Tree) condense(n *Node) {
-	var orphanItems []*Item
-	var orphanNodes []*Node
+	orphanItems := t.scratch.orphanItems[:0]
+	orphanNodes := t.scratch.orphanNodes[:0]
 	for n.parent != nil {
 		p := n.parent
 		if n.fanout() < t.min {
@@ -291,14 +370,13 @@ func (t *Tree) condense(n *Node) {
 					it.leaf = nil
 					orphanItems = append(orphanItems, it)
 				}
-				n.items = nil
 			} else {
 				for _, c := range n.children {
 					c.parent = nil
 					orphanNodes = append(orphanNodes, c)
 				}
-				n.children = nil
 			}
+			t.freeNode(n)
 		} else {
 			n.refresh()
 		}
@@ -308,16 +386,27 @@ func (t *Tree) condense(n *Node) {
 	// An internal root emptied by the upward pass must become a leaf before
 	// reinsertion tries to descend through it.
 	if t.root.level > 0 && len(t.root.children) == 0 {
-		t.root = newNode(t.dims, 0)
+		t.freeNode(t.root)
+		t.root = t.newNode(0)
 	}
 	// Reinsert orphans, highest levels first so the tree regains height
-	// before lower entries need it.
+	// before lower entries need it. The scratch buffers are safe here:
+	// reinsertion only ever splits, never condenses, so this function does
+	// not re-enter while they are live.
 	for i := len(orphanNodes) - 1; i >= 0; i-- {
 		t.insertEntryInto(orphanNodes[i])
 	}
 	for _, it := range orphanItems {
 		t.insertItemInto(it)
 	}
+	for i := range orphanItems {
+		orphanItems[i] = nil
+	}
+	for i := range orphanNodes {
+		orphanNodes[i] = nil
+	}
+	t.scratch.orphanItems = orphanItems[:0]
+	t.scratch.orphanNodes = orphanNodes[:0]
 	// Collapse trivial roots. Callers must not hold references to entries
 	// across structural operations (the engine performs all its structural
 	// changes at item granularity for exactly this reason).
@@ -325,7 +414,9 @@ func (t *Tree) condense(n *Node) {
 		t.root.Push()
 		c := t.root.children[0]
 		c.parent = nil
+		old := t.root
 		t.root = c
+		t.freeNode(old)
 	}
 }
 

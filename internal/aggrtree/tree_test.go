@@ -240,7 +240,8 @@ func TestQuadraticPartitionRespectsMinFill(t *testing.T) {
 			pt := geom.Point{r.Float64(), r.Float64()}
 			rects[i] = geom.PointRect(pt)
 		}
-		ga, gb := quadraticPartition(rects, minFill)
+		tr := New(2, Config{})
+		ga, gb := tr.quadraticPartition(rects, minFill)
 		if len(ga)+len(gb) != n {
 			t.Fatalf("partition lost entries: %d + %d != %d", len(ga), len(gb), n)
 		}

@@ -34,6 +34,9 @@ func (t *Tree) CheckInvariants() error {
 // check validates the subtree at n and returns its item count. accNew/accOld
 // accumulate lazies from ancestors (exclusive of n).
 func (t *Tree) check(n *Node, accNew, accOld prob.Factor) (int, error) {
+	if n.freed {
+		return 0, fmt.Errorf("freed (pooled) node reachable at level %d", n.level)
+	}
 	if n.level < 0 {
 		return 0, fmt.Errorf("negative level")
 	}
@@ -87,6 +90,9 @@ func (t *Tree) check(n *Node, accNew, accOld prob.Factor) (int, error) {
 			return 0, fmt.Errorf("leaf holds children")
 		}
 		for _, it := range n.items {
+			if it.freed {
+				return 0, fmt.Errorf("freed (pooled) item reachable (seq %d)", it.Seq)
+			}
 			if it.leaf != n {
 				return 0, fmt.Errorf("item leaf pointer broken (seq %d)", it.Seq)
 			}

@@ -1,0 +1,67 @@
+package core
+
+import (
+	"math"
+
+	"pskyline/internal/aggrtree"
+	"pskyline/internal/geom"
+)
+
+// pointArena backs every live item's coordinates with contiguous per-engine
+// storage. Arriving points are copied into slots carved from large chunks;
+// expired items' slots go onto a freelist and are handed to later arrivals,
+// so the steady-state window stops allocating coordinate slices entirely and
+// the live points of a warm window sit densely in a handful of chunks
+// instead of scattered across the heap.
+//
+// Chunks are never reallocated or compacted — a slot slice stays valid for
+// as long as the engine exists — so recycling is the only aliasing hazard:
+// a slot must not be reused while anything outside the engine can still see
+// it. The engine therefore clones points into every published Result, and
+// recycles a slot only when its item leaves the window for good.
+type pointArena struct {
+	dims int
+	cur  []float64   // remaining tail of the chunk being carved
+	free []geom.Point // recycled slots, each of length dims
+}
+
+// arenaChunkPoints is the number of point slots per backing chunk.
+const arenaChunkPoints = 1024
+
+func newPointArena(dims int) *pointArena {
+	return &pointArena{dims: dims}
+}
+
+// get returns an arena-backed copy of src.
+func (a *pointArena) get(src geom.Point) geom.Point {
+	var pt geom.Point
+	if n := len(a.free); n > 0 {
+		pt = a.free[n-1]
+		a.free[n-1] = nil
+		a.free = a.free[:n-1]
+	} else {
+		if len(a.cur) < a.dims {
+			a.cur = make([]float64, arenaChunkPoints*a.dims)
+		}
+		pt = geom.Point(a.cur[:a.dims:a.dims])
+		a.cur = a.cur[a.dims:]
+	}
+	copy(pt, src)
+	return pt
+}
+
+// put recycles a coordinate slot. Slices of the wrong length (for example
+// caller-supplied points that predate the arena, restored from a snapshot)
+// are simply dropped to the GC. Under poison mode the slot is clobbered so
+// a stale reader sees NaNs instead of the next occupant's coordinates.
+func (a *pointArena) put(pt geom.Point) {
+	if len(pt) != a.dims {
+		return
+	}
+	if aggrtree.PoisonEnabled() {
+		for i := range pt {
+			pt[i] = math.NaN()
+		}
+	}
+	a.free = append(a.free, pt)
+}

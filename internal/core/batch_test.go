@@ -1,0 +1,221 @@
+package core
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"pskyline/internal/aggrtree"
+	"pskyline/internal/streamgen"
+)
+
+// drive pushes n elements from src into eng one at a time.
+func drivePush(t *testing.T, eng *Engine, src *streamgen.Gen, n int) {
+	t.Helper()
+	for i := 0; i < n; i++ {
+		el := src.Next()
+		if _, err := eng.Push(el.Point, el.P, el.TS); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestPushBatchMatchesSequential proves the engine's batch insert is
+// byte-identical to the equivalent sequence of Push calls: same candidate
+// set with bit-equal coordinates and probabilities, same counters, same
+// tree shapes — verified by comparing full gob snapshots, which serialize
+// items in tree-walk order.
+func TestPushBatchMatchesSequential(t *testing.T) {
+	cases := []struct {
+		name   string
+		dims   int
+		window int
+		qs     []float64
+		batch  int
+		n      int
+	}{
+		{"anti3-b137", 3, 400, []float64{0.3}, 137, 3000},
+		{"anti3-b512-multi", 3, 300, []float64{0.7, 0.4}, 512, 2500},
+		{"inde2-b1", 2, 250, []float64{0.5}, 1, 1200},
+		{"anti4-b64-unbounded", 4, 0, []float64{0.3}, 64, 900},
+	}
+	for _, c := range cases {
+		c := c
+		t.Run(c.name, func(t *testing.T) {
+			t.Parallel()
+			opts := Options{Dims: c.dims, Window: c.window, Thresholds: c.qs}
+			seqEng, err := NewEngine(opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			batEng, err := NewEngine(opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			src1 := streamgen.New(c.dims, streamgen.Anticorrelated, streamgen.UniformProb{}, 11)
+			src2 := streamgen.New(c.dims, streamgen.Anticorrelated, streamgen.UniformProb{}, 11)
+			for done := 0; done < c.n; {
+				k := c.batch
+				if done+k > c.n {
+					k = c.n - done
+				}
+				batch := make([]BatchElem, k)
+				for i := 0; i < k; i++ {
+					el := src2.Next()
+					batch[i] = BatchElem{Point: el.Point, P: el.P, TS: el.TS}
+				}
+				first, err := batEng.PushBatch(batch)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if first != uint64(done) {
+					t.Fatalf("batch first seq %d, want %d", first, done)
+				}
+				drivePush(t, seqEng, src1, k)
+				done += k
+			}
+			if err := batEng.CheckInvariants(); err != nil {
+				t.Fatal(err)
+			}
+
+			sc, bc := seqEng.Candidates(), batEng.Candidates()
+			if len(sc) != len(bc) {
+				t.Fatalf("candidate count %d vs %d", len(bc), len(sc))
+			}
+			for i := range sc {
+				s, b := sc[i], bc[i]
+				if s.Seq != b.Seq {
+					t.Fatalf("candidate %d: seq %d vs %d", i, b.Seq, s.Seq)
+				}
+				if math.Float64bits(s.Psky) != math.Float64bits(b.Psky) ||
+					math.Float64bits(s.Pnew) != math.Float64bits(b.Pnew) ||
+					math.Float64bits(s.Pold) != math.Float64bits(b.Pold) {
+					t.Fatalf("seq %d: probabilities differ in bits: (%x,%x,%x) vs (%x,%x,%x)",
+						s.Seq,
+						math.Float64bits(b.Psky), math.Float64bits(b.Pnew), math.Float64bits(b.Pold),
+						math.Float64bits(s.Psky), math.Float64bits(s.Pnew), math.Float64bits(s.Pold))
+				}
+				for d := range s.Point {
+					if math.Float64bits(s.Point[d]) != math.Float64bits(b.Point[d]) {
+						t.Fatalf("seq %d dim %d: coordinate bits differ", s.Seq, d)
+					}
+				}
+			}
+			if seqEng.Counters() != batEng.Counters() {
+				t.Fatalf("counters diverged:\nseq   %+v\nbatch %+v", seqEng.Counters(), batEng.Counters())
+			}
+
+			var sBuf, bBuf bytes.Buffer
+			if err := seqEng.Snapshot(&sBuf); err != nil {
+				t.Fatal(err)
+			}
+			if err := batEng.Snapshot(&bBuf); err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(sBuf.Bytes(), bBuf.Bytes()) {
+				t.Fatal("snapshots differ: batch state is not byte-identical to sequential")
+			}
+		})
+	}
+}
+
+// TestPushBatchValidatesUpFront checks that an invalid element anywhere in a
+// batch fails the whole batch before any mutation.
+func TestPushBatchValidatesUpFront(t *testing.T) {
+	eng, err := NewEngine(Options{Dims: 2, Window: 100, Thresholds: []float64{0.3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := streamgen.New(2, streamgen.Independent, streamgen.UniformProb{}, 5)
+	drivePush(t, eng, src, 50)
+	var before bytes.Buffer
+	if err := eng.Snapshot(&before); err != nil {
+		t.Fatal(err)
+	}
+	bad := []BatchElem{
+		{Point: []float64{0.1, 0.2}, P: 0.5},
+		{Point: []float64{0.3, 0.4}, P: 0.5},
+		{Point: []float64{0.5, 0.6}, P: 1.5}, // invalid probability
+	}
+	if _, err := eng.PushBatch(bad); err == nil {
+		t.Fatal("invalid batch accepted")
+	}
+	var after bytes.Buffer
+	if err := eng.Snapshot(&after); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(before.Bytes(), after.Bytes()) {
+		t.Fatal("failed batch mutated the engine")
+	}
+}
+
+// TestSteadyStatePushAllocs pins the allocation budget of the steady-state
+// ingestion hot path: once the window is full and the pools are warm, a Push
+// must not allocate. The budget is an average of 1 allocation per Push to
+// absorb rare slice growth inside the trees; the typical measured value is
+// zero.
+func TestSteadyStatePushAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation accounting differs under the race detector")
+	}
+	const window = 4096
+	eng, err := NewEngine(Options{Dims: 3, Window: window, Thresholds: []float64{0.3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := streamgen.New(3, streamgen.Anticorrelated, streamgen.UniformProb{}, 7)
+	drivePush(t, eng, src, 3*window)
+	elems := make([]streamgen.Element, 8192)
+	for i := range elems {
+		elems[i] = src.Next()
+	}
+	i := 0
+	avg := testing.AllocsPerRun(4000, func() {
+		el := elems[i%len(elems)]
+		i++
+		if _, err := eng.Push(el.Point, el.P, el.TS); err != nil {
+			t.Fatal(err)
+		}
+	})
+	const budget = 1.0
+	if avg > budget {
+		t.Fatalf("steady-state Push averaged %.2f allocs, budget %.1f", avg, budget)
+	}
+}
+
+// TestEnginePoisonSoak churns an engine with pool poisoning enabled: every
+// recycled node, item and arena slot is clobbered on free, so any stale
+// reference into recycled memory surfaces as a NaN coordinate, a Zero
+// factor or an invariant violation.
+func TestEnginePoisonSoak(t *testing.T) {
+	aggrtree.SetPoison(true)
+	defer aggrtree.SetPoison(false)
+	eng, err := NewEngine(Options{Dims: 3, Window: 600, Thresholds: []float64{0.6, 0.3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := 8000
+	if testing.Short() {
+		n = 2000
+	}
+	src := streamgen.New(3, streamgen.Anticorrelated, streamgen.UniformProb{}, 17)
+	for i := 0; i < n; i++ {
+		el := src.Next()
+		if _, err := eng.Push(el.Point, el.P, el.TS); err != nil {
+			t.Fatal(err)
+		}
+		if (i+1)%250 == 0 || i == n-1 {
+			if err := eng.CheckInvariants(); err != nil {
+				t.Fatalf("step %d: %v", i, err)
+			}
+			for _, r := range eng.Skyline() {
+				if math.IsNaN(r.Psky) || math.IsNaN(r.Point[0]) {
+					t.Fatalf("step %d: poisoned value escaped into skyline: %+v", i, r)
+				}
+			}
+			if _, err := eng.TopK(5, 0.3); err != nil {
+				t.Fatalf("step %d: %v", i, err)
+			}
+		}
+	}
+}

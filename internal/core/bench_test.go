@@ -1,0 +1,82 @@
+package core
+
+import (
+	"testing"
+
+	"pskyline/internal/streamgen"
+)
+
+// steadyEngine returns an engine whose window is full and whose pools are
+// warm, plus a pre-generated element supply, so benchmark iterations measure
+// only the steady-state ingestion path.
+func steadyEngine(b *testing.B, dims, window int) (*Engine, []streamgen.Element) {
+	b.Helper()
+	eng, err := NewEngine(Options{Dims: dims, Window: window, Thresholds: []float64{0.3}})
+	if err != nil {
+		b.Fatal(err)
+	}
+	src := streamgen.New(dims, streamgen.Anticorrelated, streamgen.UniformProb{}, 7)
+	for i := 0; i < 3*window; i++ {
+		el := src.Next()
+		if _, err := eng.Push(el.Point, el.P, el.TS); err != nil {
+			b.Fatal(err)
+		}
+	}
+	elems := make([]streamgen.Element, 8192)
+	for i := range elems {
+		elems[i] = src.Next()
+	}
+	return eng, elems
+}
+
+// BenchmarkPush measures one steady-state Push (expiry of the oldest element
+// plus insertion of the new one) with a full window and warm pools. The
+// interesting numbers are ns/op and allocs/op — the hot path is expected to
+// be allocation-free (see TestSteadyStatePushAllocs).
+func BenchmarkPush(b *testing.B) {
+	const window = 4096
+	for _, dims := range []int{2, 3, 5} {
+		b.Run(dimLabel(dims), func(b *testing.B) {
+			eng, elems := steadyEngine(b, dims, window)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				el := elems[i%len(elems)]
+				if _, err := eng.Push(el.Point, el.P, el.TS); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkPushBatch measures steady-state batch ingestion in batches of 512;
+// ns/op is per element, so it is directly comparable to BenchmarkPush.
+func BenchmarkPushBatch(b *testing.B) {
+	const (
+		window = 4096
+		batch  = 512
+	)
+	eng, elems := steadyEngine(b, 3, window)
+	buf := make([]BatchElem, batch)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for done := 0; done < b.N; {
+		k := batch
+		if done+k > b.N {
+			k = b.N - done
+		}
+		for i := 0; i < k; i++ {
+			el := elems[(done+i)%len(elems)]
+			buf[i] = BatchElem{Point: el.Point, P: el.P, TS: el.TS}
+		}
+		if _, err := eng.PushBatch(buf[:k]); err != nil {
+			b.Fatal(err)
+		}
+		done += k
+	}
+}
+
+func dimLabel(d int) string {
+	return "d=" + string(rune('0'+d))
+}

@@ -60,7 +60,9 @@ type Options struct {
 // Event reports an element moving between threshold bands. Band indices are
 // 0-based over the sorted descending thresholds; band k (== number of
 // thresholds) is the candidates-only band; −1 means outside the candidate
-// set.
+// set. For departures (ToBand == −1) the Item is only valid for the duration
+// of the callback: the engine recycles departed items, so callbacks must
+// copy what they need rather than retain the pointer.
 type Event struct {
 	Item     *aggrtree.Item
 	FromBand int
@@ -93,6 +95,14 @@ type Engine struct {
 	onChange   func(Event)
 	eager      bool
 	maxEntries int
+
+	// Hot-path machinery: dimension-specialized dominance kernels selected
+	// once at construction, and the recycling stores that make steady-state
+	// ingestion allocation-free (see arena.go and aggrtree's pools).
+	kern  *geom.Kernels
+	arena *pointArena
+	items *aggrtree.ItemPool
+	nodes *aggrtree.NodePool
 
 	maxCand   int
 	maxSky    int
@@ -176,11 +186,17 @@ func NewEngine(opt Options) (*Engine, error) {
 		onChange:      opt.OnChange,
 		eager:         opt.EagerPropagation,
 		maxEntries:    opt.MaxEntries,
+		kern:          geom.KernelsFor(opt.Dims),
+		arena:         newPointArena(opt.Dims),
+		items:         aggrtree.NewItemPool(),
+		nodes:         aggrtree.NewNodePool(opt.Dims),
 	}
 	for _, q := range qf {
 		e.qs = append(e.qs, prob.FromFloat(q))
 	}
-	cfg := aggrtree.Config{MaxEntries: opt.MaxEntries}
+	// One node pool across all band trees: nodes migrate between trees when
+	// thresholds change, so their freelists must be shared too.
+	cfg := aggrtree.Config{MaxEntries: opt.MaxEntries, NodePool: e.nodes}
 	for i := 0; i <= len(qf); i++ {
 		e.trees = append(e.trees, aggrtree.New(opt.Dims, cfg))
 	}
@@ -288,18 +304,47 @@ func (e *Engine) emit(it *aggrtree.Item, from, to int) {
 	}
 }
 
+// newItem builds an item whose coordinates live in the engine's arena,
+// recycling a pooled item when one is free.
+func (e *Engine) newItem(pt geom.Point, p float64, seq uint64) *aggrtree.Item {
+	return e.items.Get(e.arena.get(pt), p, seq)
+}
+
+// freeItem recycles an item that has permanently left the window, returning
+// its coordinate slot to the arena. The caller guarantees no reference to
+// the item or its point escapes the engine (published results are cloned).
+func (e *Engine) freeItem(it *aggrtree.Item) {
+	e.arena.put(e.items.Put(it))
+}
+
 // Push processes the arrival of a new element (Algorithm 1): with a
 // count-based window it first expires the element falling out of the window,
 // then runs the incremental insertion. ts is recorded for time-based
 // windows and may be zero otherwise. The returned item is the engine's
-// record of the element.
+// record of the element; it is recycled (and must not be read) once the
+// element leaves the window or the candidate set.
 func (e *Engine) Push(pt geom.Point, p float64, ts int64) (*aggrtree.Item, error) {
+	if err := e.checkElem(pt, p); err != nil {
+		return nil, err
+	}
+	return e.push1(pt, p, ts), nil
+}
+
+// checkElem validates one arrival without mutating anything.
+func (e *Engine) checkElem(pt geom.Point, p float64) error {
 	if len(pt) != e.dims {
-		return nil, fmt.Errorf("core: point dimensionality %d != %d", len(pt), e.dims)
+		return fmt.Errorf("core: point dimensionality %d != %d", len(pt), e.dims)
 	}
 	if p <= 0 || p > 1 {
-		return nil, fmt.Errorf("core: occurrence probability %v out of (0,1]", p)
+		return fmt.Errorf("core: occurrence probability %v out of (0,1]", p)
 	}
+	return nil
+}
+
+// push1 is the validated arrival path shared by Push and PushBatch. Both
+// routes run this exact per-element sequence, which is what makes a batch
+// byte-identical to the equivalent sequence of Push calls.
+func (e *Engine) push1(pt geom.Point, p float64, ts int64) *aggrtree.Item {
 	seq := e.next
 	e.next++
 	e.processed++
@@ -307,7 +352,7 @@ func (e *Engine) Push(pt geom.Point, p float64, ts int64) (*aggrtree.Item, error
 	if e.window > 0 && seq >= uint64(e.window) {
 		e.expire(seq - uint64(e.window))
 	}
-	it := aggrtree.NewItem(pt, p, seq)
+	it := e.newItem(pt, p, seq)
 	it.TS = ts
 	if e.trackArrivals {
 		e.arrivals = append(e.arrivals, arrival{Seq: seq, TS: ts})
@@ -319,7 +364,43 @@ func (e *Engine) Push(pt geom.Point, p float64, ts int64) (*aggrtree.Item, error
 	if s := e.trees[0].Size(); s > e.maxSky {
 		e.maxSky = s
 	}
-	return it, nil
+	return it
+}
+
+// BatchElem is one arrival of a batch.
+type BatchElem struct {
+	Point geom.Point
+	P     float64
+	TS    int64
+}
+
+// PushBatch processes the elements in order as one engine-level operation.
+// The final engine state is byte-identical to calling Push once per element
+// in the same order — each element still runs the full expire-then-insert
+// sequence — but the mechanical work around that sequence is amortized:
+// the whole batch is validated before any mutation (an invalid element
+// leaves the engine untouched, unlike a failing looped Push which keeps its
+// prefix), and the time-window arrival FIFO grows once instead of per call.
+// It returns the sequence number assigned to the first element; elements of
+// the batch receive consecutive sequence numbers from there.
+func (e *Engine) PushBatch(elems []BatchElem) (uint64, error) {
+	for i := range elems {
+		if err := e.checkElem(elems[i].Point, elems[i].P); err != nil {
+			return 0, fmt.Errorf("core: batch element %d: %w", i, err)
+		}
+	}
+	first := e.next
+	if e.trackArrivals {
+		if need := len(e.arrivals) + len(elems); need > cap(e.arrivals) {
+			grown := make([]arrival, len(e.arrivals), need)
+			copy(grown, e.arrivals)
+			e.arrivals = grown
+		}
+	}
+	for i := range elems {
+		e.push1(elems[i].Point, elems[i].P, elems[i].TS)
+	}
+	return first, nil
 }
 
 // ExpireOlderThan expires, for time-based windows (Section VI), every

@@ -51,6 +51,7 @@ func (e *Engine) expire(seq uint64) {
 		e.evalItemPlacement(x, 0, &s.moves)
 	}
 	e.applyMoves(s.moves)
+	e.freeItem(it)
 }
 
 // probeExpire raises the skyline probability of every element dominated by
@@ -60,7 +61,7 @@ func (e *Engine) expire(seq uint64) {
 // refreshed on the unwind.
 func (e *Engine) probeExpire(n *aggrtree.Node, band int, pt geom.Point, om prob.Factor, affN *[]nodeT, affI *[]itemT) bool {
 	e.counters.NodesVisited++
-	switch geom.Dominance(geom.PointRect(pt), n.Rect()) {
+	switch e.kern.PointRect(pt, n.Rect()) {
 	case geom.DomNone:
 		return false
 	case geom.DomFull:
@@ -78,11 +79,32 @@ func (e *Engine) probeExpire(n *aggrtree.Node, band int, pt geom.Point, om prob.
 	changed := false
 	if n.IsLeaf() {
 		e.counters.ItemsTouched += uint64(len(n.Items()))
-		for _, x := range n.Items() {
-			if pt.Dominates(x.Point) {
-				x.Pold = x.Pold.Over(om)
-				*affI = append(*affI, itemT{x, band})
-				changed = true
+		// The d = 2/3 arms let the inlinable dominance kernels run without
+		// an indirect call.
+		switch e.dims {
+		case 2:
+			for _, x := range n.Items() {
+				if geom.Dominates2(pt, x.Point) {
+					x.Pold = x.Pold.Over(om)
+					*affI = append(*affI, itemT{x, band})
+					changed = true
+				}
+			}
+		case 3:
+			for _, x := range n.Items() {
+				if geom.Dominates3(pt, x.Point) {
+					x.Pold = x.Pold.Over(om)
+					*affI = append(*affI, itemT{x, band})
+					changed = true
+				}
+			}
+		default:
+			for _, x := range n.Items() {
+				if e.kern.Dominates(pt, x.Point) {
+					x.Pold = x.Pold.Over(om)
+					*affI = append(*affI, itemT{x, band})
+					changed = true
+				}
 			}
 		}
 	} else {

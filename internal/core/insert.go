@@ -130,6 +130,7 @@ func (e *Engine) insert(it *aggrtree.Item) {
 		e.trees[x.band].DeleteItem(x.it)
 		e.touch(x.band)
 		e.emit(x.it, x.band, -1)
+		e.freeItem(x.it)
 	}
 	e.applyMoves(s.moves)
 
@@ -151,7 +152,7 @@ func (e *Engine) insert(it *aggrtree.Item) {
 // under n changed; ancestors' aggregates are refreshed on the unwind.
 func (e *Engine) probeInsert(n *aggrtree.Node, band int, newIt *aggrtree.Item, om, pold prob.Factor, domN *[]nodeT, domI *[]itemT) (prob.Factor, bool) {
 	e.counters.NodesVisited++
-	relDom, relSub := geom.ClassifyPoint(n.Rect(), newIt.Point)
+	relDom, relSub := e.kern.ClassifyPoint(n.Rect(), newIt.Point)
 	if relDom == geom.DomFull {
 		return pold.Times(n.Pnoc()), false
 	}
@@ -169,19 +170,65 @@ func (e *Engine) probeInsert(n *aggrtree.Node, band int, newIt *aggrtree.Item, o
 	if relDom == geom.DomNone && relSub == geom.DomNone {
 		return pold, false
 	}
+	if relSub == geom.DomNone {
+		// Nothing under n can be dominated by a_new, and that holds for
+		// every descendant too (child boxes only shrink, so p ⪯ c.Max would
+		// imply p ⪯ n.Max). The subtree can only contribute dominators,
+		// which involves rects, points and Pnoc — all lazy-independent — so
+		// the descent needs neither Push nor a refresh on the unwind.
+		if n.IsLeaf() {
+			return e.foldLeafDominators(n.Items(), newIt.Point, pold), false
+		}
+		for _, c := range n.Children() {
+			pold = e.probeDominators(c, newIt, pold)
+		}
+		return pold, false
+	}
 	n.Push()
 	changed := false
 	if n.IsLeaf() {
 		e.counters.ItemsTouched += uint64(len(n.Items()))
-		for _, x := range n.Items() {
-			xDom, newDom := geom.MutualDominance(x.Point, newIt.Point)
-			switch {
-			case xDom:
-				pold = pold.Times(x.OneMinusP())
-			case newDom:
-				x.Pnew = x.Pnew.Times(om)
-				*domI = append(*domI, itemT{x, band})
-				changed = true
+		if relDom == geom.DomNone {
+			// Nothing under n can dominate a_new; only the dominated side
+			// of the per-item test is live. The d = 2/3 arms let the
+			// inlinable dominance kernels run without an indirect call.
+			switch e.dims {
+			case 2:
+				for _, x := range n.Items() {
+					if geom.Dominates2(newIt.Point, x.Point) {
+						x.Pnew = x.Pnew.Times(om)
+						*domI = append(*domI, itemT{x, band})
+						changed = true
+					}
+				}
+			case 3:
+				for _, x := range n.Items() {
+					if geom.Dominates3(newIt.Point, x.Point) {
+						x.Pnew = x.Pnew.Times(om)
+						*domI = append(*domI, itemT{x, band})
+						changed = true
+					}
+				}
+			default:
+				for _, x := range n.Items() {
+					if e.kern.Dominates(newIt.Point, x.Point) {
+						x.Pnew = x.Pnew.Times(om)
+						*domI = append(*domI, itemT{x, band})
+						changed = true
+					}
+				}
+			}
+		} else {
+			for _, x := range n.Items() {
+				xDom, newDom := e.kern.Mutual(x.Point, newIt.Point)
+				switch {
+				case xDom:
+					pold = pold.Times(x.OneMinusP())
+				case newDom:
+					x.Pnew = x.Pnew.Times(om)
+					*domI = append(*domI, itemT{x, band})
+					changed = true
+				}
 			}
 		}
 	} else {
@@ -195,6 +242,55 @@ func (e *Engine) probeInsert(n *aggrtree.Node, band int, newIt *aggrtree.Item, o
 		n.RefreshProbs()
 	}
 	return pold, changed
+}
+
+// probeDominators is the read-only arm of probeInsert for subtrees that
+// cannot contain anything a_new dominates: it accumulates the Pnoc factors
+// of dominators of a_new without pushing lazies or refreshing aggregates.
+func (e *Engine) probeDominators(n *aggrtree.Node, newIt *aggrtree.Item, pold prob.Factor) prob.Factor {
+	e.counters.NodesVisited++
+	relDom, _ := e.kern.ClassifyPoint(n.Rect(), newIt.Point)
+	switch relDom {
+	case geom.DomFull:
+		return pold.Times(n.Pnoc())
+	case geom.DomNone:
+		return pold
+	}
+	if n.IsLeaf() {
+		return e.foldLeafDominators(n.Items(), newIt.Point, pold)
+	}
+	for _, c := range n.Children() {
+		pold = e.probeDominators(c, newIt, pold)
+	}
+	return pold
+}
+
+// foldLeafDominators multiplies into pold the non-occurrence factor of every
+// leaf item dominating p. The d = 2/3 arms let the inlinable dominance
+// kernels run without an indirect call.
+func (e *Engine) foldLeafDominators(items []*aggrtree.Item, p geom.Point, pold prob.Factor) prob.Factor {
+	e.counters.ItemsTouched += uint64(len(items))
+	switch e.dims {
+	case 2:
+		for _, x := range items {
+			if geom.Dominates2(x.Point, p) {
+				pold = pold.Times(x.OneMinusP())
+			}
+		}
+	case 3:
+		for _, x := range items {
+			if geom.Dominates3(x.Point, p) {
+				pold = pold.Times(x.OneMinusP())
+			}
+		}
+	default:
+		for _, x := range items {
+			if e.kern.Dominates(x.Point, p) {
+				pold = pold.Times(x.OneMinusP())
+			}
+		}
+	}
+	return pold
 }
 
 // joinEnt is one side of the UpdateOld dominance join: either a whole entry
@@ -255,7 +351,7 @@ func (e *Engine) updateOld(removedN []nodeT, removedI []itemT, surviveN []nodeT,
 	for len(stack) > 0 {
 		p := stack[len(stack)-1]
 		stack = stack[:len(stack)-1]
-		switch geom.Dominance(p.r.rect(), p.s.rect()) {
+		switch e.kern.RectRect(p.r.rect(), p.s.rect()) {
 		case geom.DomNone:
 		case geom.DomFull:
 			e.stripPold(p.s, p.r.pnoc())

@@ -21,10 +21,13 @@ type Result struct {
 	Pold  float64
 }
 
+// resultOf clones the item's point: results outlive the item (published
+// views, top-k rankings), and the engine recycles both items and their
+// arena-backed coordinate slots when elements leave the window.
 func resultOf(it *aggrtree.Item, pnew, pold prob.Factor) Result {
 	return Result{
 		Seq:   it.Seq,
-		Point: it.Point,
+		Point: it.Point.Clone(),
 		P:     it.P,
 		TS:    it.TS,
 		Psky:  it.PF().Times(pnew).Times(pold).Float(),

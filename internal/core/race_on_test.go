@@ -1,0 +1,7 @@
+//go:build race
+
+package core
+
+// raceEnabled lets tests whose accounting the race detector skews (e.g.
+// allocation budgets) skip themselves under -race.
+const raceEnabled = true

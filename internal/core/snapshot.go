@@ -141,7 +141,7 @@ func RestoreFrom(dec *gob.Decoder, ro RestoreOptions) (*Engine, error) {
 		if _, dup := e.inS[si.Seq]; dup {
 			return nil, fmt.Errorf("core: restore: duplicate item %d", si.Seq)
 		}
-		it := aggrtree.NewItem(geom.Point(si.Point), si.P, si.Seq)
+		it := e.newItem(geom.Point(si.Point), si.P, si.Seq)
 		it.TS = si.TS
 		it.Pnew = si.Pnew
 		it.Pold = si.Pold

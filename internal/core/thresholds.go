@@ -37,7 +37,7 @@ func (e *Engine) AddThreshold(q float64) error {
 	// splits.
 	qq := prob.FromFloat(q)
 	split := e.trees[pos]
-	upper := aggrtree.New(e.dims, aggrtree.Config{MaxEntries: e.maxEntries})
+	upper := aggrtree.New(e.dims, aggrtree.Config{MaxEntries: e.maxEntries, NodePool: e.nodes})
 
 	var promote []*aggrtree.Item
 	split.WalkItems(func(it *aggrtree.Item, pnew, pold prob.Factor) bool {

@@ -221,6 +221,25 @@ func (r Rect) Enlargement(s Rect) float64 {
 	return UnionArea(r, s) - r.Area()
 }
 
+// EnlargeArea returns r.Enlargement(s) and r.Area() from a single pass over
+// the coordinates. Both products accumulate in the same dimension order as
+// the two-call form, so the results are bit-identical to it.
+func EnlargeArea(r, s Rect) (enl, area float64) {
+	u, a := 1.0, 1.0
+	for i := range r.Min {
+		lo, hi := r.Min[i], r.Max[i]
+		a *= hi - lo
+		if s.Min[i] < lo {
+			lo = s.Min[i]
+		}
+		if s.Max[i] > hi {
+			hi = s.Max[i]
+		}
+		u *= hi - lo
+	}
+	return u - a, a
+}
+
 // Relation classifies how one entry dominates another (Figure 2 of the
 // paper).
 type Relation int8

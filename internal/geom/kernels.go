@@ -1,0 +1,328 @@
+package geom
+
+// Dimension-specialized dominance kernels.
+//
+// The probe descents of the skyline engine spend most of their time in four
+// primitives: point-point dominance (both directions), entry-vs-point
+// classification, point-vs-entry classification and entry-vs-entry
+// classification. The generic implementations loop over the dimensions with
+// bounds checks and flag updates; for the low dimensionalities the paper
+// evaluates (d = 2–5) a fully unrolled form with hoisted loads is
+// substantially faster. A Kernels value bundles the four primitives for one
+// dimensionality; KernelsFor selects the unrolled set for d = 2–5 and falls
+// back to the generic loops otherwise.
+//
+// All kernels are pure comparison networks — no floating-point arithmetic —
+// so the specialized and generic forms return identical results on every
+// input, including ties and shared corners (verified exhaustively by the
+// differential tests in kernels_test.go). Callers must pass points of
+// exactly Dims coordinates and rectangles of Dims dimensions; unlike the
+// generic Point.Dominates, the kernels do not tolerate mismatched lengths.
+type Kernels struct {
+	// Dims is the dimensionality the kernel set was built for.
+	Dims int
+	// Dominates reports p ≺ q.
+	Dominates func(p, q Point) bool
+	// Mutual decides both dominance directions between two points in one
+	// pass (the specialized MutualDominance).
+	Mutual func(a, b Point) (aDom, bDom bool)
+	// ClassifyPoint computes Dominance(r, {p}) and Dominance({p}, r) in one
+	// pass (the specialized ClassifyPoint).
+	ClassifyPoint func(r Rect, p Point) (dom, sub Relation)
+	// PointRect computes Dominance({p}, r) alone — the expiry-probe
+	// classification.
+	PointRect func(p Point, r Rect) Relation
+	// RectRect computes Dominance(a, b).
+	RectRect func(a, b Rect) Relation
+}
+
+// KernelsFor returns the dominance kernel set for the given dimensionality:
+// unrolled kernels for d = 2–5, the generic loops otherwise.
+func KernelsFor(dims int) *Kernels {
+	switch dims {
+	case 2:
+		return &Kernels{Dims: 2, Dominates: Dominates2, Mutual: mutual2,
+			ClassifyPoint: classifyPoint2, PointRect: pointRect2, RectRect: rectRect2}
+	case 3:
+		return &Kernels{Dims: 3, Dominates: Dominates3, Mutual: mutual3,
+			ClassifyPoint: classifyPoint3, PointRect: pointRect3, RectRect: rectRect3}
+	case 4:
+		return &Kernels{Dims: 4, Dominates: Dominates4, Mutual: mutual4,
+			ClassifyPoint: classifyPoint4, PointRect: pointRect4, RectRect: rectRect4}
+	case 5:
+		return &Kernels{Dims: 5, Dominates: Dominates5, Mutual: mutual5,
+			ClassifyPoint: classifyPoint5, PointRect: pointRect5, RectRect: rectRect5}
+	default:
+		return &Kernels{Dims: dims, Dominates: dominatesGeneric, Mutual: MutualDominance,
+			ClassifyPoint: ClassifyPoint, PointRect: PointRectRelation, RectRect: Dominance}
+	}
+}
+
+func dominatesGeneric(p, q Point) bool { return p.Dominates(q) }
+
+// PointRectRelation computes Dominance(PointRect(p), r) in a single pass:
+// DomFull when p dominates r.Min, DomPartial when p only dominates r.Max,
+// DomNone otherwise. It is the generic form of the expiry-probe kernel.
+func PointRectRelation(p Point, r Rect) Relation {
+	minLE, minLT := true, false // p ⪯ r.Min, strictly on some dim
+	maxLE, maxLT := true, false // p ⪯ r.Max
+	for i := range p {
+		v, lo, hi := p[i], r.Min[i], r.Max[i]
+		if v > lo {
+			minLE = false
+		} else if v < lo {
+			minLT = true
+		}
+		if v > hi {
+			maxLE = false
+		} else if v < hi {
+			maxLT = true
+		}
+		if !minLE && !maxLE {
+			return DomNone
+		}
+	}
+	if minLE && minLT {
+		return DomFull
+	}
+	if maxLE && maxLT {
+		return DomPartial
+	}
+	return DomNone
+}
+
+// Dominates2..Dominates5 are the dimension-specialized dominance tests,
+// exported so hot loops that already know their dimensionality can call
+// them directly (the d ≤ 3 variants inline); KernelsFor wires the same
+// functions into the dispatch table.
+
+// Dominates2 reports p ≺ q for 2-dimensional points.
+func Dominates2(p, q Point) bool {
+	_, _ = p[1], q[1] // bounds-check hint
+	p0, p1 := p[0], p[1]
+	q0, q1 := q[0], q[1]
+	return p0 <= q0 && p1 <= q1 && (p0 < q0 || p1 < q1)
+}
+
+// Dominates3 reports p ≺ q for 3-dimensional points.
+func Dominates3(p, q Point) bool {
+	_, _ = p[2], q[2] // bounds-check hint
+	p0, p1, p2 := p[0], p[1], p[2]
+	q0, q1, q2 := q[0], q[1], q[2]
+	return p0 <= q0 && p1 <= q1 && p2 <= q2 && (p0 < q0 || p1 < q1 || p2 < q2)
+}
+
+// Dominates4 reports p ≺ q for 4-dimensional points.
+func Dominates4(p, q Point) bool {
+	p0, p1, p2, p3 := p[0], p[1], p[2], p[3]
+	q0, q1, q2, q3 := q[0], q[1], q[2], q[3]
+	return p0 <= q0 && p1 <= q1 && p2 <= q2 && p3 <= q3 &&
+		(p0 < q0 || p1 < q1 || p2 < q2 || p3 < q3)
+}
+
+// Dominates5 reports p ≺ q for 5-dimensional points.
+func Dominates5(p, q Point) bool {
+	p0, p1, p2, p3, p4 := p[0], p[1], p[2], p[3], p[4]
+	q0, q1, q2, q3, q4 := q[0], q[1], q[2], q[3], q[4]
+	return p0 <= q0 && p1 <= q1 && p2 <= q2 && p3 <= q3 && p4 <= q4 &&
+		(p0 < q0 || p1 < q1 || p2 < q2 || p3 < q3 || p4 < q4)
+}
+
+// The mutual kernels use aDom = aLE && !bLE (a ⪯ b everywhere and the points
+// are not equal), mirroring MutualDominance's aLE && aLT.
+
+func mutual2(a, b Point) (bool, bool) {
+	a0, a1 := a[0], a[1]
+	b0, b1 := b[0], b[1]
+	aLE := a0 <= b0 && a1 <= b1
+	bLE := b0 <= a0 && b1 <= a1
+	return aLE && !bLE, bLE && !aLE
+}
+
+func mutual3(a, b Point) (bool, bool) {
+	_, _ = a[2], b[2] // bounds-check hint
+	a0, a1, a2 := a[0], a[1], a[2]
+	b0, b1, b2 := b[0], b[1], b[2]
+	aLE := a0 <= b0 && a1 <= b1 && a2 <= b2
+	bLE := b0 <= a0 && b1 <= a1 && b2 <= a2
+	return aLE && !bLE, bLE && !aLE
+}
+
+func mutual4(a, b Point) (bool, bool) {
+	a0, a1, a2, a3 := a[0], a[1], a[2], a[3]
+	b0, b1, b2, b3 := b[0], b[1], b[2], b[3]
+	aLE := a0 <= b0 && a1 <= b1 && a2 <= b2 && a3 <= b3
+	bLE := b0 <= a0 && b1 <= a1 && b2 <= a2 && b3 <= a3
+	return aLE && !bLE, bLE && !aLE
+}
+
+func mutual5(a, b Point) (bool, bool) {
+	a0, a1, a2, a3, a4 := a[0], a[1], a[2], a[3], a[4]
+	b0, b1, b2, b3, b4 := b[0], b[1], b[2], b[3], b[4]
+	aLE := a0 <= b0 && a1 <= b1 && a2 <= b2 && a3 <= b3 && a4 <= b4
+	bLE := b0 <= a0 && b1 <= a1 && b2 <= a2 && b3 <= a3 && b4 <= a4
+	return aLE && !bLE, bLE && !aLE
+}
+
+// The unrolled classifiers compare p against each rect corner only twice per
+// dimension. With gLo = "p above r.Min somewhere", lLo = "p below r.Min
+// somewhere" (and gHi/lHi against r.Max), the four corner relations reduce
+// to:
+//
+//	r.Max ⪯ p (dom full):     !lHi, strict iff gHi
+//	r.Min ⪯ p (dom partial):  !lLo, strict iff gLo
+//	p ⪯ r.Min (sub full):     !gLo, strict iff lLo
+//	p ⪯ r.Max (sub partial):  !gHi, strict iff lHi
+//
+// relFromAny folds them into the two Relations.
+func relFromAny(gFull, lFull, gPart, lPart bool) Relation {
+	if gFull && !lFull {
+		return DomFull
+	}
+	if gPart && !lPart {
+		return DomPartial
+	}
+	return DomNone
+}
+
+func classifyPoint2(r Rect, p Point) (dom, sub Relation) {
+	_, _, _ = p[1], r.Min[1], r.Max[1] // bounds-check hint
+	p0, p1 := p[0], p[1]
+	lo0, lo1 := r.Min[0], r.Min[1]
+	hi0, hi1 := r.Max[0], r.Max[1]
+	gLo := p0 > lo0 || p1 > lo1
+	lLo := p0 < lo0 || p1 < lo1
+	gHi := p0 > hi0 || p1 > hi1
+	lHi := p0 < hi0 || p1 < hi1
+	return relFromAny(gHi, lHi, gLo, lLo), relFromAny(lLo, gLo, lHi, gHi)
+}
+
+func classifyPoint3(r Rect, p Point) (dom, sub Relation) {
+	_, _, _ = p[2], r.Min[2], r.Max[2] // bounds-check hint
+	p0, p1, p2 := p[0], p[1], p[2]
+	lo0, lo1, lo2 := r.Min[0], r.Min[1], r.Min[2]
+	hi0, hi1, hi2 := r.Max[0], r.Max[1], r.Max[2]
+	gLo := p0 > lo0 || p1 > lo1 || p2 > lo2
+	lLo := p0 < lo0 || p1 < lo1 || p2 < lo2
+	gHi := p0 > hi0 || p1 > hi1 || p2 > hi2
+	lHi := p0 < hi0 || p1 < hi1 || p2 < hi2
+	return relFromAny(gHi, lHi, gLo, lLo), relFromAny(lLo, gLo, lHi, gHi)
+}
+
+func classifyPoint4(r Rect, p Point) (dom, sub Relation) {
+	p0, p1, p2, p3 := p[0], p[1], p[2], p[3]
+	lo0, lo1, lo2, lo3 := r.Min[0], r.Min[1], r.Min[2], r.Min[3]
+	hi0, hi1, hi2, hi3 := r.Max[0], r.Max[1], r.Max[2], r.Max[3]
+	gLo := p0 > lo0 || p1 > lo1 || p2 > lo2 || p3 > lo3
+	lLo := p0 < lo0 || p1 < lo1 || p2 < lo2 || p3 < lo3
+	gHi := p0 > hi0 || p1 > hi1 || p2 > hi2 || p3 > hi3
+	lHi := p0 < hi0 || p1 < hi1 || p2 < hi2 || p3 < hi3
+	return relFromAny(gHi, lHi, gLo, lLo), relFromAny(lLo, gLo, lHi, gHi)
+}
+
+func classifyPoint5(r Rect, p Point) (dom, sub Relation) {
+	p0, p1, p2, p3, p4 := p[0], p[1], p[2], p[3], p[4]
+	lo0, lo1, lo2, lo3, lo4 := r.Min[0], r.Min[1], r.Min[2], r.Min[3], r.Min[4]
+	hi0, hi1, hi2, hi3, hi4 := r.Max[0], r.Max[1], r.Max[2], r.Max[3], r.Max[4]
+	gLo := p0 > lo0 || p1 > lo1 || p2 > lo2 || p3 > lo3 || p4 > lo4
+	lLo := p0 < lo0 || p1 < lo1 || p2 < lo2 || p3 < lo3 || p4 < lo4
+	gHi := p0 > hi0 || p1 > hi1 || p2 > hi2 || p3 > hi3 || p4 > hi4
+	lHi := p0 < hi0 || p1 < hi1 || p2 < hi2 || p3 < hi3 || p4 < hi4
+	return relFromAny(gHi, lHi, gLo, lLo), relFromAny(lLo, gLo, lHi, gHi)
+}
+
+func pointRect2(p Point, r Rect) Relation {
+	p0, p1 := p[0], p[1]
+	lo0, lo1 := r.Min[0], r.Min[1]
+	if p0 <= lo0 && p1 <= lo1 && (p0 < lo0 || p1 < lo1) {
+		return DomFull
+	}
+	hi0, hi1 := r.Max[0], r.Max[1]
+	if p0 <= hi0 && p1 <= hi1 && (p0 < hi0 || p1 < hi1) {
+		return DomPartial
+	}
+	return DomNone
+}
+
+func pointRect3(p Point, r Rect) Relation {
+	p0, p1, p2 := p[0], p[1], p[2]
+	lo0, lo1, lo2 := r.Min[0], r.Min[1], r.Min[2]
+	if p0 <= lo0 && p1 <= lo1 && p2 <= lo2 && (p0 < lo0 || p1 < lo1 || p2 < lo2) {
+		return DomFull
+	}
+	hi0, hi1, hi2 := r.Max[0], r.Max[1], r.Max[2]
+	if p0 <= hi0 && p1 <= hi1 && p2 <= hi2 && (p0 < hi0 || p1 < hi1 || p2 < hi2) {
+		return DomPartial
+	}
+	return DomNone
+}
+
+func pointRect4(p Point, r Rect) Relation {
+	p0, p1, p2, p3 := p[0], p[1], p[2], p[3]
+	lo0, lo1, lo2, lo3 := r.Min[0], r.Min[1], r.Min[2], r.Min[3]
+	if p0 <= lo0 && p1 <= lo1 && p2 <= lo2 && p3 <= lo3 &&
+		(p0 < lo0 || p1 < lo1 || p2 < lo2 || p3 < lo3) {
+		return DomFull
+	}
+	hi0, hi1, hi2, hi3 := r.Max[0], r.Max[1], r.Max[2], r.Max[3]
+	if p0 <= hi0 && p1 <= hi1 && p2 <= hi2 && p3 <= hi3 &&
+		(p0 < hi0 || p1 < hi1 || p2 < hi2 || p3 < hi3) {
+		return DomPartial
+	}
+	return DomNone
+}
+
+func pointRect5(p Point, r Rect) Relation {
+	p0, p1, p2, p3, p4 := p[0], p[1], p[2], p[3], p[4]
+	lo0, lo1, lo2, lo3, lo4 := r.Min[0], r.Min[1], r.Min[2], r.Min[3], r.Min[4]
+	if p0 <= lo0 && p1 <= lo1 && p2 <= lo2 && p3 <= lo3 && p4 <= lo4 &&
+		(p0 < lo0 || p1 < lo1 || p2 < lo2 || p3 < lo3 || p4 < lo4) {
+		return DomFull
+	}
+	hi0, hi1, hi2, hi3, hi4 := r.Max[0], r.Max[1], r.Max[2], r.Max[3], r.Max[4]
+	if p0 <= hi0 && p1 <= hi1 && p2 <= hi2 && p3 <= hi3 && p4 <= hi4 &&
+		(p0 < hi0 || p1 < hi1 || p2 < hi2 || p3 < hi3 || p4 < hi4) {
+		return DomPartial
+	}
+	return DomNone
+}
+
+func rectRect2(a, b Rect) Relation {
+	if Dominates2(a.Max, b.Min) {
+		return DomFull
+	}
+	if Dominates2(a.Min, b.Max) {
+		return DomPartial
+	}
+	return DomNone
+}
+
+func rectRect3(a, b Rect) Relation {
+	if Dominates3(a.Max, b.Min) {
+		return DomFull
+	}
+	if Dominates3(a.Min, b.Max) {
+		return DomPartial
+	}
+	return DomNone
+}
+
+func rectRect4(a, b Rect) Relation {
+	if Dominates4(a.Max, b.Min) {
+		return DomFull
+	}
+	if Dominates4(a.Min, b.Max) {
+		return DomPartial
+	}
+	return DomNone
+}
+
+func rectRect5(a, b Rect) Relation {
+	if Dominates5(a.Max, b.Min) {
+		return DomFull
+	}
+	if Dominates5(a.Min, b.Max) {
+		return DomPartial
+	}
+	return DomNone
+}

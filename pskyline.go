@@ -153,6 +153,8 @@ type Monitor struct {
 	view     atomic.Pointer[View]
 	lastGens []uint64 // engine band generations at last publish
 
+	batch []core.BatchElem // scratch for batch ingestion, guarded by mu
+
 	aq *asyncQueue // nil when Options.AsyncQueue == 0
 }
 
@@ -214,11 +216,13 @@ func (m *Monitor) onChange(ev core.Event) {
 	}
 }
 
+// skyPointOf clones the item's point: the engine recycles departed items'
+// coordinate storage, so callback payloads must not alias live tree state.
 func (m *Monitor) skyPointOf(ev core.Event) SkyPoint {
 	it := ev.Item
 	return SkyPoint{
 		Seq:   it.Seq,
-		Point: it.Point,
+		Point: append([]float64(nil), it.Point...),
 		Prob:  it.P,
 		TS:    it.TS,
 		Data:  m.data[it.Seq],
@@ -263,11 +267,15 @@ func (m *Monitor) Push(e Element) (uint64, error) {
 
 // PushBatch processes a batch of arriving elements as one write: the
 // elements are validated up front (an invalid element fails the whole batch
-// before anything is ingested), ingested in order, and a single read view is
-// published afterwards, so concurrent readers observe either none or all of
-// the batch. The elements receive consecutive sequence numbers starting at
-// the returned value. Batching amortizes view publication: for write-heavy
-// streams it is substantially cheaper than element-wise Push.
+// before anything is ingested), handed to the engine as a single batch
+// operation (count-based windows; time-based windows interleave expiry with
+// ingestion and run element-wise), and a single read view is published
+// afterwards, so concurrent readers observe either none or all of the batch.
+// The final state is byte-identical to pushing the elements one at a time in
+// the same order. The elements receive consecutive sequence numbers starting
+// at the returned value. Batching amortizes view publication and the
+// engine's per-call bookkeeping: for write-heavy streams it is substantially
+// cheaper than element-wise Push.
 //
 // With an async queue the batch is enqueued whole (blocking when the queue
 // is full) and ingested by the background goroutine.
@@ -282,15 +290,13 @@ func (m *Monitor) PushBatch(es []Element) (uint64, error) {
 	}
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	first := m.eng.NextSeq()
-	for i := range es {
-		if _, err := m.ingestLocked(es[i]); err != nil {
-			// Unreachable after up-front validation; publish what was
-			// ingested so readers stay consistent with the engine.
-			m.refreshTopKLocked()
-			m.publishLocked()
-			return 0, fmt.Errorf("batch element %d: %w", i, err)
-		}
+	first, err := m.ingestBatchLocked(es)
+	if err != nil {
+		// Unreachable after up-front validation; publish what was ingested
+		// so readers stay consistent with the engine.
+		m.refreshTopKLocked()
+		m.publishLocked()
+		return 0, err
 	}
 	if len(es) > 0 {
 		m.refreshTopKLocked()
@@ -317,6 +323,48 @@ func (m *Monitor) ingestLocked(e Element) (uint64, error) {
 		return 0, fmt.Errorf("pskyline: %w", err)
 	}
 	return it.Seq, nil
+}
+
+// ingestBatchLocked runs a validated batch through the engine. Count-based
+// windows use the engine's true batch insert (one engine-level operation,
+// byte-identical to the element-wise sequence); time-based windows must
+// interleave per-element expiry with ingestion, so they fall back to
+// element-wise ingestLocked. Callers hold m.mu and publish afterwards.
+func (m *Monitor) ingestBatchLocked(es []Element) (uint64, error) {
+	first := m.eng.NextSeq()
+	if m.period > 0 || len(es) == 0 {
+		for i := range es {
+			if _, err := m.ingestLocked(es[i]); err != nil {
+				return 0, fmt.Errorf("batch element %d: %w", i, err)
+			}
+		}
+		return first, nil
+	}
+	// Record payloads before the engine runs so departure events fired
+	// during the batch (including degenerate immediate ones) can clean
+	// them up.
+	for i := range es {
+		if es[i].Data != nil {
+			m.data[first+uint64(i)] = es[i].Data
+		}
+	}
+	batch := m.batch[:0]
+	for i := range es {
+		batch = append(batch, core.BatchElem{Point: geom.Point(es[i].Point), P: es[i].Prob, TS: es[i].TS})
+	}
+	_, err := m.eng.PushBatch(batch)
+	for i := range batch {
+		batch[i] = core.BatchElem{} // drop point references from the scratch
+	}
+	m.batch = batch[:0]
+	if err != nil {
+		// The engine validates before mutating: nothing was ingested.
+		for i := range es {
+			delete(m.data, first+uint64(i))
+		}
+		return 0, fmt.Errorf("pskyline: %w", err)
+	}
+	return first, nil
 }
 
 // refreshTopKLocked re-derives the continuous top-k ranking and fires
