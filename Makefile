@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build vet test race bench-concurrent bench bench-smoke ci
+.PHONY: build vet test race bench-concurrent bench bench-smoke serve-smoke ci
 
 build:
 	$(GO) build ./...
@@ -39,4 +39,10 @@ bench:
 bench-smoke:
 	$(GO) test -run '^$$' -bench . -benchtime 100x -benchmem -race ./internal/aggrtree/ ./internal/geom/ ./internal/core/
 
-ci: build vet test race bench-concurrent bench-smoke
+# End-to-end serve-mode smoke test: runs `pskyline -http` against a real
+# stream and asserts /metrics, /healthz, /debug/skyline and pprof respond
+# with the expected series.
+serve-smoke:
+	bash scripts/serve_smoke.sh
+
+ci: build vet test race bench-concurrent bench-smoke serve-smoke

@@ -13,11 +13,19 @@
 // (drained before every snapshot print and at exit); both amortize view
 // publication on write-heavy streams.
 //
+// -http ADDR serves the monitor's observability endpoints while the stream
+// flows: /metrics (Prometheus), /healthz, /debug/skyline (current skyline +
+// recent transitions), /debug/vars (JSON metrics) and /debug/pprof. With
+// -http the process stays up after the input ends, still serving, until
+// SIGINT/SIGTERM. -summary additionally prints the work counters and
+// per-stage latency quantiles at exit.
+//
 // Usage:
 //
 //	datagen -dist anti -dims 3 -n 200000 | pskyline -dims 3 -window 100000 -q 0.3 -summary
 //	pskyline -dims 2 -window 1000 -q 0.5,0.3 -snapshot 500 < stream.csv
 //	pskyline -dims 3 -window 100000 -q 0.3 -batch 512 -async 4096 -summary < stream.csv
+//	datagen -dims 2 -n 1000000 | pskyline -dims 2 -window 10000 -q 0.3 -http :8080 -summary
 package main
 
 import (
@@ -25,9 +33,12 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"net/http"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
+	"syscall"
 	"time"
 
 	"pskyline"
@@ -45,6 +56,10 @@ type config struct {
 	ckpt       string
 	batch      int
 	async      int
+	httpAddr   string
+	// stop overrides the serve-mode shutdown trigger (nil = OS signals);
+	// tests close it to unblock run without sending a signal.
+	stop <-chan struct{}
 }
 
 func main() {
@@ -59,6 +74,7 @@ func main() {
 		ckpt     = flag.String("checkpoint", "", "checkpoint file: loaded at start if present, written at exit")
 		batch    = flag.Int("batch", 1, "ingest the stream in batches of this many elements")
 		async    = flag.Int("async", 0, "route ingestion through a bounded async queue of this capacity (0 = synchronous)")
+		httpAddr = flag.String("http", "", "serve /metrics, /healthz, /debug/skyline and /debug/pprof on this address (e.g. :8080); the process then stays up after EOF until SIGINT/SIGTERM")
 	)
 	flag.Parse()
 
@@ -74,7 +90,7 @@ func main() {
 	cfg := config{
 		dims: *dims, window: *window, period: *period, thresholds: thresholds,
 		snapshot: *snapshot, summary: *summary, file: *file, ckpt: *ckpt,
-		batch: *batch, async: *async,
+		batch: *batch, async: *async, httpAddr: *httpAddr,
 	}
 	if err := run(cfg, os.Stdin, os.Stdout, os.Stderr); err != nil {
 		fatal("%v", err)
@@ -126,6 +142,15 @@ func run(cfg config, stdin io.Reader, out, errw io.Writer) error {
 		}
 	}
 	defer m.Close()
+
+	var srv *http.Server
+	if cfg.httpAddr != "" {
+		srv, err = startServer(cfg.httpAddr, m, errw)
+		if err != nil {
+			return err
+		}
+		defer srv.Close()
+	}
 
 	in := stdin
 	if cfg.file != "" {
@@ -207,7 +232,43 @@ func run(cfg config, stdin io.Reader, out, errw io.Writer) error {
 		count, elapsed.Round(time.Millisecond), float64(count)/elapsed.Seconds())
 	fmt.Fprintf(out, "candidates: now %d, max %d; skyline: now %d, max %d\n",
 		st.Candidates, st.MaxCandidates, st.Skyline, st.MaxSkyline)
+	if cfg.summary {
+		printWorkSummary(out, m.Metrics())
+	}
+	if srv != nil {
+		stop := cfg.stop
+		if stop == nil {
+			sig := make(chan os.Signal, 1)
+			signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+			defer signal.Stop(sig)
+			done := make(chan struct{})
+			go func() { <-sig; close(done) }()
+			stop = done
+		}
+		fmt.Fprintf(errw, "pskyline: stream done, still serving on %s (interrupt to exit)\n", cfg.httpAddr)
+		<-stop
+	}
 	return nil
+}
+
+// printWorkSummary renders the -summary observability block: the engine's
+// work counters, skyline churn, and per-stage latency quantiles.
+func printWorkSummary(out io.Writer, met pskyline.Metrics) {
+	c := met.Counters
+	fmt.Fprintf(out, "work: nodes=%d items=%d lazy=%d removals=%d moves=%d expiries=%d\n",
+		c.NodesVisited, c.ItemsTouched, c.LazyApplied, c.Removals, c.Moves, c.Expiries)
+	fmt.Fprintf(out, "churn: enters=%d leaves=%d publishes=%d mean_prob=%.3f\n",
+		met.SkylineEnters, met.SkylineLeaves, met.ViewPublishes, met.MeanProb)
+	fmt.Fprintf(out, "theory: E|SKY| <= %.1f (observed %d), E|S| <= %.1f (observed %d)\n",
+		met.TheorySkylineBound, met.Stats.Skyline,
+		met.TheoryCandidateBound, met.Stats.Candidates)
+	for _, s := range met.Stages {
+		fmt.Fprintf(out, "stage %-10s n=%-8d p50=%-10v p99=%-10v max=%v\n",
+			s.Stage, s.Count,
+			time.Duration(s.P50Ns).Round(time.Nanosecond),
+			time.Duration(s.P99Ns).Round(time.Nanosecond),
+			time.Duration(s.MaxNs))
+	}
 }
 
 // parseLine parses "x1,...,xd,prob[,ts]".

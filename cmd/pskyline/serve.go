@@ -1,0 +1,119 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"time"
+
+	"pskyline"
+)
+
+// newServeMux builds the observability endpoint set over a live Monitor.
+// Every handler reads the lock-free export surfaces (the published view, the
+// atomic metric mirrors, the trace ring), so scraping — even aggressively —
+// never blocks ingestion.
+//
+//	/metrics        Prometheus text exposition
+//	/healthz        liveness + stream position JSON
+//	/debug/skyline  current skyline and the recent-transition trace, JSON
+//	/debug/vars     all metrics as one expvar-style JSON object
+//	/debug/pprof/   the standard runtime profiles
+func newServeMux(m *pskyline.Monitor) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		m.WritePrometheus(w)
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		met := m.Metrics()
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(map[string]any{
+			"status":              "ok",
+			"processed":           met.Stats.Processed,
+			"skyline":             met.Stats.Skyline,
+			"candidates":          met.Stats.Candidates,
+			"publish_age_seconds": time.Since(met.LastPublish).Seconds(),
+		})
+	})
+	mux.HandleFunc("/debug/skyline", func(w http.ResponseWriter, r *http.Request) {
+		v := m.View()
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(map[string]any{
+			"processed":  v.Processed(),
+			"thresholds": v.Thresholds(),
+			"skyline":    skylineJSON(v.Skyline()),
+			"trace":      traceJSON(m.Trace()),
+		})
+	})
+	mux.HandleFunc("/debug/vars", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		m.WriteMetricsJSON(w)
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// skyPointJSON is the wire form of a skyline member (payloads are omitted:
+// they are arbitrary Go values).
+type skyPointJSON struct {
+	Seq   uint64    `json:"seq"`
+	Point []float64 `json:"point"`
+	Prob  float64   `json:"prob"`
+	Psky  float64   `json:"psky"`
+}
+
+func skylineJSON(sky []pskyline.SkyPoint) []skyPointJSON {
+	out := make([]skyPointJSON, len(sky))
+	for i, p := range sky {
+		out[i] = skyPointJSON{Seq: p.Seq, Point: p.Point, Prob: p.Prob, Psky: p.Psky}
+	}
+	return out
+}
+
+// traceEventJSON is the wire form of one recorded skyline transition.
+type traceEventJSON struct {
+	Seq       uint64    `json:"seq"`
+	Entered   bool      `json:"entered"`
+	Point     []float64 `json:"point"`
+	Prob      float64   `json:"prob"`
+	Psky      float64   `json:"psky"`
+	FromBand  int       `json:"from_band"`
+	ToBand    int       `json:"to_band"`
+	At        string    `json:"at"`
+	Processed uint64    `json:"processed"`
+}
+
+func traceJSON(tr []pskyline.TraceEvent) []traceEventJSON {
+	out := make([]traceEventJSON, len(tr))
+	for i, ev := range tr {
+		out[i] = traceEventJSON{
+			Seq: ev.Seq, Entered: ev.Entered, Point: ev.Point,
+			Prob: ev.Prob, Psky: ev.Psky,
+			FromBand: ev.FromBand, ToBand: ev.ToBand,
+			At: ev.At.Format(time.RFC3339Nano), Processed: ev.Processed,
+		}
+	}
+	return out
+}
+
+// startServer binds addr and serves the observability mux in the background.
+// The returned server is already accepting connections; the caller shuts it
+// down with Close.
+func startServer(addr string, m *pskyline.Monitor, errw io.Writer) (*http.Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("http listen %s: %v", addr, err)
+	}
+	srv := &http.Server{Handler: newServeMux(m)}
+	go srv.Serve(ln)
+	fmt.Fprintf(errw, "pskyline: serving /metrics, /healthz, /debug/skyline, /debug/vars, /debug/pprof on http://%s\n", ln.Addr())
+	return srv, nil
+}

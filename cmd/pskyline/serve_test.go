@@ -1,0 +1,193 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"pskyline"
+)
+
+// syncBuf is a bytes.Buffer safe to poll while run() writes it.
+type syncBuf struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *syncBuf) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *syncBuf) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
+}
+
+// serveMonitor builds a monitor with some churn behind the observability mux.
+func serveMonitor(t *testing.T) *pskyline.Monitor {
+	t.Helper()
+	m, err := pskyline.NewMonitor(pskyline.Options{
+		Dims: 2, Window: 200, Thresholds: []float64{0.3}, TraceDepth: 32,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { m.Close() })
+	for _, l := range genCSV(11, 800) {
+		el, err := parseLine(l, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := m.Push(el); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return m
+}
+
+func get(t *testing.T, srv *httptest.Server, path string) (string, http.Header) {
+	t.Helper()
+	resp, err := srv.Client().Get(srv.URL + path)
+	if err != nil {
+		t.Fatalf("GET %s: %v", path, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: status %d", path, resp.StatusCode)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("GET %s: read: %v", path, err)
+	}
+	return string(body), resp.Header
+}
+
+func TestServeMuxEndpoints(t *testing.T) {
+	m := serveMonitor(t)
+	srv := httptest.NewServer(newServeMux(m))
+	defer srv.Close()
+
+	metrics, hdr := get(t, srv, "/metrics")
+	if ct := hdr.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Errorf("/metrics content type %q", ct)
+	}
+	for _, want := range []string{
+		"pskyline_pushes_total 800",
+		`pskyline_stage_seconds_bucket{stage="probe",le="+Inf"}`,
+		"pskyline_skyline_enters_total",
+		"pskyline_theory_skyline_bound",
+	} {
+		if !strings.Contains(metrics, want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+
+	health, _ := get(t, srv, "/healthz")
+	var h map[string]any
+	if err := json.Unmarshal([]byte(health), &h); err != nil {
+		t.Fatalf("/healthz invalid JSON: %v", err)
+	}
+	if h["status"] != "ok" || h["processed"].(float64) != 800 {
+		t.Errorf("/healthz = %v", h)
+	}
+
+	dbg, _ := get(t, srv, "/debug/skyline")
+	var d struct {
+		Processed  uint64           `json:"processed"`
+		Thresholds []float64        `json:"thresholds"`
+		Skyline    []skyPointJSON   `json:"skyline"`
+		Trace      []traceEventJSON `json:"trace"`
+	}
+	if err := json.Unmarshal([]byte(dbg), &d); err != nil {
+		t.Fatalf("/debug/skyline invalid JSON: %v", err)
+	}
+	if d.Processed != 800 || len(d.Skyline) == 0 || len(d.Trace) == 0 {
+		t.Errorf("/debug/skyline = processed %d, %d skyline, %d trace",
+			d.Processed, len(d.Skyline), len(d.Trace))
+	}
+	if len(d.Skyline) != m.Stats().Skyline {
+		t.Errorf("/debug/skyline reports %d points, Stats says %d", len(d.Skyline), m.Stats().Skyline)
+	}
+
+	vars, _ := get(t, srv, "/debug/vars")
+	var v map[string]any
+	if err := json.Unmarshal([]byte(vars), &v); err != nil {
+		t.Fatalf("/debug/vars invalid JSON: %v", err)
+	}
+	if v["pskyline_pushes_total"].(float64) != 800 {
+		t.Errorf("/debug/vars pushes = %v", v["pskyline_pushes_total"])
+	}
+
+	if idx, _ := get(t, srv, "/debug/pprof/"); !strings.Contains(idx, "goroutine") {
+		t.Error("/debug/pprof/ index does not list profiles")
+	}
+	if prof, _ := get(t, srv, "/debug/pprof/goroutine?debug=1"); !strings.Contains(prof, "goroutine") {
+		t.Error("/debug/pprof/goroutine empty")
+	}
+}
+
+// TestRunServeMode drives run() with -http against a live TCP port: the
+// endpoints must respond while the process lingers after EOF, and closing
+// the stop channel must let run return.
+func TestRunServeMode(t *testing.T) {
+	stop := make(chan struct{})
+	cfg := config{
+		dims: 2, window: 100, thresholds: []float64{0.3},
+		batch: 1, summary: true, httpAddr: "127.0.0.1:0", stop: stop,
+	}
+	var out bytes.Buffer
+	var errw syncBuf
+	done := make(chan error, 1)
+	go func() {
+		in := strings.NewReader(strings.Join(genCSV(7, 300), "\n") + "\n")
+		done <- run(cfg, in, &out, &errw)
+	}()
+
+	// The bound address is announced on stderr once the server is up.
+	var addr string
+	for i := 0; i < 400; i++ {
+		if s := errw.String(); strings.Contains(s, "http://") {
+			at := strings.Index(s, "http://")
+			addr = strings.TrimSpace(strings.SplitN(s[at:], "\n", 2)[0])
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if addr == "" {
+		t.Fatalf("server never announced itself; stderr: %s", errw.String())
+	}
+
+	// Wait until the stream has fully drained, then scrape.
+	for i := 0; i < 400; i++ {
+		if strings.Contains(errw.String(), "stream done") {
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	resp, err := http.Get(addr + "/metrics")
+	if err != nil {
+		t.Fatalf("GET /metrics: %v", err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if !strings.Contains(string(body), "pskyline_pushes_total 300") {
+		t.Errorf("/metrics after EOF missing final push count:\n%.400s", body)
+	}
+
+	close(stop)
+	if err := <-done; err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if !strings.Contains(out.String(), "work: nodes=") || !strings.Contains(out.String(), "stage probe") {
+		t.Errorf("-summary missing work/stage block:\n%s", out.String())
+	}
+}

@@ -44,7 +44,7 @@ func raceStress(t *testing.T, opt pskyline.Options, readers int) {
 				default:
 				}
 				readOps.Add(1)
-				switch i % 8 {
+				switch i % 11 {
 				case 0:
 					v := m.View()
 					if v == nil {
@@ -74,6 +74,15 @@ func raceStress(t *testing.T, opt pskyline.Options, readers int) {
 				case 7:
 					if err := m.Snapshot(io.Discard); err != nil {
 						t.Errorf("snapshot: %v", err)
+						return
+					}
+				case 8:
+					_ = m.Metrics()
+				case 9:
+					_ = m.Trace()
+				case 10:
+					if err := m.WritePrometheus(io.Discard); err != nil {
+						t.Errorf("prometheus: %v", err)
 						return
 					}
 				}

@@ -97,11 +97,18 @@ func ingestResult(name string, r testing.BenchmarkResult) IngestWorkload {
 
 // benchEnginePush measures steady-state core Push: the window is prefilled
 // to 2×window before the timer starts, so every timed push also expires one
-// element.
-func benchEnginePush(dims, window int, thresholds []float64) testing.BenchmarkResult {
+// element. Stage metrics are enabled — the recorded trajectory measures the
+// instrumented configuration, the one production deployments run; the
+// `nometrics` row re-measures the d=3 workload with timing disabled so the
+// instrumentation overhead is an explicit same-machine diff.
+func benchEnginePush(dims, window int, thresholds []float64, withMetrics bool) testing.BenchmarkResult {
 	return testing.Benchmark(func(b *testing.B) {
 		b.ReportAllocs()
-		eng, err := core.NewEngine(core.Options{Dims: dims, Window: window, Thresholds: thresholds})
+		opt := core.Options{Dims: dims, Window: window, Thresholds: thresholds}
+		if withMetrics {
+			opt.Metrics = new(core.Metrics)
+		}
+		eng, err := core.NewEngine(opt)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -293,10 +300,11 @@ func Ingest(cfg IngestConfig, w io.Writer) IngestRun {
 			row.Name, row.NsPerOp, row.BytesPerOp, row.AllocsPerOp, row.ElemsPerSec)
 	}
 	for _, d := range []int{2, 3, 5} {
-		add(fmt.Sprintf("push/d=%d/q=%.1f", d, ingestQ), benchEnginePush(d, window, []float64{ingestQ}))
+		add(fmt.Sprintf("push/d=%d/q=%.1f", d, ingestQ), benchEnginePush(d, window, []float64{ingestQ}, true))
 	}
-	add("push/d=3/q=0.7", benchEnginePush(3, window, []float64{0.7}))
-	add("push/d=3/k=3", benchEnginePush(3, window, []float64{0.7, 0.5, 0.3}))
+	add("push/d=3/nometrics", benchEnginePush(3, window, []float64{ingestQ}, false))
+	add("push/d=3/q=0.7", benchEnginePush(3, window, []float64{0.7}, true))
+	add("push/d=3/k=3", benchEnginePush(3, window, []float64{0.7, 0.5, 0.3}, true))
 	add("looped-push/d=3", benchMonitorPush(3, window))
 	add("pushbatch/d=3/B=512", benchMonitorPushBatch(3, window, 512))
 	add("expire/d=3", benchExpire(3, window))

@@ -21,7 +21,7 @@ import (
 // recycles a slot only when its item leaves the window for good.
 type pointArena struct {
 	dims int
-	cur  []float64   // remaining tail of the chunk being carved
+	cur  []float64    // remaining tail of the chunk being carved
 	free []geom.Point // recycled slots, each of length dims
 }
 

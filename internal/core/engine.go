@@ -24,6 +24,7 @@ import (
 
 	"pskyline/internal/aggrtree"
 	"pskyline/internal/geom"
+	"pskyline/internal/obs"
 	"pskyline/internal/prob"
 )
 
@@ -55,6 +56,10 @@ type Options struct {
 	// whose threshold band changes, including arrivals (FromBand = −1) and
 	// departures (ToBand = −1).
 	OnChange func(Event)
+	// Metrics, if set, enables per-stage latency histograms (see the
+	// Metrics type). Recording is allocation-free; nil disables timing
+	// entirely.
+	Metrics *Metrics
 }
 
 // Event reports an element moving between threshold bands. Band indices are
@@ -95,6 +100,8 @@ type Engine struct {
 	onChange   func(Event)
 	eager      bool
 	maxEntries int
+	metrics    *Metrics       // nil disables stage timing
+	clk        obs.StageClock // armed once per arrival/expiry when metrics != nil
 
 	// Hot-path machinery: dimension-specialized dominance kernels selected
 	// once at construction, and the recycling stores that make steady-state
@@ -186,6 +193,7 @@ func NewEngine(opt Options) (*Engine, error) {
 		onChange:      opt.OnChange,
 		eager:         opt.EagerPropagation,
 		maxEntries:    opt.MaxEntries,
+		metrics:       opt.Metrics,
 		kern:          geom.KernelsFor(opt.Dims),
 		arena:         newPointArena(opt.Dims),
 		items:         aggrtree.NewItemPool(),
@@ -349,6 +357,9 @@ func (e *Engine) push1(pt geom.Point, p float64, ts int64) *aggrtree.Item {
 	e.next++
 	e.processed++
 	e.counters.Pushes++
+	if e.metrics != nil {
+		e.clk.Reset()
+	}
 	if e.window > 0 && seq >= uint64(e.window) {
 		e.expire(seq - uint64(e.window))
 	}
@@ -413,6 +424,9 @@ func (e *Engine) ExpireOlderThan(cutoff int64) int {
 	}
 	n := 0
 	for len(e.arrivals) > 0 && e.arrivals[0].TS < cutoff {
+		if e.metrics != nil {
+			e.clk.Reset()
+		}
 		e.expire(e.arrivals[0].Seq)
 		e.arrivals = e.arrivals[1:]
 		n++

@@ -20,6 +20,10 @@ import (
 //  3. evaluate band placement of the affected targets (Move(R ∩ R_2));
 //     skyline probabilities only rise on expiry, so moves are upward;
 //  4. apply the moves.
+//
+// Timing uses the engine's shared StageClock, armed by the caller (push1 or
+// ExpireOlderThan) when metrics are enabled; a non-candidate expiry is a map
+// miss and records nothing.
 func (e *Engine) expire(seq uint64) {
 	it, ok := e.inS[seq]
 	if !ok {
@@ -52,6 +56,9 @@ func (e *Engine) expire(seq uint64) {
 	}
 	e.applyMoves(s.moves)
 	e.freeItem(it)
+	if met := e.metrics; met != nil {
+		e.clk.Observe(&met.StageExpire)
+	}
 }
 
 // probeExpire raises the skyline probability of every element dominated by

@@ -42,11 +42,17 @@ type itemMove struct {
 //     boundary;
 //  5. apply the structural changes: delete removals, move reclassified
 //     elements, and insert a_new into the band of its own Psky.
+//
+// Timing uses the engine's shared StageClock, armed by push1: expire's
+// Observe (or the arming Reset when nothing expired) is the previous stage
+// boundary, so each phase below costs a single monotonic clock read.
 func (e *Engine) insert(it *aggrtree.Item) {
 	om := it.OneMinusP()
 	pold := prob.One()
 	s := &e.scratch
 	s.domN, s.domI = s.domN[:0], s.domI[:0]
+
+	met := e.metrics
 
 	// Phase 1: probe.
 	for bi, tr := range e.trees {
@@ -58,6 +64,9 @@ func (e *Engine) insert(it *aggrtree.Item) {
 			}
 		}
 	}
+	if met != nil {
+		e.clk.Observe(&met.StageProbe)
+	}
 
 	// Phase 2: split the dominated set by the candidate threshold.
 	qk := e.minQ()
@@ -65,26 +74,26 @@ func (e *Engine) insert(it *aggrtree.Item) {
 	s.removedI, s.surviveI = s.removedI[:0], s.surviveI[:0]
 	queue := append(s.queueN[:0], s.domN...)
 	for len(queue) > 0 {
-		t := queue[len(queue)-1]
+		tn := queue[len(queue)-1]
 		queue = queue[:len(queue)-1]
 		switch {
-		case t.n.EffPnewMax().Less(qk):
-			s.removedN = append(s.removedN, t)
-		case t.n.EffPnewMin().AtLeast(qk):
-			s.surviveN = append(s.surviveN, t)
+		case tn.n.EffPnewMax().Less(qk):
+			s.removedN = append(s.removedN, tn)
+		case tn.n.EffPnewMin().AtLeast(qk):
+			s.surviveN = append(s.surviveN, tn)
 		default:
-			t.n.Push()
-			if t.n.IsLeaf() {
-				for _, x := range t.n.Items() {
+			tn.n.Push()
+			if tn.n.IsLeaf() {
+				for _, x := range tn.n.Items() {
 					if x.Pnew.Less(qk) {
-						s.removedI = append(s.removedI, itemT{x, t.band})
+						s.removedI = append(s.removedI, itemT{x, tn.band})
 					} else {
-						s.surviveI = append(s.surviveI, itemT{x, t.band})
+						s.surviveI = append(s.surviveI, itemT{x, tn.band})
 					}
 				}
 			} else {
-				for _, c := range t.n.Children() {
-					queue = append(queue, nodeT{c, t.band})
+				for _, c := range tn.n.Children() {
+					queue = append(queue, nodeT{c, tn.band})
 				}
 			}
 		}
@@ -105,15 +114,21 @@ func (e *Engine) insert(it *aggrtree.Item) {
 	if (len(s.removedN) > 0 || len(s.removedI) > 0) && (len(s.surviveN) > 0 || len(s.surviveI) > 0) {
 		e.updateOld(s.removedN, s.removedI, s.surviveN, s.surviveI)
 	}
+	if met != nil {
+		e.clk.Observe(&met.StageUpdateOld)
+	}
 
 	// Phase 4: evaluate band placement of survivors (downward moves only
 	// during insertion; see the Theorem 4 argument in DESIGN.md).
 	s.moves = s.moves[:0]
-	for _, t := range s.surviveN {
-		e.evalPlacement(t, len(e.qs), &s.moves)
+	for _, tn := range s.surviveN {
+		e.evalPlacement(tn, len(e.qs), &s.moves)
 	}
 	for _, x := range s.surviveI {
 		e.evalItemPlacement(x, len(e.qs), &s.moves)
+	}
+	if met != nil {
+		e.clk.Observe(&met.StagePlace)
 	}
 
 	// Phase 5: structural changes. Whole removed subtrees are flattened to
@@ -121,8 +136,8 @@ func (e *Engine) insert(it *aggrtree.Item) {
 	// under the R-tree's restructuring (splits, condenses, root changes),
 	// and elements are removed from the candidate set at most once each, so
 	// the flattening stays amortized O(1) per arrival.
-	for _, t := range s.removedN {
-		collectItems(t.n, t.band, &s.removedI)
+	for _, tn := range s.removedN {
+		collectItems(tn.n, tn.band, &s.removedI)
 	}
 	e.counters.Removals += uint64(len(s.removedI))
 	for _, x := range s.removedI {
@@ -142,6 +157,9 @@ func (e *Engine) insert(it *aggrtree.Item) {
 	e.inS[it.Seq] = it
 	e.touch(b)
 	e.emit(it, -1, b)
+	if met != nil {
+		e.clk.Observe(&met.StageApply)
+	}
 }
 
 // probeInsert classifies the subtree at n against the arriving element:

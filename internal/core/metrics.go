@@ -1,0 +1,75 @@
+package core
+
+import (
+	"pskyline/internal/obs"
+)
+
+// Metrics is the engine's per-stage latency instrumentation: one log2
+// nanosecond histogram per phase of the arrival/expiry pipeline. Pass one
+// via Options.Metrics (or RestoreOptions.Metrics) to enable recording; a
+// nil Metrics disables all timing, leaving the hot path untouched.
+//
+// Recording is allocation-free and wait-free (plain atomic load/store pairs
+// into fixed bucket arrays — single writer, see internal/obs), so the
+// pinned steady-state allocation budget of Push holds with metrics enabled;
+// the added cost is one monotonic clock read per stage boundary (the
+// engine's shared StageClock), a few percent of a push. The histograms may
+// be read (Snapshot) from any goroutine while the engine runs.
+//
+// Stage boundaries follow the paper's algorithms:
+//
+//   - StageExpire: one candidate expiry (Algorithm 11), from band removal
+//     through the upward moves it triggers. Non-candidate expiries are free
+//     and are not recorded.
+//   - StageProbe: the classification descent of Inserting(a_new)
+//     (Algorithm 4 phase 1) — dominator accumulation and lazy Pnew
+//     multipliers.
+//   - StageUpdateOld: splitting the dominated set by the candidate
+//     threshold and stripping removed elements' factors from survivors
+//     (UpdateProb/UpdateOld, Algorithm 9).
+//   - StagePlace: band placement evaluation of the survivors
+//     (Place, Algorithm 10).
+//   - StageApply: applying the structural changes — deletions, band moves,
+//     and the insertion of a_new itself.
+type Metrics struct {
+	StageExpire    obs.Histogram
+	StageProbe     obs.Histogram
+	StageUpdateOld obs.Histogram
+	StagePlace     obs.Histogram
+	StageApply     obs.Histogram
+}
+
+// StageHistograms returns the stage histograms paired with their short
+// names, in pipeline order — the iteration exporters and summaries use.
+func (m *Metrics) StageHistograms() []struct {
+	Name string
+	Hist *obs.Histogram
+} {
+	return []struct {
+		Name string
+		Hist *obs.Histogram
+	}{
+		{"expire", &m.StageExpire},
+		{"probe", &m.StageProbe},
+		{"update_old", &m.StageUpdateOld},
+		{"place", &m.StagePlace},
+		{"apply", &m.StageApply},
+	}
+}
+
+// Metrics returns the engine's instrumentation block (nil when disabled).
+func (e *Engine) Metrics() *Metrics { return e.metrics }
+
+// InWindow returns the number of stream elements currently inside the
+// sliding window: min(processed, N) for count-based windows, the length of
+// the arrival queue for time-based ones. This is the N the analytical size
+// bounds of internal/stats should be evaluated at.
+func (e *Engine) InWindow() int {
+	if e.window > 0 {
+		if e.processed < uint64(e.window) {
+			return int(e.processed)
+		}
+		return e.window
+	}
+	return len(e.arrivals)
+}

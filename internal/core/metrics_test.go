@@ -1,0 +1,88 @@
+package core
+
+import (
+	"testing"
+
+	"pskyline/internal/streamgen"
+)
+
+// TestSteadyStatePushAllocsWithMetrics re-pins the steady-state allocation
+// budget with stage timing enabled: the obs histograms record via atomic
+// adds into fixed arrays, so instrumentation must not cost a single
+// allocation on the hot path.
+func TestSteadyStatePushAllocsWithMetrics(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation accounting differs under the race detector")
+	}
+	const window = 4096
+	var met Metrics
+	eng, err := NewEngine(Options{Dims: 3, Window: window, Thresholds: []float64{0.3}, Metrics: &met})
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := streamgen.New(3, streamgen.Anticorrelated, streamgen.UniformProb{}, 7)
+	drivePush(t, eng, src, 3*window)
+	elems := make([]streamgen.Element, 8192)
+	for i := range elems {
+		elems[i] = src.Next()
+	}
+	i := 0
+	avg := testing.AllocsPerRun(4000, func() {
+		el := elems[i%len(elems)]
+		i++
+		if _, err := eng.Push(el.Point, el.P, el.TS); err != nil {
+			t.Fatal(err)
+		}
+	})
+	const budget = 1.0
+	if avg > budget {
+		t.Fatalf("steady-state Push with metrics averaged %.2f allocs, budget %.1f", avg, budget)
+	}
+	if met.StageProbe.Count() == 0 || met.StageExpire.Count() == 0 {
+		t.Fatalf("stage histograms empty: probe=%d expire=%d",
+			met.StageProbe.Count(), met.StageExpire.Count())
+	}
+}
+
+// TestStageHistogramsRecord checks that every pipeline stage records once
+// per push (and expire once per candidate expiry), and that InWindow tracks
+// the window fill.
+func TestStageHistogramsRecord(t *testing.T) {
+	const window = 256
+	var met Metrics
+	eng, err := NewEngine(Options{Dims: 2, Window: window, Thresholds: []float64{0.3}, Metrics: &met})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eng.Metrics() != &met {
+		t.Fatal("Metrics() does not return the configured block")
+	}
+	src := streamgen.New(2, streamgen.Anticorrelated, streamgen.UniformProb{}, 11)
+	if got := eng.InWindow(); got != 0 {
+		t.Fatalf("InWindow before pushes = %d", got)
+	}
+	const n = 3 * window
+	for i := 0; i < n; i++ {
+		el := src.Next()
+		if _, err := eng.Push(el.Point, el.P, el.TS); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := eng.InWindow(); got != window {
+		t.Fatalf("InWindow after %d pushes = %d, want %d", n, got, window)
+	}
+	for _, st := range met.StageHistograms() {
+		if st.Name == "expire" {
+			if got, want := st.Hist.Count(), eng.Counters().Expiries; got != want {
+				t.Errorf("expire histogram count %d, want %d candidate expiries", got, want)
+			}
+			continue
+		}
+		if got := st.Hist.Count(); got != n {
+			t.Errorf("stage %s recorded %d, want %d", st.Name, got, n)
+		}
+	}
+	if exp := eng.Counters().Expiries; exp == 0 {
+		t.Fatal("no candidate expiries in an anti-correlated window churn")
+	}
+}

@@ -101,6 +101,10 @@ func (e *Engine) SnapshotTo(enc *gob.Encoder) error {
 type RestoreOptions struct {
 	// OnChange re-attaches a band-transition callback.
 	OnChange func(Event)
+	// Metrics re-attaches a per-stage latency instrumentation block
+	// (instrumentation is configuration, not state: histograms restart
+	// empty in the restored process).
+	Metrics *Metrics
 }
 
 // Restore reads a checkpoint written by Snapshot and returns an engine that
@@ -127,6 +131,7 @@ func RestoreFrom(dec *gob.Decoder, ro RestoreOptions) (*Engine, error) {
 		TrackArrivals:    s.TrackArrivals,
 		EagerPropagation: s.Eager,
 		OnChange:         ro.OnChange,
+		Metrics:          ro.Metrics,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("core: restore: %w", err)

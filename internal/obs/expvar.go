@@ -1,0 +1,64 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+)
+
+// HistJSON is the JSON shape of one exported histogram series: the summary
+// statistics a human (or an expvar poller) wants without decoding buckets,
+// plus the raw bucket counts for tools that re-aggregate.
+type HistJSON struct {
+	Count   uint64   `json:"count"`
+	MeanNs  float64  `json:"mean_ns"`
+	P50Ns   float64  `json:"p50_ns"`
+	P90Ns   float64  `json:"p90_ns"`
+	P99Ns   float64  `json:"p99_ns"`
+	MaxNs   uint64   `json:"max_ns"`
+	SumNs   uint64   `json:"sum_ns"`
+	Buckets []uint64 `json:"buckets_log2_ns"`
+}
+
+// HistJSONOf summarizes a snapshot into its JSON shape.
+func HistJSONOf(s HistSnapshot) HistJSON {
+	return HistJSON{
+		Count:   s.Count,
+		MeanNs:  s.MeanNs(),
+		P50Ns:   s.QuantileNs(0.50),
+		P90Ns:   s.QuantileNs(0.90),
+		P99Ns:   s.QuantileNs(0.99),
+		MaxNs:   s.MaxNs,
+		SumNs:   s.SumNs,
+		Buckets: append([]uint64(nil), s.Buckets[:]...),
+	}
+}
+
+// WriteJSON renders the registry as one expvar-style JSON object: metric
+// name → value for counters and gauges, metric name → summary object for
+// histograms. Labeled series nest one level deeper under their sorted
+// "k=v" label key. Keys are emitted in sorted order (encoding/json sorts
+// map keys), so the output is deterministic for a given state.
+func (r *Registry) WriteJSON(w io.Writer) error {
+	top := make(map[string]any, len(r.families))
+	for _, f := range r.families {
+		if len(f.series) == 1 && f.series[0].labelKey() == "" {
+			top[f.name] = seriesJSON(f.series[0])
+			continue
+		}
+		sub := make(map[string]any, len(f.series))
+		for _, s := range f.series {
+			sub[s.labelKey()] = seriesJSON(s)
+		}
+		top[f.name] = sub
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(top)
+}
+
+func seriesJSON(s series) any {
+	if s.hist != nil {
+		return HistJSONOf(s.hist.Snapshot())
+	}
+	return s.value()
+}

@@ -1,0 +1,105 @@
+package obs
+
+import (
+	"bufio"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// WritePrometheus renders every registered family in the Prometheus text
+// exposition format (version 0.0.4): a HELP and TYPE line per family, one
+// sample line per series, and for histograms the cumulative `_bucket` series
+// with `le` in seconds plus `_sum` and `_count`. It is safe to call
+// concurrently with metric recording.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	for _, f := range r.families {
+		bw.WriteString("# HELP " + f.name + " " + escapeHelp(f.help) + "\n")
+		bw.WriteString("# TYPE " + f.name + " " + f.typ + "\n")
+		for _, s := range f.series {
+			if f.typ == "histogram" {
+				writePromHistogram(bw, f.name, s)
+				continue
+			}
+			bw.WriteString(f.name + promLabels(s.labels, "", 0))
+			bw.WriteByte(' ')
+			bw.WriteString(formatFloat(s.value()))
+			bw.WriteByte('\n')
+		}
+	}
+	return bw.Flush()
+}
+
+func writePromHistogram(bw *bufio.Writer, name string, s series) {
+	snap := s.hist.Snapshot()
+	cum := uint64(0)
+	for i, b := range snap.Buckets {
+		cum += b
+		if b == 0 && i != NumBuckets-1 {
+			// Empty buckets add nothing to the cumulative counts; skip them
+			// to keep the exposition compact. The +Inf bucket is mandatory.
+			continue
+		}
+		bw.WriteString(name + "_bucket" + promLabels(s.labels, "le", i) + " ")
+		bw.WriteString(strconv.FormatUint(cum, 10))
+		bw.WriteByte('\n')
+	}
+	bw.WriteString(name + "_sum" + promLabels(s.labels, "", 0) + " ")
+	bw.WriteString(formatFloat(float64(snap.SumNs) / 1e9))
+	bw.WriteByte('\n')
+	bw.WriteString(name + "_count" + promLabels(s.labels, "", 0) + " ")
+	bw.WriteString(strconv.FormatUint(snap.Count, 10))
+	bw.WriteByte('\n')
+}
+
+// promLabels renders a label set, optionally with an `le` bucket label for
+// histogram bucket i appended. Returns "" for an empty set.
+func promLabels(labels []Label, le string, bucket int) string {
+	if len(labels) == 0 && le == "" {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	ls := append([]Label(nil), labels...)
+	sort.Slice(ls, func(i, j int) bool { return ls[i].Key < ls[j].Key })
+	for i, l := range ls {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(l.Key + "=" + strconv.Quote(l.Value))
+	}
+	if le != "" {
+		if len(ls) > 0 {
+			b.WriteByte(',')
+		}
+		v := "+Inf"
+		if bucket < NumBuckets-1 {
+			v = formatFloat(BucketUpperNs(bucket) / 1e9)
+		}
+		b.WriteString("le=" + strconv.Quote(v))
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// formatFloat renders a sample value the way Prometheus expects.
+func formatFloat(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	case math.IsNaN(v):
+		return "NaN"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// escapeHelp escapes backslashes and newlines per the exposition format.
+func escapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}

@@ -1,0 +1,262 @@
+package pskyline
+
+import (
+	"io"
+	"math"
+	"sync/atomic"
+	"time"
+
+	"pskyline/internal/core"
+	"pskyline/internal/obs"
+	"pskyline/internal/stats"
+)
+
+// monMetrics is the Monitor's observability block. The engine records the
+// stage histograms directly (atomic, allocation-free); everything that is
+// maintained as plain single-writer state inside the engine — sizes, work
+// counters, stream position — is mirrored into atomics once per view
+// publication, under the writer lock, so exporters and Metrics() read a
+// coherent recent state without ever taking m.mu.
+type monMetrics struct {
+	eng core.Metrics // per-stage latency histograms, recorded by the engine
+
+	enters    obs.Counter // elements entering the q_1-skyline
+	leaves    obs.Counter // elements leaving the q_1-skyline
+	publishes obs.Counter // view publications
+
+	publishGap obs.Histogram // interval between consecutive publications
+
+	// Publish-time mirrors of engine state (single writer under m.mu).
+	processed    atomic.Uint64
+	pushes       atomic.Uint64
+	expiries     atomic.Uint64
+	nodesVisited atomic.Uint64
+	itemsTouched atomic.Uint64
+	lazyApplied  atomic.Uint64
+	removals     atomic.Uint64
+	moves        atomic.Uint64
+
+	candidates    atomic.Uint64
+	skyline       atomic.Uint64
+	maxCandidates atomic.Uint64
+	maxSkyline    atomic.Uint64
+	windowFill    atomic.Uint64
+
+	probSumBits   atomic.Uint64 // float64 bits: Σ occurrence prob of pushed elements
+	probCount     atomic.Uint64
+	lastPublishNs atomic.Int64
+}
+
+// mirrorLocked copies the engine's single-writer state into the atomic
+// mirrors and stamps the publication. Callers hold m.mu.
+func (mm *monMetrics) mirrorLocked(eng *core.Engine, probSum float64, probCount uint64) {
+	c := eng.Counters()
+	mm.processed.Store(eng.Processed())
+	mm.pushes.Store(c.Pushes)
+	mm.expiries.Store(c.Expiries)
+	mm.nodesVisited.Store(c.NodesVisited)
+	mm.itemsTouched.Store(c.ItemsTouched)
+	mm.lazyApplied.Store(c.LazyApplied)
+	mm.removals.Store(c.Removals)
+	mm.moves.Store(c.Moves)
+	mm.candidates.Store(uint64(eng.CandidateSize()))
+	mm.skyline.Store(uint64(eng.SkylineSize()))
+	mm.maxCandidates.Store(uint64(eng.MaxCandidateSize()))
+	mm.maxSkyline.Store(uint64(eng.MaxSkylineSize()))
+	mm.windowFill.Store(uint64(eng.InWindow()))
+	mm.probSumBits.Store(math.Float64bits(probSum))
+	mm.probCount.Store(probCount)
+	mm.publishes.Inc()
+	now := time.Now().UnixNano()
+	if prev := mm.lastPublishNs.Swap(now); prev != 0 {
+		mm.publishGap.Record(time.Duration(now - prev))
+	}
+}
+
+// meanProb returns the mean occurrence probability over the elements pushed
+// by this process (0 when none were pushed yet).
+func (mm *monMetrics) meanProb() float64 {
+	n := mm.probCount.Load()
+	if n == 0 {
+		return 0
+	}
+	return math.Float64frombits(mm.probSumBits.Load()) / float64(n)
+}
+
+// buildRegistry assembles the export registry over the monitor's metrics.
+// Called once at construction; every registered source reads atomics or the
+// published view, so scrapes never contend with ingestion.
+func (m *Monitor) buildRegistry() {
+	mm := &m.met
+	r := obs.NewRegistry()
+	u := func(v *atomic.Uint64) func() float64 {
+		return func() float64 { return float64(v.Load()) }
+	}
+
+	r.RegisterCounterFunc("pskyline_pushes_total", "Stream elements ingested.", u(&mm.pushes))
+	r.RegisterCounterFunc("pskyline_expiries_total", "Candidate elements expired out of the window.", u(&mm.expiries))
+	r.RegisterCounterFunc("pskyline_nodes_visited_total", "R-tree entries classified during probes and update traversals.", u(&mm.nodesVisited))
+	r.RegisterCounterFunc("pskyline_items_touched_total", "Elements examined or mutated individually.", u(&mm.itemsTouched))
+	r.RegisterCounterFunc("pskyline_lazy_applied_total", "Entry-level lazy multiplications covering whole subtrees.", u(&mm.lazyApplied))
+	r.RegisterCounterFunc("pskyline_candidate_removals_total", "Elements dropped from the candidate set before expiry.", u(&mm.removals))
+	r.RegisterCounterFunc("pskyline_band_moves_total", "Element reclassifications between threshold bands.", u(&mm.moves))
+	r.RegisterCounter("pskyline_skyline_enters_total", "Elements entering the q_1-skyline.", &mm.enters)
+	r.RegisterCounter("pskyline_skyline_leaves_total", "Elements leaving the q_1-skyline.", &mm.leaves)
+	r.RegisterCounter("pskyline_view_publishes_total", "Read view publications.", &mm.publishes)
+
+	r.RegisterGaugeFunc("pskyline_candidates", "Current candidate set size |S_{N,q_k}|.", u(&mm.candidates))
+	r.RegisterGaugeFunc("pskyline_skyline_size", "Current q_1-skyline size |SKY_{N,q_1}|.", u(&mm.skyline))
+	r.RegisterGaugeFunc("pskyline_candidates_max", "Maximum candidate set size observed.", u(&mm.maxCandidates))
+	r.RegisterGaugeFunc("pskyline_skyline_max", "Maximum q_1-skyline size observed.", u(&mm.maxSkyline))
+	r.RegisterGaugeFunc("pskyline_window_fill", "Stream elements currently inside the sliding window.", u(&mm.windowFill))
+	r.RegisterGaugeFunc("pskyline_mean_occurrence_prob", "Mean occurrence probability of pushed elements.", mm.meanProb)
+	r.RegisterGaugeFunc("pskyline_publish_age_seconds", "Seconds since the last view publication.", func() float64 {
+		last := mm.lastPublishNs.Load()
+		if last == 0 {
+			return 0
+		}
+		return float64(time.Now().UnixNano()-last) / 1e9
+	})
+	r.RegisterGaugeFunc("pskyline_threshold_max", "Largest maintained threshold q_1.", func() float64 {
+		ths := m.view.Load().thresholds
+		return ths[0]
+	})
+	r.RegisterGaugeFunc("pskyline_threshold_min", "Smallest maintained threshold q_k.", func() float64 {
+		ths := m.view.Load().thresholds
+		return ths[len(ths)-1]
+	})
+	r.RegisterGaugeFunc("pskyline_theory_skyline_bound",
+		"Theorem 7 upper bound on E(|SKY_{N,q_1}|) at the observed window fill and mean probability.",
+		m.theorySkylineBound)
+	r.RegisterGaugeFunc("pskyline_theory_candidate_bound",
+		"Theorem 8 upper bound on E(|S_{N,q_k}|) at the observed window fill and mean probability.",
+		m.theoryCandidateBound)
+
+	for _, st := range mm.eng.StageHistograms() {
+		r.RegisterHistogram("pskyline_stage_seconds",
+			"Per-stage latency of the arrival/expiry pipeline.",
+			st.Hist, obs.Label{Key: "stage", Value: st.Name})
+	}
+	r.RegisterHistogram("pskyline_publish_interval_seconds",
+		"Interval between consecutive view publications.", &mm.publishGap)
+
+	m.reg = r
+}
+
+// theorySkylineBound evaluates the paper's Theorem 7 expectation bound on
+// the q_1-skyline size at the currently observed window fill and mean
+// occurrence probability. Comparing it against pskyline_skyline_size on a
+// dashboard makes drift from the paper's poly-logarithmic expectation
+// visible live. Returns 0 until elements have been pushed.
+func (m *Monitor) theorySkylineBound() float64 {
+	n := int(m.met.windowFill.Load())
+	p := m.met.meanProb()
+	if n == 0 || p <= 0 {
+		return 0
+	}
+	q1 := m.view.Load().thresholds[0]
+	return stats.ExpectedSkylineUpper(n, m.dims, p, q1)
+}
+
+// theoryCandidateBound is the Theorem 8 analogue for the candidate set size
+// at the smallest maintained threshold q_k.
+func (m *Monitor) theoryCandidateBound() float64 {
+	n := int(m.met.windowFill.Load())
+	p := m.met.meanProb()
+	if n == 0 || p <= 0 {
+		return 0
+	}
+	ths := m.view.Load().thresholds
+	return stats.ExpectedCandidateUpper(n, m.dims, p, ths[len(ths)-1])
+}
+
+// StageLatency summarizes one pipeline stage's latency histogram.
+type StageLatency struct {
+	// Stage names the pipeline stage: expire, probe, update_old, place,
+	// apply.
+	Stage string
+	// Count is the number of recorded stage executions.
+	Count uint64
+	// MeanNs, P50Ns and P99Ns are estimates in nanoseconds (quantiles are
+	// log2-bucket estimates, within a factor of two).
+	MeanNs, P50Ns, P99Ns float64
+	// MaxNs is the largest recorded stage execution, exact.
+	MaxNs uint64
+}
+
+// Metrics is a point-in-time observability snapshot of the Monitor:
+// sizes, work counters, skyline churn, per-stage latency summaries, view
+// publication statistics and the paper's analytical size bounds evaluated
+// at the observed workload parameters.
+type Metrics struct {
+	// Stats are the size statistics as of the last published view.
+	Stats Stats
+	// Counters are the engine work counters as of the last published view.
+	Counters core.Counters
+	// SkylineEnters and SkylineLeaves count q_1-skyline transitions.
+	SkylineEnters, SkylineLeaves uint64
+	// ViewPublishes counts read view publications; LastPublish is the time
+	// of the most recent one.
+	ViewPublishes uint64
+	LastPublish   time.Time
+	// WindowFill is the number of elements currently inside the window.
+	WindowFill int
+	// MeanProb is the mean occurrence probability of pushed elements.
+	MeanProb float64
+	// TheorySkylineBound and TheoryCandidateBound are the Theorem 7/8
+	// expectation bounds evaluated at (WindowFill, dims, MeanProb) and the
+	// maintained thresholds — the live version of the paper's size check.
+	TheorySkylineBound, TheoryCandidateBound float64
+	// Stages are the per-stage latency summaries in pipeline order.
+	Stages []StageLatency
+}
+
+// Metrics returns an observability snapshot. Like the query methods it is
+// lock-free: it reads the atomic metrics and the published view and never
+// contends with ingestion.
+func (m *Monitor) Metrics() Metrics {
+	mm := &m.met
+	v := m.view.Load()
+	out := Metrics{
+		Stats:                v.Stats(),
+		Counters:             v.Counters(),
+		SkylineEnters:        mm.enters.Load(),
+		SkylineLeaves:        mm.leaves.Load(),
+		ViewPublishes:        mm.publishes.Load(),
+		WindowFill:           int(mm.windowFill.Load()),
+		MeanProb:             mm.meanProb(),
+		TheorySkylineBound:   m.theorySkylineBound(),
+		TheoryCandidateBound: m.theoryCandidateBound(),
+	}
+	if ns := mm.lastPublishNs.Load(); ns != 0 {
+		out.LastPublish = time.Unix(0, ns)
+	}
+	for _, st := range mm.eng.StageHistograms() {
+		s := st.Hist.Snapshot()
+		out.Stages = append(out.Stages, StageLatency{
+			Stage:  st.Name,
+			Count:  s.Count,
+			MeanNs: s.MeanNs(),
+			P50Ns:  s.QuantileNs(0.50),
+			P99Ns:  s.QuantileNs(0.99),
+			MaxNs:  s.MaxNs,
+		})
+	}
+	return out
+}
+
+// WritePrometheus renders the Monitor's metrics in the Prometheus text
+// exposition format: stage latency histograms, work and churn counters,
+// size gauges and the Theorem 7/8 bound gauges. It is lock-free with
+// respect to ingestion and safe to call from any goroutine (an HTTP
+// /metrics handler, typically).
+func (m *Monitor) WritePrometheus(w io.Writer) error {
+	return m.reg.WritePrometheus(w)
+}
+
+// WriteMetricsJSON renders the same metrics as one expvar-style JSON
+// object (histograms as {count, mean_ns, p50_ns, ...} summaries with raw
+// log2 buckets). Lock-free, like WritePrometheus.
+func (m *Monitor) WriteMetricsJSON(w io.Writer) error {
+	return m.reg.WriteJSON(w)
+}

@@ -41,6 +41,7 @@ import (
 
 	"pskyline/internal/core"
 	"pskyline/internal/geom"
+	"pskyline/internal/obs"
 )
 
 // ErrClosed is returned by Push and PushBatch after Close.
@@ -111,6 +112,12 @@ type Options struct {
 	TopKMinQ float64
 	OnTopK   func([]SkyPoint)
 
+	// TraceDepth is the capacity of the structured trace ring: the last
+	// TraceDepth q_1-skyline transitions are kept for Trace() and the
+	// /debug/skyline endpoint (rounded up to a power of two; 0 selects
+	// DefaultTraceDepth).
+	TraceDepth int
+
 	// AsyncQueue, when positive, decouples producers from ingestion: Push
 	// and PushBatch validate the elements, enqueue them on a bounded
 	// buffer of this capacity (blocking for backpressure when it is full)
@@ -155,6 +162,16 @@ type Monitor struct {
 
 	batch []core.BatchElem // scratch for batch ingestion, guarded by mu
 
+	// Observability: the metrics block (stage histograms recorded by the
+	// engine, mirrors refreshed at publish), the lock-free skyline trace
+	// ring, the export registry, and the occurrence-probability running sum
+	// behind the theory-bound gauges (plain fields, guarded by mu).
+	met       monMetrics
+	trace     *traceRing
+	reg       *obs.Registry
+	probSum   float64
+	probCount uint64
+
 	aq *asyncQueue // nil when Options.AsyncQueue == 0
 }
 
@@ -171,12 +188,14 @@ func NewMonitor(opt Options) (*Monitor, error) {
 		period: opt.Period,
 		opts:   opt,
 	}
+	m.trace = newTraceRing(opt.TraceDepth)
 	eng, err := core.NewEngine(core.Options{
 		Dims:       opt.Dims,
 		Window:     opt.Window,
 		Thresholds: opt.Thresholds,
 		MaxEntries: opt.MaxEntries,
 		OnChange:   m.onChange,
+		Metrics:    &m.met.eng,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("pskyline: %w", err)
@@ -195,6 +214,7 @@ func NewMonitor(opt Options) (*Monitor, error) {
 	}
 	m.dims = eng.Dims()
 	m.publishLocked()
+	m.buildRegistry()
 	if opt.AsyncQueue > 0 {
 		m.aq = newAsyncQueue(m, opt.AsyncQueue)
 	}
@@ -205,6 +225,16 @@ func NewMonitor(opt Options) (*Monitor, error) {
 func (m *Monitor) onChange(ev core.Event) {
 	enter := ev.FromBand != 0 && ev.ToBand == 0
 	leave := ev.FromBand == 0 && ev.ToBand != 0
+	if enter || leave {
+		// Churn accounting and the structured trace: atomic stores into
+		// fixed storage, so the ingestion path stays allocation-free.
+		if enter {
+			m.met.enters.Inc()
+		} else {
+			m.met.leaves.Inc()
+		}
+		m.trace.record(ev, m.eng.Processed())
+	}
 	if enter && m.opts.OnEnter != nil {
 		m.opts.OnEnter(m.skyPointOf(ev))
 	}
@@ -322,6 +352,8 @@ func (m *Monitor) ingestLocked(e Element) (uint64, error) {
 		delete(m.data, seq)
 		return 0, fmt.Errorf("pskyline: %w", err)
 	}
+	m.probSum += e.Prob
+	m.probCount++
 	return it.Seq, nil
 }
 
@@ -364,6 +396,10 @@ func (m *Monitor) ingestBatchLocked(es []Element) (uint64, error) {
 		}
 		return 0, fmt.Errorf("pskyline: %w", err)
 	}
+	for i := range es {
+		m.probSum += es[i].Prob
+	}
+	m.probCount += uint64(len(es))
 	return first, nil
 }
 
@@ -404,7 +440,16 @@ func (m *Monitor) publishLocked() {
 		processed:  m.eng.Processed(),
 		thresholds: ths,
 		bands:      bands,
+		stats: Stats{
+			Processed:     m.eng.Processed(),
+			Candidates:    m.eng.CandidateSize(),
+			Skyline:       m.eng.SkylineSize(),
+			MaxCandidates: m.eng.MaxCandidateSize(),
+			MaxSkyline:    m.eng.MaxSkylineSize(),
+		},
+		counters: m.eng.Counters(),
 	})
+	m.met.mirrorLocked(m.eng, m.probSum, m.probCount)
 }
 
 // extractBandLocked copies threshold band i out of the engine, attaching
@@ -515,25 +560,18 @@ type Stats struct {
 	MaxSkyline    int
 }
 
-// Stats returns current and peak sizes.
+// Stats returns current and peak sizes as of the last published view. Like
+// the query methods it reads the published view and never blocks on the
+// writer.
 func (m *Monitor) Stats() Stats {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	return Stats{
-		Processed:     m.eng.Processed(),
-		Candidates:    m.eng.CandidateSize(),
-		Skyline:       m.eng.SkylineSize(),
-		MaxCandidates: m.eng.MaxCandidateSize(),
-		MaxSkyline:    m.eng.MaxSkylineSize(),
-	}
+	return m.view.Load().Stats()
 }
 
 // Counters returns the operator's accumulated work counters (entries
 // classified, elements touched, lazy entry updates, candidate removals and
-// band moves) — useful for capacity planning and for verifying that the
-// index is pruning effectively on a given workload.
+// band moves) as of the last published view — useful for capacity planning
+// and for verifying that the index is pruning effectively on a given
+// workload. Lock-free, like Stats.
 func (m *Monitor) Counters() core.Counters {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	return m.eng.Counters()
+	return m.view.Load().Counters()
 }

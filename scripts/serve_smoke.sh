@@ -1,0 +1,53 @@
+#!/usr/bin/env bash
+# Serve-mode smoke test: start `pskyline -http` on a real port, feed it a
+# stream, and assert that /metrics and /healthz respond with the expected
+# series while the process lingers after EOF. Run from the repo root
+# (`make serve-smoke`).
+set -euo pipefail
+
+GO=${GO:-go}
+ADDR=${ADDR:-127.0.0.1:18080}
+N=${N:-5000}
+tmp=$(mktemp -d)
+trap 'kill "$pid" 2>/dev/null || true; rm -rf "$tmp"' EXIT
+
+"$GO" build -o "$tmp/pskyline" ./cmd/pskyline
+"$GO" run ./cmd/datagen -dims 2 -n "$N" -seed 42 > "$tmp/stream.csv"
+
+"$tmp/pskyline" -dims 2 -window 1000 -q 0.3 -http "$ADDR" -summary \
+    < "$tmp/stream.csv" > "$tmp/out.log" 2> "$tmp/err.log" &
+pid=$!
+
+# Wait for the stream to drain (the process keeps serving afterwards).
+for _ in $(seq 1 100); do
+    grep -q "stream done" "$tmp/err.log" 2>/dev/null && break
+    kill -0 "$pid" 2>/dev/null || { echo "pskyline exited early"; cat "$tmp/err.log"; exit 1; }
+    sleep 0.1
+done
+grep -q "stream done" "$tmp/err.log" || { echo "stream never drained"; cat "$tmp/err.log"; exit 1; }
+
+fetch() { curl -fsS --max-time 5 "http://$ADDR$1"; }
+
+metrics=$(fetch /metrics)
+for series in \
+    "pskyline_pushes_total $N" \
+    "pskyline_stage_seconds_bucket{stage=\"probe\",le=\"+Inf\"}" \
+    "pskyline_stage_seconds_bucket{stage=\"expire\",le=\"+Inf\"}" \
+    "pskyline_skyline_enters_total" \
+    "pskyline_theory_skyline_bound" \
+    "pskyline_window_fill 1000"; do
+    echo "$metrics" | grep -qF "$series" \
+        || { echo "MISSING series: $series"; echo "$metrics" | head -40; exit 1; }
+done
+
+health=$(fetch /healthz)
+echo "$health" | grep -q '"status":"ok"' || { echo "BAD /healthz: $health"; exit 1; }
+echo "$health" | grep -q "\"processed\":$N" || { echo "BAD /healthz: $health"; exit 1; }
+
+fetch /debug/skyline | grep -q '"skyline":' || { echo "BAD /debug/skyline"; exit 1; }
+fetch "/debug/pprof/goroutine?debug=1" | grep -q goroutine || { echo "BAD pprof"; exit 1; }
+
+kill "$pid"
+wait "$pid" 2>/dev/null || true
+grep -q "stage probe" "$tmp/out.log" || { echo "summary missing stage latencies"; cat "$tmp/out.log"; exit 1; }
+echo "serve smoke OK: $N elements, /metrics + /healthz + /debug/skyline + pprof all healthy"

@@ -48,6 +48,9 @@ type RestoreOptions struct {
 	// AsyncQueue re-enables the bounded async ingestion queue, as in
 	// Options.
 	AsyncQueue int
+	// TraceDepth sizes the restored monitor's trace ring, as in Options.
+	// The ring starts empty: transitions are recorded from the next Push.
+	TraceDepth int
 }
 
 // RestoreMonitor reads a checkpoint written by Snapshot and returns a
@@ -64,13 +67,14 @@ func RestoreMonitor(r io.Reader, ro RestoreOptions) (*Monitor, error) {
 		opts: Options{
 			OnEnter: ro.OnEnter, OnLeave: ro.OnLeave,
 			TopK: ro.TopK, TopKMinQ: ro.TopKMinQ, OnTopK: ro.OnTopK,
-			AsyncQueue: ro.AsyncQueue,
+			AsyncQueue: ro.AsyncQueue, TraceDepth: ro.TraceDepth,
 		},
 	}
 	if m.data == nil {
 		m.data = make(map[uint64]any)
 	}
-	eng, err := core.RestoreFrom(dec, core.RestoreOptions{OnChange: m.onChange})
+	m.trace = newTraceRing(ro.TraceDepth)
+	eng, err := core.RestoreFrom(dec, core.RestoreOptions{OnChange: m.onChange, Metrics: &m.met.eng})
 	if err != nil {
 		return nil, fmt.Errorf("pskyline: restore: %w", err)
 	}
@@ -88,6 +92,7 @@ func RestoreMonitor(r io.Reader, ro RestoreOptions) (*Monitor, error) {
 	}
 	m.dims = eng.Dims()
 	m.publishLocked()
+	m.buildRegistry()
 	if ro.AsyncQueue > 0 {
 		m.aq = newAsyncQueue(m, ro.AsyncQueue)
 	}

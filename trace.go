@@ -1,0 +1,165 @@
+package pskyline
+
+import (
+	"math"
+	"sync/atomic"
+	"time"
+
+	"pskyline/internal/core"
+)
+
+// DefaultTraceDepth is the trace ring capacity used when Options.TraceDepth
+// is zero.
+const DefaultTraceDepth = 256
+
+// traceMaxDims bounds the coordinates stored per trace record; points with
+// more dimensions are truncated in the trace (the authoritative coordinates
+// remain available through the read views).
+const traceMaxDims = 8
+
+// TraceEvent is one recorded skyline transition: an element entering or
+// leaving the q_1-skyline as the window slides.
+type TraceEvent struct {
+	// Seq is the element's arrival position.
+	Seq uint64
+	// Entered reports the direction: true for an element entering the
+	// skyline, false for one leaving it.
+	Entered bool
+	// Point is the element's location, truncated to 8 dimensions in the
+	// trace.
+	Point []float64
+	// Prob is the element's occurrence probability.
+	Prob float64
+	// Psky is the element's skyline probability at the moment of the
+	// transition (for departures from the window, its final value).
+	Psky float64
+	// FromBand and ToBand are the threshold band indices of the move
+	// (−1 = outside the candidate set).
+	FromBand, ToBand int
+	// At is the wall-clock time the transition was recorded.
+	At time.Time
+	// Processed is the number of stream elements ingested when the
+	// transition fired.
+	Processed uint64
+}
+
+// traceRing is a bounded lock-free ring of the last M skyline transitions.
+//
+// There is a single writer (the ingestion path, under the Monitor's mutex)
+// and any number of readers that never block it. Each slot is a seqlock:
+// the writer bumps the slot's version to odd, stores the payload through
+// individual atomics, bumps the version to the next even value, and only
+// then advances the ring's record count. A reader accepts a slot only when
+// it observes the same even version before and after decoding, so a record
+// overwritten mid-read is skipped rather than returned torn. Because every
+// payload field is itself an atomic, concurrent access is well-defined for
+// the race detector too — the versions add cross-field consistency on top.
+//
+// Recording is allocation-free: a fixed number of atomic stores into
+// preallocated slots.
+type traceRing struct {
+	mask  uint64
+	n     atomic.Uint64 // total records ever written
+	slots []traceSlot
+}
+
+type traceSlot struct {
+	ver       atomic.Uint64 // even = stable, odd = mid-write
+	seq       atomic.Uint64
+	processed atomic.Uint64
+	atNs      atomic.Int64
+	prob      atomic.Uint64 // float64 bits
+	psky      atomic.Uint64 // float64 bits
+	from      atomic.Int64
+	to        atomic.Int64
+	dims      atomic.Uint64
+	coord     [traceMaxDims]atomic.Uint64 // float64 bits
+}
+
+// newTraceRing returns a ring holding the last `depth` transitions (rounded
+// up to a power of two, minimum 1).
+func newTraceRing(depth int) *traceRing {
+	if depth <= 0 {
+		depth = DefaultTraceDepth
+	}
+	cap := 1
+	for cap < depth {
+		cap <<= 1
+	}
+	return &traceRing{mask: uint64(cap - 1), slots: make([]traceSlot, cap)}
+}
+
+// record appends one transition. Single writer only.
+func (r *traceRing) record(ev core.Event, processed uint64) {
+	pos := r.n.Load()
+	s := &r.slots[pos&r.mask]
+	v := s.ver.Load()
+	s.ver.Store(v + 1)
+	it := ev.Item
+	s.seq.Store(it.Seq)
+	s.processed.Store(processed)
+	s.atNs.Store(time.Now().UnixNano())
+	s.prob.Store(math.Float64bits(it.P))
+	s.psky.Store(math.Float64bits(it.Psky().Float()))
+	s.from.Store(int64(ev.FromBand))
+	s.to.Store(int64(ev.ToBand))
+	d := len(it.Point)
+	if d > traceMaxDims {
+		d = traceMaxDims
+	}
+	s.dims.Store(uint64(d))
+	for i := 0; i < d; i++ {
+		s.coord[i].Store(math.Float64bits(it.Point[i]))
+	}
+	s.ver.Store(v + 2)
+	r.n.Store(pos + 1)
+}
+
+// collect decodes the ring's current contents, oldest first. Records being
+// overwritten concurrently are skipped; everything returned is a complete,
+// untorn transition.
+func (r *traceRing) collect() []TraceEvent {
+	n := r.n.Load()
+	depth := uint64(len(r.slots))
+	start := uint64(0)
+	if n > depth {
+		start = n - depth
+	}
+	out := make([]TraceEvent, 0, n-start)
+	for pos := start; pos < n; pos++ {
+		s := &r.slots[pos&r.mask]
+		v1 := s.ver.Load()
+		if v1&1 == 1 {
+			continue
+		}
+		d := int(s.dims.Load())
+		ev := TraceEvent{
+			Seq:       s.seq.Load(),
+			Processed: s.processed.Load(),
+			At:        time.Unix(0, s.atNs.Load()),
+			Prob:      math.Float64frombits(s.prob.Load()),
+			Psky:      math.Float64frombits(s.psky.Load()),
+			FromBand:  int(s.from.Load()),
+			ToBand:    int(s.to.Load()),
+			Point:     make([]float64, d),
+		}
+		for i := 0; i < d; i++ {
+			ev.Point[i] = math.Float64frombits(s.coord[i].Load())
+		}
+		if s.ver.Load() != v1 {
+			continue // overwritten while decoding
+		}
+		ev.Entered = ev.ToBand == 0
+		out = append(out, ev)
+	}
+	return out
+}
+
+// Trace returns the most recent skyline transitions, oldest first, up to
+// the configured trace depth. It reads the lock-free trace ring: it never
+// blocks ingestion and may be called from any goroutine. Transitions being
+// overwritten at the instant of the call are omitted rather than returned
+// torn.
+func (m *Monitor) Trace() []TraceEvent {
+	return m.trace.collect()
+}

@@ -3,6 +3,8 @@ package pskyline
 import (
 	"fmt"
 	"sort"
+
+	"pskyline/internal/core"
 )
 
 // View is an immutable snapshot of the Monitor's answerable state: the full
@@ -27,11 +29,20 @@ type View struct {
 	processed  uint64
 	thresholds []float64    // maintained thresholds, descending
 	bands      [][]SkyPoint // band i: Psky in [q_i, q_{i-1}), sorted desc
+	stats      Stats
+	counters   core.Counters
 }
 
 // Processed returns the number of stream elements that had been ingested
 // when this view was captured.
 func (v *View) Processed() uint64 { return v.processed }
+
+// Stats returns the operator's size statistics as of this view's capture.
+func (v *View) Stats() Stats { return v.stats }
+
+// Counters returns the engine's accumulated work counters as of this
+// view's capture.
+func (v *View) Counters() core.Counters { return v.counters }
 
 // Thresholds returns the maintained thresholds at capture time, sorted
 // descending.
