@@ -3,12 +3,19 @@
 
 GO ?= go
 
-.PHONY: build vet test race bench-concurrent bench bench-smoke serve-smoke ci
+.PHONY: build vet lint test race bench-concurrent bench bench-smoke serve-smoke crash-smoke ci
 
 build:
 	$(GO) build ./...
 
 vet:
+	$(GO) vet ./...
+
+# Formatting and static-analysis gate: gofmt must have nothing to rewrite
+# and go vet must be clean.
+lint:
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
 	$(GO) vet ./...
 
 test:
@@ -45,4 +52,9 @@ bench-smoke:
 serve-smoke:
 	bash scripts/serve_smoke.sh
 
-ci: build vet test race bench-concurrent bench-smoke serve-smoke
+# End-to-end crash-recovery smoke test: kill -9 mid-ingest under the WAL,
+# restart, and assert the final skyline matches an uninterrupted run.
+crash-smoke:
+	bash scripts/crash_smoke.sh
+
+ci: build lint test race bench-concurrent bench-smoke serve-smoke crash-smoke

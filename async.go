@@ -130,15 +130,24 @@ func (q *asyncQueue) gather(buf []Element) []Element {
 // ingestBatch runs a drained batch through the engine — as one engine-level
 // batch insert for count-based windows — and publishes one fresh view. The
 // elements were validated before enqueueing, so engine errors indicate a
-// bug, not bad input.
+// bug, not bad input. With durability the batch is logged under one group
+// commit first; a log failure latches the monitor's durability error (later
+// pushes fail fast with it) and drops the batch rather than applying
+// unlogged elements.
 func (m *Monitor) ingestBatch(es []Element) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
+	if m.wal != nil && len(es) > 0 {
+		if err := m.logBatchLocked(es); err != nil {
+			return
+		}
+	}
 	if _, err := m.ingestBatchLocked(es); err != nil {
 		panic("pskyline: validated element rejected by engine: " + err.Error())
 	}
 	m.refreshTopKLocked()
 	m.publishLocked()
+	m.maybeCheckpointLocked(len(es))
 }
 
 // Drain blocks until every element enqueued before the call has been
@@ -158,21 +167,26 @@ func (m *Monitor) Drain() {
 	}
 }
 
-// Close drains and shuts down the async ingestion goroutine. Further Push
-// and PushBatch calls return ErrClosed; queries keep serving the final
-// published view. Close is idempotent and safe to call concurrently.
-// Without an async queue it is a no-op.
+// Close drains and shuts down the async ingestion goroutine, then flushes
+// and closes the write-ahead log. Further Push and PushBatch calls return
+// ErrClosed; queries keep serving the final published view. Close is
+// idempotent and safe to call concurrently. Without an async queue or
+// durability it is a no-op.
 func (m *Monitor) Close() error {
-	if m.aq == nil {
-		return nil
+	if q := m.aq; q != nil {
+		q.enqMu.Lock()
+		if !q.closed {
+			q.closed = true
+			close(q.ch)
+		}
+		q.enqMu.Unlock()
+		<-q.done
 	}
-	q := m.aq
-	q.enqMu.Lock()
-	if !q.closed {
-		q.closed = true
-		close(q.ch)
+	m.mu.Lock()
+	m.closed = true
+	m.mu.Unlock()
+	if m.wal != nil {
+		return m.wal.Close()
 	}
-	q.enqMu.Unlock()
-	<-q.done
 	return nil
 }

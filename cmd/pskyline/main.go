@@ -20,12 +20,24 @@
 // SIGINT/SIGTERM. -summary additionally prints the work counters and
 // per-stage latency quantiles at exit.
 //
+// -wal DIR makes the session crash-recoverable: every element is written to a
+// segmented write-ahead log in DIR before it is applied, checkpoints are
+// installed automatically (and once more at clean exit), and a restart with
+// the same -wal DIR recovers the newest checkpoint and replays the committed
+// log tail before reading new input. -wal-fsync picks the commit durability
+// policy (always|interval|never). With -http, the server comes up before
+// recovery starts and answers 503 {"status":"recovering"} until replay
+// completes, so readiness probes hold traffic during long replays. -wal and
+// -checkpoint are mutually exclusive (the WAL directory subsumes the
+// single-file checkpoint).
+//
 // Usage:
 //
 //	datagen -dist anti -dims 3 -n 200000 | pskyline -dims 3 -window 100000 -q 0.3 -summary
 //	pskyline -dims 2 -window 1000 -q 0.5,0.3 -snapshot 500 < stream.csv
 //	pskyline -dims 3 -window 100000 -q 0.3 -batch 512 -async 4096 -summary < stream.csv
 //	datagen -dims 2 -n 1000000 | pskyline -dims 2 -window 10000 -q 0.3 -http :8080 -summary
+//	datagen -dims 3 -n 500000 | pskyline -dims 3 -window 50000 -q 0.3 -wal ./wal -wal-fsync interval -summary
 package main
 
 import (
@@ -57,6 +69,11 @@ type config struct {
 	batch      int
 	async      int
 	httpAddr   string
+	// durability (-wal family)
+	walDir       string
+	walFsync     string
+	walSegmentMB int
+	walCkptEvery int
 	// stop overrides the serve-mode shutdown trigger (nil = OS signals);
 	// tests close it to unblock run without sending a signal.
 	stop <-chan struct{}
@@ -75,6 +92,10 @@ func main() {
 		batch    = flag.Int("batch", 1, "ingest the stream in batches of this many elements")
 		async    = flag.Int("async", 0, "route ingestion through a bounded async queue of this capacity (0 = synchronous)")
 		httpAddr = flag.String("http", "", "serve /metrics, /healthz, /debug/skyline and /debug/pprof on this address (e.g. :8080); the process then stays up after EOF until SIGINT/SIGTERM")
+		walDir   = flag.String("wal", "", "durability directory: write-ahead log + checkpoints; recovers existing state at start")
+		walFsync = flag.String("wal-fsync", "interval", "WAL commit durability: always, interval or never")
+		walSegMB = flag.Int("wal-segment-mb", 0, "WAL segment rotation threshold in MiB (0 = default 64)")
+		walEvery = flag.Int("wal-checkpoint-every", 0, "install a checkpoint every N ingested elements (0 = default, negative = only at exit)")
 	)
 	flag.Parse()
 
@@ -91,6 +112,8 @@ func main() {
 		dims: *dims, window: *window, period: *period, thresholds: thresholds,
 		snapshot: *snapshot, summary: *summary, file: *file, ckpt: *ckpt,
 		batch: *batch, async: *async, httpAddr: *httpAddr,
+		walDir: *walDir, walFsync: *walFsync,
+		walSegmentMB: *walSegMB, walCkptEvery: *walEvery,
 	}
 	if err := run(cfg, os.Stdin, os.Stdout, os.Stderr); err != nil {
 		fatal("%v", err)
@@ -104,11 +127,22 @@ func run(cfg config, stdin io.Reader, out, errw io.Writer) error {
 	if cfg.batch < 1 {
 		return fmt.Errorf("batch size %d < 1", cfg.batch)
 	}
+	if cfg.walDir != "" && cfg.ckpt != "" {
+		return fmt.Errorf("-wal and -checkpoint are mutually exclusive: the WAL directory subsumes the single-file checkpoint")
+	}
 	opt := pskyline.Options{Dims: cfg.dims, Thresholds: cfg.thresholds, AsyncQueue: cfg.async}
 	if cfg.period > 0 {
 		opt.Period = cfg.period
 	} else {
 		opt.Window = cfg.window
+	}
+	if cfg.walDir != "" {
+		opt.Durability = pskyline.Durability{
+			Dir:             cfg.walDir,
+			Fsync:           cfg.walFsync,
+			SegmentBytes:    int64(cfg.walSegmentMB) << 20,
+			CheckpointEvery: cfg.walCkptEvery,
+		}
 	}
 	quiet := cfg.summary || cfg.snapshot > 0
 	if !quiet {
@@ -119,8 +153,23 @@ func run(cfg config, stdin io.Reader, out, errw io.Writer) error {
 			fmt.Fprintf(out, "- seq=%d pt=%v\n", p.Seq, p.Point)
 		}
 	}
+	// With durability, the HTTP server comes up before recovery so probes see
+	// 503 "recovering" during replay instead of connection refused.
+	var (
+		srv *http.Server
+		h   *monitorHandle
+		err error
+	)
+	if cfg.httpAddr != "" {
+		h = newMonitorHandle(nil)
+		srv, err = startServer(cfg.httpAddr, h, errw)
+		if err != nil {
+			return err
+		}
+		defer srv.Close()
+	}
+
 	var m *pskyline.Monitor
-	var err error
 	if cfg.ckpt != "" {
 		if f, ferr := os.Open(cfg.ckpt); ferr == nil {
 			m, err = pskyline.RestoreMonitor(f, pskyline.RestoreOptions{
@@ -140,16 +189,16 @@ func run(cfg config, stdin io.Reader, out, errw io.Writer) error {
 		if err != nil {
 			return err
 		}
+		if rec := m.Recovery(); rec.Recovered {
+			fmt.Fprintf(errw, "pskyline: recovered from %s: checkpoint seq %d + %d replayed records (%d torn bytes truncated, %d segments dropped) in %v\n",
+				cfg.walDir, rec.CheckpointSeq, rec.Replayed,
+				rec.TruncatedBytes, rec.SegmentsDropped,
+				rec.Duration.Round(time.Millisecond))
+		}
 	}
 	defer m.Close()
-
-	var srv *http.Server
-	if cfg.httpAddr != "" {
-		srv, err = startServer(cfg.httpAddr, m, errw)
-		if err != nil {
-			return err
-		}
-		defer srv.Close()
+	if h != nil {
+		h.set(m)
 	}
 
 	in := stdin
@@ -214,6 +263,13 @@ func run(cfg config, stdin io.Reader, out, errw io.Writer) error {
 	}
 	m.Drain()
 	elapsed := time.Since(start)
+	if cfg.walDir != "" {
+		if err := m.Checkpoint(); err != nil {
+			return fmt.Errorf("checkpoint: %v", err)
+		}
+		fmt.Fprintf(errw, "pskyline: checkpoint installed in %s at seq %d\n",
+			cfg.walDir, m.Stats().Processed)
+	}
 	if cfg.ckpt != "" {
 		f, err := os.Create(cfg.ckpt)
 		if err != nil {
@@ -262,6 +318,18 @@ func printWorkSummary(out io.Writer, met pskyline.Metrics) {
 	fmt.Fprintf(out, "theory: E|SKY| <= %.1f (observed %d), E|S| <= %.1f (observed %d)\n",
 		met.TheorySkylineBound, met.Stats.Skyline,
 		met.TheoryCandidateBound, met.Stats.Candidates)
+	if w := met.WAL; w != nil {
+		fmt.Fprintf(out, "wal: appends=%d bytes=%d commits=%d fsyncs=%d rotations=%d segments=%d size=%d\n",
+			w.Appends, w.AppendedBytes, w.Commits, w.Fsyncs,
+			w.Rotations, w.Segments, w.SizeBytes)
+		fmt.Fprintf(out, "ckpt: installed=%d failures=%d seq=%d gc_segments=%d\n",
+			w.Checkpoints, w.CheckpointFailures, w.CheckpointSeq, w.GCSegments)
+		if rec := w.Recovery; rec.Recovered {
+			fmt.Fprintf(out, "recovery: checkpoint_seq=%d replayed=%d truncated_bytes=%d segments_dropped=%d duration=%v\n",
+				rec.CheckpointSeq, rec.Replayed, rec.TruncatedBytes,
+				rec.SegmentsDropped, rec.Duration.Round(time.Microsecond))
+		}
+	}
 	for _, s := range met.Stages {
 		fmt.Fprintf(out, "stage %-10s n=%-8d p50=%-10v p99=%-10v max=%v\n",
 			s.Stage, s.Count,

@@ -7,10 +7,42 @@ import (
 	"net"
 	"net/http"
 	"net/http/pprof"
+	"sync/atomic"
 	"time"
 
 	"pskyline"
 )
+
+// monitorHandle is the indirection that lets the HTTP server come up before
+// crash recovery finishes: the monitor pointer is nil while Open replays the
+// log, and every endpoint answers 503 {"status":"recovering"} until the
+// recovered monitor is stored. Readiness probes can therefore hold traffic
+// back during a long replay instead of reading a half-recovered state.
+type monitorHandle struct {
+	mon atomic.Pointer[pskyline.Monitor]
+}
+
+func newMonitorHandle(m *pskyline.Monitor) *monitorHandle {
+	h := &monitorHandle{}
+	if m != nil {
+		h.mon.Store(m)
+	}
+	return h
+}
+
+func (h *monitorHandle) set(m *pskyline.Monitor) { h.mon.Store(m) }
+
+// ready answers 503 and reports false while recovery is still running.
+func (h *monitorHandle) ready(w http.ResponseWriter) (*pskyline.Monitor, bool) {
+	m := h.mon.Load()
+	if m == nil {
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusServiceUnavailable)
+		json.NewEncoder(w).Encode(map[string]any{"status": "recovering"})
+		return nil, false
+	}
+	return m, true
+}
 
 // newServeMux builds the observability endpoint set over a live Monitor.
 // Every handler reads the lock-free export surfaces (the published view, the
@@ -18,28 +50,51 @@ import (
 // never blocks ingestion.
 //
 //	/metrics        Prometheus text exposition
-//	/healthz        liveness + stream position JSON
+//	/healthz        liveness + stream position JSON; "serving" once ready,
+//	                503 "recovering" while crash recovery replays the log
 //	/debug/skyline  current skyline and the recent-transition trace, JSON
 //	/debug/vars     all metrics as one expvar-style JSON object
 //	/debug/pprof/   the standard runtime profiles
-func newServeMux(m *pskyline.Monitor) *http.ServeMux {
+func newServeMux(h *monitorHandle) *http.ServeMux {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		m, ok := h.ready(w)
+		if !ok {
+			return
+		}
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 		m.WritePrometheus(w)
 	})
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		m, ok := h.ready(w)
+		if !ok {
+			return
+		}
 		met := m.Metrics()
-		w.Header().Set("Content-Type", "application/json")
-		json.NewEncoder(w).Encode(map[string]any{
-			"status":              "ok",
+		body := map[string]any{
+			"status":              "serving",
 			"processed":           met.Stats.Processed,
 			"skyline":             met.Stats.Skyline,
 			"candidates":          met.Stats.Candidates,
 			"publish_age_seconds": time.Since(met.LastPublish).Seconds(),
-		})
+		}
+		if rec := m.Recovery(); rec.Recovered {
+			body["recovery"] = map[string]any{
+				"checkpoint_seq":   rec.CheckpointSeq,
+				"replayed":         rec.Replayed,
+				"truncated_bytes":  rec.TruncatedBytes,
+				"segments_dropped": rec.SegmentsDropped,
+				"duration_seconds": rec.Duration.Seconds(),
+			}
+		}
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(body)
 	})
 	mux.HandleFunc("/debug/skyline", func(w http.ResponseWriter, r *http.Request) {
+		m, ok := h.ready(w)
+		if !ok {
+			return
+		}
 		v := m.View()
 		w.Header().Set("Content-Type", "application/json")
 		json.NewEncoder(w).Encode(map[string]any{
@@ -50,6 +105,10 @@ func newServeMux(m *pskyline.Monitor) *http.ServeMux {
 		})
 	})
 	mux.HandleFunc("/debug/vars", func(w http.ResponseWriter, r *http.Request) {
+		m, ok := h.ready(w)
+		if !ok {
+			return
+		}
 		w.Header().Set("Content-Type", "application/json")
 		m.WriteMetricsJSON(w)
 	})
@@ -105,14 +164,14 @@ func traceJSON(tr []pskyline.TraceEvent) []traceEventJSON {
 }
 
 // startServer binds addr and serves the observability mux in the background.
-// The returned server is already accepting connections; the caller shuts it
-// down with Close.
-func startServer(addr string, m *pskyline.Monitor, errw io.Writer) (*http.Server, error) {
+// The returned server is already accepting connections (answering 503 until
+// the handle holds a monitor); the caller shuts it down with Close.
+func startServer(addr string, h *monitorHandle, errw io.Writer) (*http.Server, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("http listen %s: %v", addr, err)
 	}
-	srv := &http.Server{Handler: newServeMux(m)}
+	srv := &http.Server{Handler: newServeMux(h)}
 	go srv.Serve(ln)
 	fmt.Fprintf(errw, "pskyline: serving /metrics, /healthz, /debug/skyline, /debug/vars, /debug/pprof on http://%s\n", ln.Addr())
 	return srv, nil

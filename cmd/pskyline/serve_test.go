@@ -73,7 +73,7 @@ func get(t *testing.T, srv *httptest.Server, path string) (string, http.Header) 
 
 func TestServeMuxEndpoints(t *testing.T) {
 	m := serveMonitor(t)
-	srv := httptest.NewServer(newServeMux(m))
+	srv := httptest.NewServer(newServeMux(newMonitorHandle(m)))
 	defer srv.Close()
 
 	metrics, hdr := get(t, srv, "/metrics")
@@ -96,7 +96,7 @@ func TestServeMuxEndpoints(t *testing.T) {
 	if err := json.Unmarshal([]byte(health), &h); err != nil {
 		t.Fatalf("/healthz invalid JSON: %v", err)
 	}
-	if h["status"] != "ok" || h["processed"].(float64) != 800 {
+	if h["status"] != "serving" || h["processed"].(float64) != 800 {
 		t.Errorf("/healthz = %v", h)
 	}
 
@@ -132,6 +132,40 @@ func TestServeMuxEndpoints(t *testing.T) {
 	}
 	if prof, _ := get(t, srv, "/debug/pprof/goroutine?debug=1"); !strings.Contains(prof, "goroutine") {
 		t.Error("/debug/pprof/goroutine empty")
+	}
+}
+
+// TestServeMuxRecovering verifies the pre-recovery state: with no monitor in
+// the handle yet, every data endpoint answers 503 {"status":"recovering"},
+// and flipping the handle to a live monitor switches /healthz to "serving".
+func TestServeMuxRecovering(t *testing.T) {
+	h := newMonitorHandle(nil)
+	srv := httptest.NewServer(newServeMux(h))
+	defer srv.Close()
+
+	for _, path := range []string{"/healthz", "/metrics", "/debug/skyline", "/debug/vars"} {
+		resp, err := srv.Client().Get(srv.URL + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusServiceUnavailable {
+			t.Errorf("GET %s while recovering: status %d, want 503", path, resp.StatusCode)
+		}
+		if !strings.Contains(string(body), `"recovering"`) {
+			t.Errorf("GET %s while recovering: body %q", path, body)
+		}
+	}
+
+	h.set(serveMonitor(t))
+	health, _ := get(t, srv, "/healthz")
+	var hm map[string]any
+	if err := json.Unmarshal([]byte(health), &hm); err != nil {
+		t.Fatalf("/healthz invalid JSON: %v", err)
+	}
+	if hm["status"] != "serving" {
+		t.Errorf("/healthz after recovery = %v", hm)
 	}
 }
 

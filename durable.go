@@ -1,0 +1,314 @@
+package pskyline
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"time"
+
+	"pskyline/internal/wal"
+)
+
+// DefaultCheckpointEvery is the automatic checkpoint cadence when
+// Durability.CheckpointEvery is zero.
+const DefaultCheckpointEvery = 1 << 16
+
+// Durability configures the write-ahead log and checkpoint store that make a
+// Monitor crash-recoverable. With Dir set, every Push appends the element to
+// a segmented WAL and commits it (one group commit per push or per ingested
+// batch) before the engine applies it, so a crash at any point loses at most
+// what the fsync policy permits; Open then recovers by restoring the newest
+// valid checkpoint and re-ingesting the log tail.
+//
+// The paper's Theorem 5 is why the log exists: the maintained candidate set
+// S_{N,q} is minimal, so no snapshot of the in-memory state can reconstruct
+// the rest of the window — recovery must replay the raw arrival stream. The
+// sliding window bounds the cost: segments behind both the newest checkpoint
+// and the window horizon are garbage-collected, so the log's size tracks the
+// window, not the stream.
+//
+// Element payloads (Element.Data) are not written to the WAL — they are
+// arbitrary Go values with no stable binary encoding on the hot path. They
+// ARE captured by checkpoints (gob), so after recovery, elements restored
+// from the checkpoint keep their payloads while elements replayed from the
+// log tail carry nil Data.
+type Durability struct {
+	// Dir is the durability directory holding WAL segments and checkpoints.
+	// Empty disables durability.
+	Dir string
+	// Fsync is the commit durability policy: "always" (fsync on every
+	// commit — no loss on power failure), "interval" (background fsync
+	// every FsyncInterval — bounded loss on power failure; the default) or
+	// "never" (the OS flushes at its leisure). All three survive process
+	// crashes (kill -9): commits always reach the OS page cache.
+	Fsync string
+	// FsyncInterval is the background fsync period under the "interval"
+	// policy (0 selects 100ms).
+	FsyncInterval time.Duration
+	// SegmentBytes is the WAL segment rotation threshold (0 selects 64 MiB).
+	SegmentBytes int64
+	// CheckpointEvery installs a checkpoint (and garbage-collects the log)
+	// after this many ingested elements. 0 selects DefaultCheckpointEvery;
+	// negative disables automatic checkpoints — the log then grows until
+	// Checkpoint is called explicitly.
+	CheckpointEvery int
+}
+
+// RecoveryInfo reports what Open found and repaired. It is fixed at Open
+// time; Monitor.Recovery returns it.
+type RecoveryInfo struct {
+	// Recovered reports whether existing durable state (a checkpoint or log
+	// records) was found and restored.
+	Recovered bool
+	// CheckpointSeq is the stream position of the checkpoint recovery
+	// started from (0 when recovery replayed the log from scratch).
+	CheckpointSeq uint64
+	// Replayed counts the WAL records re-ingested after the checkpoint.
+	Replayed uint64
+	// TruncatedBytes is the torn log tail discarded by crash repair, and
+	// SegmentsDropped the whole segments discarded after a corrupt one.
+	TruncatedBytes  int64
+	SegmentsDropped int
+	// CheckpointsSkipped counts newer checkpoints that failed to decode and
+	// were passed over for an older one.
+	CheckpointsSkipped int
+	// Duration is the wall time recovery took.
+	Duration time.Duration
+}
+
+// Open opens a durable Monitor rooted at opt.Durability.Dir. A fresh
+// directory starts an empty monitor whose pushes are logged; an existing one
+// is recovered: the newest decodable checkpoint is restored (older ones are
+// tried if the newest is unreadable), torn WAL tails from the crash are
+// truncated, and the surviving log tail past the checkpoint is re-ingested
+// through the exact ingestion path used live, so the recovered state is
+// byte-identical to the state the uninterrupted monitor had after its last
+// committed push. Recovery suppresses OnEnter/OnLeave/OnTopK callbacks — the
+// transitions were already reported before the crash.
+//
+// The caller must pass the same core Options (Dims, Window/Period,
+// Thresholds, MaxEntries) on every Open of the same directory: the WAL logs
+// only elements, not configuration. A mismatch with a recovered checkpoint
+// is rejected.
+func Open(opt Options) (*Monitor, error) {
+	d := opt.Durability
+	if d.Dir == "" {
+		return nil, errors.New("pskyline: Open requires Options.Durability.Dir")
+	}
+	pol, err := wal.ParseFsync(d.Fsync)
+	if err != nil {
+		return nil, fmt.Errorf("pskyline: %w", err)
+	}
+	if d.CheckpointEvery == 0 {
+		d.CheckpointEvery = DefaultCheckpointEvery
+	} else if d.CheckpointEvery < 0 {
+		d.CheckpointEvery = 0
+	}
+	t0 := time.Now()
+
+	// Restore the newest checkpoint that decodes; fall back to older ones
+	// (atomic installation makes a corrupt newest checkpoint unlikely, but a
+	// decode failure must not brick the directory).
+	refs, err := wal.Checkpoints(d.Dir)
+	if err != nil {
+		return nil, fmt.Errorf("pskyline: open: %w", err)
+	}
+	var (
+		m       *Monitor
+		rec     RecoveryInfo
+		lastErr error
+	)
+	for _, ref := range refs {
+		f, err := os.Open(ref.Path)
+		if err != nil {
+			lastErr = err
+			rec.CheckpointsSkipped++
+			continue
+		}
+		m2, err := restoreCore(f, opt)
+		f.Close()
+		if err != nil {
+			lastErr = err
+			rec.CheckpointsSkipped++
+			continue
+		}
+		m = m2
+		rec.CheckpointSeq = ref.Seq
+		rec.Recovered = true
+		break
+	}
+	if m == nil {
+		if rec.CheckpointsSkipped > 0 {
+			return nil, fmt.Errorf("pskyline: open: no checkpoint decodes (last error: %w); refusing to silently restart from the log alone", lastErr)
+		}
+		if m, err = newMonitorCore(opt); err != nil {
+			return nil, err
+		}
+	} else if err := m.checkConfig(opt); err != nil {
+		return nil, err
+	}
+
+	w, scan, err := wal.Open(d.Dir, wal.Options{
+		Fsync:         pol,
+		FsyncInterval: d.FsyncInterval,
+		SegmentBytes:  d.SegmentBytes,
+		Metrics:       &m.met.wal,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("pskyline: %w", err)
+	}
+	rec.TruncatedBytes = scan.TruncatedBytes
+	rec.SegmentsDropped = scan.SegmentsDropped
+	if scan.HasRecords {
+		rec.Recovered = true
+	}
+
+	// Re-ingest the committed log tail through the live ingestion path.
+	// Every record must continue exactly where the engine stands: a gap
+	// means the checkpoint predates the garbage-collected log.
+	m.replaying = true
+	replayed, rerr := w.Replay(m.eng.NextSeq(), func(r wal.Record) error {
+		if want := m.eng.NextSeq(); r.Seq != want {
+			return fmt.Errorf("log record %d does not continue engine position %d (checkpoint older than the retained log?)", r.Seq, want)
+		}
+		_, err := m.ingestLocked(Element{Point: r.Point, Prob: r.Prob, TS: r.TS})
+		return err
+	})
+	m.replaying = false
+	if rerr != nil {
+		w.Close()
+		return nil, fmt.Errorf("pskyline: open: replay: %w", rerr)
+	}
+	rec.Replayed = replayed
+	rec.Duration = time.Since(t0)
+
+	// If the checkpoint is ahead of the surviving tail (possible under lax
+	// fsync policies after a power failure), appends restart in a fresh
+	// segment so intra-segment sequence continuity holds.
+	w.AlignTo(m.eng.NextSeq())
+	m.wal = w
+	m.dur = d
+	m.ckptSeq = rec.CheckpointSeq
+	m.met.ckptSeqA.Store(rec.CheckpointSeq)
+	m.recovery = rec
+	return m.finish(), nil
+}
+
+// checkConfig verifies that the Options passed to Open agree with the
+// recovered checkpoint on everything the checkpoint fixes.
+func (m *Monitor) checkConfig(opt Options) error {
+	if opt.Dims != m.eng.Dims() {
+		return fmt.Errorf("pskyline: open: Options.Dims=%d but the recovered state has %d dimensions", opt.Dims, m.eng.Dims())
+	}
+	if opt.Window != m.eng.Window() {
+		return fmt.Errorf("pskyline: open: Options.Window=%d but the recovered state has window %d", opt.Window, m.eng.Window())
+	}
+	if opt.Period != m.period {
+		return fmt.Errorf("pskyline: open: Options.Period=%d but the recovered state has period %d", opt.Period, m.period)
+	}
+	return nil
+}
+
+// Recovery returns what Open found and repaired (the zero RecoveryInfo for
+// non-durable monitors).
+func (m *Monitor) Recovery() RecoveryInfo { return m.recovery }
+
+// Checkpoint installs a checkpoint of the current ingested state and
+// garbage-collects log segments and older checkpoints that recovery can no
+// longer need. With an async queue, call Drain first to checkpoint a
+// deterministic cut of the stream.
+func (m *Monitor) Checkpoint() error {
+	if m.wal == nil {
+		return errors.New("pskyline: monitor has no durability (Options.Durability.Dir)")
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.checkpointLocked()
+}
+
+// logOneLocked appends one element to the WAL and commits it, before the
+// engine applies it. Callers hold m.mu.
+func (m *Monitor) logOneLocked(e Element) error {
+	if err := m.wal.AppendElement(m.eng.NextSeq(), e.Point, e.Prob, e.TS); err != nil {
+		return m.walFail(err)
+	}
+	if err := m.wal.Commit(); err != nil {
+		return m.walFail(err)
+	}
+	return nil
+}
+
+// logBatchLocked appends a batch under one group commit: len(es) appends,
+// one write, at most one fsync. Callers hold m.mu.
+func (m *Monitor) logBatchLocked(es []Element) error {
+	seq := m.eng.NextSeq()
+	for i := range es {
+		if err := m.wal.AppendElement(seq+uint64(i), es[i].Point, es[i].Prob, es[i].TS); err != nil {
+			return m.walFail(err)
+		}
+	}
+	if err := m.wal.Commit(); err != nil {
+		return m.walFail(err)
+	}
+	return nil
+}
+
+// walFail latches a durability failure. The WAL's own errors are sticky, so
+// no later append can succeed and silently leave a gap; latching the error
+// here lets Push fail fast without taking the lock.
+func (m *Monitor) walFail(err error) error {
+	werr := fmt.Errorf("pskyline: durability: %w", err)
+	m.walErr.CompareAndSwap(nil, &werr)
+	return werr
+}
+
+// maybeCheckpointLocked counts ingested elements toward the automatic
+// checkpoint cadence. Checkpoint failures are counted and retried after
+// another CheckpointEvery elements — the monitor keeps serving; only
+// recovery cost grows. Callers hold m.mu.
+func (m *Monitor) maybeCheckpointLocked(n int) {
+	if m.wal == nil || m.dur.CheckpointEvery <= 0 {
+		return
+	}
+	m.ckptSince += n
+	if m.ckptSince < m.dur.CheckpointEvery {
+		return
+	}
+	if err := m.checkpointLocked(); err != nil {
+		m.met.ckptFails.Inc()
+		m.ckptSince = 0 // retry after another full interval, not every push
+	}
+}
+
+// checkpointLocked installs a checkpoint at the current stream position,
+// then garbage-collects: log segments strictly behind both the checkpoint
+// and the window horizon, and checkpoints older than the new one. Callers
+// hold m.mu.
+func (m *Monitor) checkpointLocked() error {
+	seq := m.eng.NextSeq()
+	if _, err := wal.WriteCheckpoint(m.dur.Dir, seq, m.snapshotLocked); err != nil {
+		return err
+	}
+	m.ckptSeq = seq
+	m.ckptSince = 0
+	m.met.ckpts.Inc()
+	m.met.ckptSeqA.Store(seq)
+	keep := seq
+	if h := m.horizonLocked(); h < keep {
+		keep = h
+	}
+	if _, err := m.wal.GC(keep); err != nil {
+		return err
+	}
+	if _, err := wal.RemoveCheckpointsBefore(m.dur.Dir, seq); err != nil {
+		return err
+	}
+	return nil
+}
+
+// horizonLocked returns the sequence of the oldest element still inside the
+// sliding window. Window membership is seq-contiguous for both window kinds,
+// so the horizon follows from the fill. Callers hold m.mu.
+func (m *Monitor) horizonLocked() uint64 {
+	return m.eng.NextSeq() - uint64(m.eng.InWindow())
+}

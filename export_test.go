@@ -1,0 +1,23 @@
+package pskyline
+
+// Crash simulates a process kill for tests: the async queue (if any) is
+// drained and stopped so the cut point is deterministic, then the WAL is
+// closed WITHOUT flushing — only records already handed to the OS by Commit
+// survive, which is exactly what kill -9 leaves behind. The monitor must not
+// be used afterwards; reopen the directory with Open to exercise recovery.
+// Torn writes from power failures are simulated on top of this by truncating
+// or corrupting the segment files directly.
+func (m *Monitor) Crash() {
+	if q := m.aq; q != nil {
+		q.enqMu.Lock()
+		if !q.closed {
+			q.closed = true
+			close(q.ch)
+		}
+		q.enqMu.Unlock()
+		<-q.done
+	}
+	if m.wal != nil {
+		m.wal.Abort()
+	}
+}

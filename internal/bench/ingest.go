@@ -188,6 +188,43 @@ func benchMonitorPushBatch(dims, window, batch int) testing.BenchmarkResult {
 	})
 }
 
+// benchMonitorPushWAL measures element-wise Push with durability on: every
+// push appends its element to the WAL and commits (one buffered write, plus
+// an fsync under the "always" policy) before the engine applies it.
+// Checkpoints are disabled so the row isolates the logging cost; the no-WAL
+// baseline is the looped-push row.
+func benchMonitorPushWAL(dims, window int, fsync string) testing.BenchmarkResult {
+	return testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		dir, err := os.MkdirTemp("", "pskybench-wal-")
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer os.RemoveAll(dir)
+		m, err := pskyline.Open(pskyline.Options{
+			Dims: dims, Window: window, Thresholds: []float64{ingestQ},
+			Durability: pskyline.Durability{Dir: dir, Fsync: fsync, CheckpointEvery: -1},
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer m.Close()
+		elems := monitorElems(dims, 2*window+b.N)
+		for _, e := range elems[:2*window] {
+			if _, err := m.Push(e); err != nil {
+				b.Fatal(err)
+			}
+		}
+		elems = elems[2*window:]
+		b.ResetTimer()
+		for i := range elems {
+			if _, err := m.Push(elems[i]); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
 // benchExpire measures pure expiry cost on a time-based window: each op
 // expires exactly one element via ExpireOlderThan. The window is rebuilt
 // with the timer stopped whenever it drains.
@@ -307,6 +344,8 @@ func Ingest(cfg IngestConfig, w io.Writer) IngestRun {
 	add("push/d=3/k=3", benchEnginePush(3, window, []float64{0.7, 0.5, 0.3}, true))
 	add("looped-push/d=3", benchMonitorPush(3, window))
 	add("pushbatch/d=3/B=512", benchMonitorPushBatch(3, window, 512))
+	add("walpush/d=3/fsync=never", benchMonitorPushWAL(3, window, "never"))
+	add("walpush/d=3/fsync=interval", benchMonitorPushWAL(3, window, "interval"))
 	add("expire/d=3", benchExpire(3, window))
 	add("mixed/d=3", benchMixed(3, window))
 	return run

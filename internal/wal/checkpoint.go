@@ -1,0 +1,127 @@
+package wal
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Checkpoints are opaque snapshot blobs (the Monitor's versioned gob
+// checkpoint) named by the stream position they capture. Installation is
+// write-temp + fsync + atomic rename + fsync(dir): a crash mid-install never
+// leaves a half-written checkpoint under a valid name, so recovery can trust
+// any ckpt-*.ckpt it finds — and still falls back to the next older one if
+// the payload fails to decode.
+
+// CheckpointRef names one installed checkpoint.
+type CheckpointRef struct {
+	Path string
+	// Seq is the stream position (engine NextSeq) the checkpoint captures:
+	// replay resumes at this sequence.
+	Seq uint64
+}
+
+func checkpointName(seq uint64) string {
+	return fmt.Sprintf("ckpt-%020d.ckpt", seq)
+}
+
+func parseCheckpointName(name string) (uint64, bool) {
+	if !strings.HasPrefix(name, "ckpt-") || !strings.HasSuffix(name, ".ckpt") {
+		return 0, false
+	}
+	num := strings.TrimSuffix(strings.TrimPrefix(name, "ckpt-"), ".ckpt")
+	if len(num) != 20 {
+		return 0, false
+	}
+	seq, err := strconv.ParseUint(num, 10, 64)
+	if err != nil {
+		return 0, false
+	}
+	return seq, true
+}
+
+// Checkpoints lists the directory's installed checkpoints, newest first.
+// A missing directory is an empty list, not an error.
+func Checkpoints(dir string) ([]CheckpointRef, error) {
+	ents, err := os.ReadDir(dir)
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("wal: %w", err)
+	}
+	var refs []CheckpointRef
+	for _, ent := range ents {
+		if ent.IsDir() {
+			continue
+		}
+		seq, ok := parseCheckpointName(ent.Name())
+		if !ok {
+			continue
+		}
+		refs = append(refs, CheckpointRef{Path: filepath.Join(dir, ent.Name()), Seq: seq})
+	}
+	sort.Slice(refs, func(i, j int) bool { return refs[i].Seq > refs[j].Seq })
+	return refs, nil
+}
+
+// WriteCheckpoint installs a checkpoint capturing stream position seq: write
+// produces the blob onto the supplied writer, and the file becomes visible
+// under its final name only after its contents are durable.
+func WriteCheckpoint(dir string, seq uint64, write func(io.Writer) error) (CheckpointRef, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return CheckpointRef{}, fmt.Errorf("wal: checkpoint: %w", err)
+	}
+	final := filepath.Join(dir, checkpointName(seq))
+	tmp := final + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return CheckpointRef{}, fmt.Errorf("wal: checkpoint: %w", err)
+	}
+	fail := func(err error) (CheckpointRef, error) {
+		f.Close()
+		os.Remove(tmp)
+		return CheckpointRef{}, fmt.Errorf("wal: checkpoint: %w", err)
+	}
+	if err := write(f); err != nil {
+		return fail(err)
+	}
+	if err := f.Sync(); err != nil {
+		return fail(err)
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return CheckpointRef{}, fmt.Errorf("wal: checkpoint: %w", err)
+	}
+	if err := os.Rename(tmp, final); err != nil {
+		os.Remove(tmp)
+		return CheckpointRef{}, fmt.Errorf("wal: checkpoint: %w", err)
+	}
+	if err := syncDir(dir); err != nil {
+		return CheckpointRef{}, err
+	}
+	return CheckpointRef{Path: final, Seq: seq}, nil
+}
+
+// RemoveCheckpointsBefore deletes checkpoints older than seq, returning how
+// many were removed. The newest checkpoint should always be kept.
+func RemoveCheckpointsBefore(dir string, seq uint64) (int, error) {
+	refs, err := Checkpoints(dir)
+	if err != nil {
+		return 0, err
+	}
+	removed := 0
+	for _, ref := range refs {
+		if ref.Seq < seq {
+			if err := os.Remove(ref.Path); err != nil {
+				return removed, fmt.Errorf("wal: %w", err)
+			}
+			removed++
+		}
+	}
+	return removed, nil
+}

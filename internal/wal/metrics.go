@@ -1,0 +1,34 @@
+package wal
+
+import "pskyline/internal/obs"
+
+// Metrics is the WAL's observability block, recorded with the same
+// allocation-free single-writer primitives as the engine's stage histograms
+// (see internal/obs). Appends and commits are recorded by the goroutine that
+// holds the WAL mutex, so the single-writer contract is satisfied by the
+// same serialization that protects the log itself. The reading side (a
+// Monitor registry, Snapshot) may run from any goroutine.
+type Metrics struct {
+	// Appends counts appended records; AppendedBytes their on-disk size.
+	Appends       obs.Counter
+	AppendedBytes obs.Counter
+	// Commits counts group commits (one per Push or per ingested batch);
+	// Fsyncs counts actual fsync syscalls (per commit under FsyncAlways,
+	// per flusher tick under FsyncInterval, zero under FsyncNever).
+	Commits obs.Counter
+	Fsyncs  obs.Counter
+	// Rotations counts segment rotations.
+	Rotations obs.Counter
+	// GCSegments counts segments removed by garbage collection.
+	GCSegments obs.Counter
+
+	// Segments and SizeBytes track the live segment count and total log size.
+	Segments  obs.Gauge
+	SizeBytes obs.Gauge
+
+	// AppendLatency, CommitLatency and FsyncLatency are the stage latency
+	// histograms of the durability pipeline.
+	AppendLatency obs.Histogram
+	CommitLatency obs.Histogram
+	FsyncLatency  obs.Histogram
+}

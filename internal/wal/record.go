@@ -1,0 +1,135 @@
+// Package wal is the operator's durability layer: an append-only segmented
+// write-ahead log of arriving stream elements plus a checkpoint store.
+//
+// Theorem 5 of the paper proves the maintained candidate set S_{N,q} is
+// minimal — it cannot reconstruct the rest of the window after a crash — so
+// a restartable deployment must persist the raw arrival stream and replay it.
+// The sliding window makes that cheap: only the most recent N elements (or
+// Period time units) can ever matter again, so the log self-truncates — a
+// checkpoint of the engine state plus the log tail past it is a complete
+// recovery recipe, and everything older is garbage.
+//
+// Layout of a durability directory:
+//
+//	wal-<firstSeq>.seg   log segments, named by their first record's sequence
+//	ckpt-<seq>.ckpt      engine checkpoints, named by the stream position
+//
+// Records are length-prefixed binary with a CRC32-Castagnoli checksum; the
+// encoder reuses a pooled buffer so steady-state appends do not allocate.
+// Group commit is the caller's contract: Append any number of records, then
+// Commit once — one write syscall and (under FsyncAlways) one fsync for the
+// whole batch. Torn tails from crashes are detected by the checksum and
+// truncated on Open; checkpoints are installed with an atomic rename so a
+// crash mid-install never leaves a half-written checkpoint visible.
+//
+// Like the rest of the operator, the package is stdlib-only.
+package wal
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"math"
+)
+
+// Record wire format, all fixed-width little-endian:
+//
+//	uint32  payload length
+//	uint32  CRC32-Castagnoli of the payload
+//	payload:
+//	  byte    record kind (recElement)
+//	  uint64  sequence number
+//	  uint64  occurrence probability (float64 bits)
+//	  uint64  timestamp (int64 bits)
+//	  uint32  dimensionality d
+//	  d×uint64 coordinates (float64 bits)
+//
+// The sequence number is stored explicitly (rather than derived from the
+// position in the log) so that replay can skip records already covered by a
+// checkpoint and detect gaps left by corruption.
+const (
+	recHdrLen  = 8
+	recElement = 1
+
+	// maxPayload bounds a record's payload so a corrupt length prefix is
+	// rejected instead of driving a huge read.
+	maxPayload = 1 << 20
+)
+
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// checksum is the record checksum used throughout the package.
+func checksum(p []byte) uint32 { return crc32.Checksum(p, crcTable) }
+
+// Record is one decoded log record: an arriving stream element.
+type Record struct {
+	Seq  uint64
+	Prob float64
+	TS   int64
+	// Point aliases the decoder's scratch buffer and is only valid until
+	// the next record is decoded; copy it to retain.
+	Point []float64
+}
+
+// payloadLen returns the payload size of an element record with d dimensions.
+func payloadLen(d int) int { return 1 + 8 + 8 + 8 + 4 + 8*d }
+
+// recordLen returns the full on-disk size of an element record.
+func recordLen(d int) int { return recHdrLen + payloadLen(d) }
+
+// appendRecord encodes an element record into buf (reusing its storage) and
+// returns the extended slice. The caller owns buf across calls, which is what
+// keeps the append hot path allocation-free once the buffer has grown to the
+// workload's record size.
+func appendRecord(buf []byte, seq uint64, pt []float64, p float64, ts int64) []byte {
+	n := payloadLen(len(pt))
+	need := recHdrLen + n
+	if cap(buf) < len(buf)+need {
+		grown := make([]byte, len(buf), len(buf)+need)
+		copy(grown, buf)
+		buf = grown
+	}
+	start := len(buf)
+	buf = buf[:start+need]
+	payload := buf[start+recHdrLen:]
+	payload[0] = recElement
+	binary.LittleEndian.PutUint64(payload[1:], seq)
+	binary.LittleEndian.PutUint64(payload[9:], math.Float64bits(p))
+	binary.LittleEndian.PutUint64(payload[17:], uint64(ts))
+	binary.LittleEndian.PutUint32(payload[25:], uint32(len(pt)))
+	for i, v := range pt {
+		binary.LittleEndian.PutUint64(payload[29+8*i:], math.Float64bits(v))
+	}
+	binary.LittleEndian.PutUint32(buf[start:], uint32(n))
+	binary.LittleEndian.PutUint32(buf[start+4:], crc32.Checksum(payload, crcTable))
+	return buf
+}
+
+// decodeRecord parses a record payload whose CRC has already been verified.
+// The point coordinates are decoded into scratch (grown as needed) and
+// aliased by the returned Record.
+func decodeRecord(payload []byte, scratch []float64) (Record, []float64, error) {
+	if len(payload) < 29 {
+		return Record{}, scratch, fmt.Errorf("wal: record payload %d bytes, want >= 29", len(payload))
+	}
+	if payload[0] != recElement {
+		return Record{}, scratch, fmt.Errorf("wal: unknown record kind %d", payload[0])
+	}
+	d := int(binary.LittleEndian.Uint32(payload[25:]))
+	if d < 1 || len(payload) != payloadLen(d) {
+		return Record{}, scratch, fmt.Errorf("wal: record payload %d bytes does not match dimensionality %d", len(payload), d)
+	}
+	if cap(scratch) < d {
+		scratch = make([]float64, d)
+	}
+	scratch = scratch[:d]
+	for i := 0; i < d; i++ {
+		scratch[i] = math.Float64frombits(binary.LittleEndian.Uint64(payload[29+8*i:]))
+	}
+	return Record{
+		Seq:   binary.LittleEndian.Uint64(payload[1:]),
+		Prob:  math.Float64frombits(binary.LittleEndian.Uint64(payload[9:])),
+		TS:    int64(binary.LittleEndian.Uint64(payload[17:])),
+		Point: scratch,
+	}, scratch, nil
+}

@@ -1,0 +1,164 @@
+package wal
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Segment files open with an 8-byte magic so a stray file that happens to
+// match the name pattern is rejected rather than misparsed.
+var segMagic = []byte("PSKYWAL1")
+
+const segHdrLen = 8
+
+// segmentName returns the file name of the segment whose first record
+// carries seq.
+func segmentName(seq uint64) string {
+	return fmt.Sprintf("wal-%020d.seg", seq)
+}
+
+// parseSegmentName extracts the first-record sequence from a segment file
+// name, reporting ok=false for files that are not segments.
+func parseSegmentName(name string) (uint64, bool) {
+	if !strings.HasPrefix(name, "wal-") || !strings.HasSuffix(name, ".seg") {
+		return 0, false
+	}
+	num := strings.TrimSuffix(strings.TrimPrefix(name, "wal-"), ".seg")
+	if len(num) != 20 {
+		return 0, false
+	}
+	seq, err := strconv.ParseUint(num, 10, 64)
+	if err != nil {
+		return 0, false
+	}
+	return seq, true
+}
+
+// segmentInfo is one on-disk segment known to the WAL, ordered by firstSeq.
+type segmentInfo struct {
+	path     string
+	firstSeq uint64
+	size     int64 // valid bytes (post torn-tail truncation)
+	records  uint64
+	lastSeq  uint64 // last valid record's seq (records > 0)
+}
+
+// listSegments returns the directory's segments sorted by first sequence.
+func listSegments(dir string) ([]segmentInfo, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("wal: %w", err)
+	}
+	var segs []segmentInfo
+	for _, ent := range ents {
+		if ent.IsDir() {
+			continue
+		}
+		seq, ok := parseSegmentName(ent.Name())
+		if !ok {
+			continue
+		}
+		segs = append(segs, segmentInfo{path: filepath.Join(dir, ent.Name()), firstSeq: seq})
+	}
+	sort.Slice(segs, func(i, j int) bool { return segs[i].firstSeq < segs[j].firstSeq })
+	return segs, nil
+}
+
+// scanSegment validates one segment from the front: header magic, each
+// record's length prefix and CRC, the name/first-record agreement, and
+// intra-segment sequence continuity. It returns the segment metadata and the
+// byte offset of the first invalid position — the torn point. A fully valid
+// segment has torn == size. onRecord, when non-nil, receives every valid
+// record in order (used by Replay; the scan pass on Open passes nil).
+func scanSegment(path string, nameSeq uint64, onRecord func(Record) error) (info segmentInfo, torn int64, err error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return info, 0, fmt.Errorf("wal: %w", err)
+	}
+	defer f.Close()
+	info = segmentInfo{path: path, firstSeq: nameSeq}
+
+	var hdr [segHdrLen]byte
+	if _, err := io.ReadFull(f, hdr[:]); err != nil || string(hdr[:]) != string(segMagic) {
+		// Missing or corrupt header: nothing in this file is trustworthy.
+		return info, 0, nil
+	}
+	off := int64(segHdrLen)
+	r := newSegReader(f)
+	var recHdr [recHdrLen]byte
+	var payload []byte
+	var scratch []float64
+	expect := nameSeq
+	for {
+		if _, err := io.ReadFull(r, recHdr[:]); err != nil {
+			// Clean EOF ends the segment; a partial header is a torn tail.
+			break
+		}
+		n := int(binary.LittleEndian.Uint32(recHdr[:4]))
+		if n < 29 || n > maxPayload {
+			break
+		}
+		if cap(payload) < n {
+			payload = make([]byte, n)
+		}
+		payload = payload[:n]
+		if _, err := io.ReadFull(r, payload); err != nil {
+			break
+		}
+		if checksum(payload) != binary.LittleEndian.Uint32(recHdr[4:]) {
+			break
+		}
+		var rec Record
+		rec, scratch, err = decodeRecord(payload, scratch)
+		if err != nil {
+			err = nil
+			break
+		}
+		if rec.Seq != expect {
+			// First record must match the file name; later records must be
+			// consecutive. Either mismatch means corruption from here on.
+			break
+		}
+		expect++
+		if onRecord != nil {
+			if err := onRecord(rec); err != nil {
+				return info, 0, err
+			}
+		}
+		off += int64(recHdrLen + n)
+		info.records++
+		info.lastSeq = rec.Seq
+	}
+	info.size = off
+	return info, off, nil
+}
+
+// segReader is a small fixed-buffer reader so scanning does not issue a
+// syscall per record.
+type segReader struct {
+	f   *os.File
+	buf [64 << 10]byte
+	r   int
+	n   int
+}
+
+func newSegReader(f *os.File) *segReader { return &segReader{f: f} }
+
+func (s *segReader) Read(p []byte) (int, error) {
+	if s.r == s.n {
+		n, err := s.f.Read(s.buf[:])
+		if n == 0 {
+			return 0, err
+		}
+		s.r, s.n = 0, n
+	}
+	n := copy(p, s.buf[s.r:s.n])
+	s.r += n
+	return n, nil
+}

@@ -1,0 +1,562 @@
+package wal
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Fsync selects when appended records are forced to stable storage.
+type Fsync int
+
+const (
+	// FsyncInterval (the default) fsyncs from a background flusher every
+	// Options.FsyncInterval: bounded data loss on power failure, negligible
+	// per-append cost. Process crashes (kill -9) lose nothing — commits
+	// always reach the OS page cache.
+	FsyncInterval Fsync = iota
+	// FsyncAlways fsyncs on every Commit: no loss on power failure, one
+	// fsync per group commit.
+	FsyncAlways
+	// FsyncNever never fsyncs: the OS flushes at its leisure. Survives
+	// process crashes, not power failures.
+	FsyncNever
+)
+
+func (f Fsync) String() string {
+	switch f {
+	case FsyncAlways:
+		return "always"
+	case FsyncNever:
+		return "never"
+	default:
+		return "interval"
+	}
+}
+
+// ParseFsync parses an fsync policy name: "always", "interval" or "never"
+// ("" selects the default, interval).
+func ParseFsync(s string) (Fsync, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "", "interval":
+		return FsyncInterval, nil
+	case "always":
+		return FsyncAlways, nil
+	case "never":
+		return FsyncNever, nil
+	}
+	return 0, fmt.Errorf("wal: unknown fsync policy %q (want always, interval or never)", s)
+}
+
+// Options configures a WAL.
+type Options struct {
+	// Fsync is the commit durability policy.
+	Fsync Fsync
+	// FsyncInterval is the background flush period under FsyncInterval
+	// (0 selects 100ms).
+	FsyncInterval time.Duration
+	// SegmentBytes is the rotation threshold (0 selects 64 MiB).
+	SegmentBytes int64
+	// Metrics, when non-nil, receives the WAL's counters and latency
+	// histograms. Nil allocates a private, unexported block.
+	Metrics *Metrics
+}
+
+// ScanResult reports what Open found (and repaired) in the directory.
+type ScanResult struct {
+	// HasRecords reports whether any valid record survives; NextSeq is then
+	// the sequence the next appended record is expected to carry.
+	HasRecords bool
+	NextSeq    uint64
+	// Records and Segments count the valid log tail.
+	Records  uint64
+	Segments int
+	// TruncatedBytes is the torn tail dropped from the first corrupt
+	// segment; SegmentsDropped counts whole segments discarded after it.
+	TruncatedBytes  int64
+	SegmentsDropped int
+}
+
+// ErrClosed is returned by operations on a closed WAL.
+var ErrClosed = errors.New("wal: closed")
+
+// WAL is an append-only segmented write-ahead log. The writer side
+// (Append/Commit) is single-caller by contract — the Monitor serializes it
+// under its ingestion mutex — while the internal mutex exists to coordinate
+// with the background fsync flusher and with Close.
+type WAL struct {
+	dir string
+	opt Options
+	met *Metrics
+
+	mu        sync.Mutex
+	segs      []segmentInfo
+	f         *os.File
+	bw        *bufio.Writer
+	size      int64 // bytes in the active segment
+	total     int64 // bytes across all segments
+	buf       []byte
+	nextSeq   uint64 // seq the next appended record must carry (tracking only)
+	rotate    bool   // force a fresh segment on the next append
+	err       error  // sticky failure; nil while healthy
+	closed    bool
+	stopFlush chan struct{}
+	flushDone chan struct{}
+}
+
+// Open opens (creating if needed) the WAL in dir, validating every segment
+// from the front: the first corrupt or torn record truncates its segment at
+// that point and discards all later segments, so the surviving log is a
+// clean prefix of what was appended. The returned WAL is ready for Replay
+// and further appends.
+func Open(dir string, opt Options) (*WAL, ScanResult, error) {
+	if opt.SegmentBytes <= 0 {
+		opt.SegmentBytes = 64 << 20
+	}
+	if opt.FsyncInterval <= 0 {
+		opt.FsyncInterval = 100 * time.Millisecond
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, ScanResult{}, fmt.Errorf("wal: %w", err)
+	}
+	segs, err := listSegments(dir)
+	if err != nil {
+		return nil, ScanResult{}, err
+	}
+	var res ScanResult
+	valid := segs[:0]
+	for i := range segs {
+		info, torn, err := scanSegment(segs[i].path, segs[i].firstSeq, nil)
+		if err != nil {
+			return nil, ScanResult{}, err
+		}
+		tornTail := false
+		if fi, err := os.Stat(segs[i].path); err == nil && fi.Size() > torn {
+			// Torn or corrupt tail: truncate to the last valid record.
+			res.TruncatedBytes += fi.Size() - torn
+			if err := os.Truncate(segs[i].path, torn); err != nil {
+				return nil, ScanResult{}, fmt.Errorf("wal: truncate torn tail: %w", err)
+			}
+			tornTail = true
+		}
+		if info.records > 0 {
+			valid = append(valid, info)
+			res.Records += info.records
+			res.NextSeq = info.lastSeq + 1
+			res.HasRecords = true
+		} else if err := os.Remove(segs[i].path); err != nil {
+			// A segment with no valid records carries no information.
+			return nil, ScanResult{}, fmt.Errorf("wal: %w", err)
+		}
+		if tornTail {
+			// Everything after the torn point is untrustworthy: discard the
+			// remaining segments so the log stays a clean prefix.
+			for _, later := range segs[i+1:] {
+				if err := os.Remove(later.path); err != nil {
+					return nil, ScanResult{}, fmt.Errorf("wal: %w", err)
+				}
+				res.SegmentsDropped++
+			}
+			break
+		}
+	}
+	w := &WAL{
+		dir:  dir,
+		opt:  opt,
+		met:  opt.Metrics,
+		segs: append([]segmentInfo(nil), valid...),
+	}
+	if w.met == nil {
+		w.met = new(Metrics)
+	}
+	for _, s := range w.segs {
+		w.total += s.size
+	}
+	w.nextSeq = res.NextSeq
+	res.Segments = len(w.segs)
+	// Appends continue in the last surviving segment; a fresh segment is
+	// created lazily on the first append otherwise.
+	if n := len(w.segs); n > 0 {
+		last := &w.segs[n-1]
+		f, err := os.OpenFile(last.path, os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			return nil, ScanResult{}, fmt.Errorf("wal: %w", err)
+		}
+		w.f = f
+		w.bw = bufio.NewWriterSize(f, 64<<10)
+		w.size = last.size
+	}
+	w.met.Segments.SetInt(len(w.segs))
+	w.met.SizeBytes.Set(float64(w.total))
+	if opt.Fsync == FsyncInterval {
+		w.stopFlush = make(chan struct{})
+		w.flushDone = make(chan struct{})
+		go w.flusher(w.stopFlush)
+	}
+	return w, res, nil
+}
+
+// Replay streams every valid record with sequence >= from, in order, to fn.
+// Records below from (already covered by a checkpoint) are skipped. fn's
+// Record aliases a scratch buffer; it must copy what it retains. Returns the
+// number of records delivered.
+func (w *WAL) Replay(from uint64, fn func(Record) error) (uint64, error) {
+	w.mu.Lock()
+	// Flush so the files hold every append, and finalize the active
+	// segment's metadata so it is not skipped as empty.
+	if w.err == nil && w.bw != nil {
+		if err := w.bw.Flush(); err != nil {
+			w.err = fmt.Errorf("wal: replay: %w", err)
+			w.mu.Unlock()
+			return 0, w.err
+		}
+	}
+	w.segMetaLocked()
+	segs := append([]segmentInfo(nil), w.segs...)
+	w.mu.Unlock()
+	var n uint64
+	for _, sg := range segs {
+		if sg.records == 0 || sg.lastSeq < from {
+			continue
+		}
+		_, _, err := scanSegment(sg.path, sg.firstSeq, func(rec Record) error {
+			if rec.Seq < from {
+				return nil
+			}
+			n++
+			return fn(rec)
+		})
+		if err != nil {
+			return n, err
+		}
+	}
+	return n, nil
+}
+
+// AlignTo prepares the WAL for appends starting at seq. When the log's tail
+// does not line up with seq (a checkpoint newer than the surviving tail, or
+// records skipped by recovery), the next append opens a fresh segment named
+// by its first record so intra-segment sequence continuity is preserved.
+func (w *WAL) AlignTo(seq uint64) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.f != nil && w.nextSeq != seq {
+		// Finalize the tail's metadata at its true span before nextSeq moves.
+		w.segMetaLocked()
+		w.rotate = true
+	}
+	w.nextSeq = seq
+}
+
+// AppendElement appends one element record. It buffers; nothing is promised
+// durable until Commit returns. Errors are sticky: after any append or
+// commit failure the WAL refuses further writes, so the log never contains
+// a gap that a later successful write would paper over.
+func (w *WAL) AppendElement(seq uint64, pt []float64, p float64, ts int64) error {
+	t0 := time.Now()
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.err != nil {
+		return w.err
+	}
+	n := recordLen(len(pt))
+	if err := w.ensureSegmentLocked(seq, int64(n)); err != nil {
+		return err
+	}
+	w.buf = appendRecord(w.buf[:0], seq, pt, p, ts)
+	if _, err := w.bw.Write(w.buf); err != nil {
+		w.err = fmt.Errorf("wal: append: %w", err)
+		return w.err
+	}
+	w.size += int64(n)
+	w.total += int64(n)
+	w.nextSeq = seq + 1
+	w.met.Appends.Inc()
+	w.met.AppendedBytes.Add(uint64(n))
+	w.met.SizeBytes.Set(float64(w.total))
+	w.met.AppendLatency.Record(time.Since(t0))
+	return nil
+}
+
+// Commit makes every record appended since the previous Commit crash-safe
+// (flushed to the OS) and, under FsyncAlways, power-safe (fsynced). One
+// Commit per ingested batch is the group-commit contract that amortizes the
+// syscalls.
+func (w *WAL) Commit() error {
+	t0 := time.Now()
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.err != nil {
+		return w.err
+	}
+	if w.bw == nil {
+		return nil
+	}
+	if err := w.bw.Flush(); err != nil {
+		w.err = fmt.Errorf("wal: commit: %w", err)
+		return w.err
+	}
+	if w.opt.Fsync == FsyncAlways {
+		if err := w.syncLocked(); err != nil {
+			return err
+		}
+	}
+	w.met.Commits.Inc()
+	w.met.CommitLatency.Record(time.Since(t0))
+	return nil
+}
+
+// Sync flushes and fsyncs the active segment, whatever the policy.
+func (w *WAL) Sync() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.err != nil {
+		return w.err
+	}
+	if w.bw == nil {
+		return nil
+	}
+	if err := w.bw.Flush(); err != nil {
+		w.err = fmt.Errorf("wal: sync: %w", err)
+		return w.err
+	}
+	return w.syncLocked()
+}
+
+func (w *WAL) syncLocked() error {
+	t0 := time.Now()
+	if err := w.f.Sync(); err != nil {
+		w.err = fmt.Errorf("wal: fsync: %w", err)
+		return w.err
+	}
+	w.met.Fsyncs.Inc()
+	w.met.FsyncLatency.Record(time.Since(t0))
+	return nil
+}
+
+// ensureSegmentLocked makes sure an active segment can take n more bytes,
+// rotating or creating one as needed.
+func (w *WAL) ensureSegmentLocked(seq uint64, n int64) error {
+	needNew := w.f == nil || w.rotate ||
+		(w.size+n > w.opt.SegmentBytes && w.size > segHdrLen)
+	if !needNew {
+		return nil
+	}
+	if !w.rotate {
+		// An AlignTo rotation already finalized the tail's metadata (and
+		// nextSeq has since moved); only size rotations finalize here.
+		w.segMetaLocked()
+	}
+	if w.f != nil {
+		if err := w.bw.Flush(); err != nil {
+			w.err = fmt.Errorf("wal: rotate: %w", err)
+			return w.err
+		}
+		// The retiring segment is sealed with an fsync regardless of policy:
+		// rotation is rare and a sealed segment never changes again.
+		if err := w.f.Sync(); err != nil {
+			w.err = fmt.Errorf("wal: rotate: %w", err)
+			return w.err
+		}
+		if err := w.f.Close(); err != nil {
+			w.err = fmt.Errorf("wal: rotate: %w", err)
+			return w.err
+		}
+		w.f = nil
+		w.met.Rotations.Inc()
+	}
+	w.rotate = false
+	path := filepath.Join(w.dir, segmentName(seq))
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_EXCL, 0o644)
+	if err != nil {
+		w.err = fmt.Errorf("wal: new segment: %w", err)
+		return w.err
+	}
+	if _, err := f.Write(segMagic); err != nil {
+		f.Close()
+		w.err = fmt.Errorf("wal: new segment: %w", err)
+		return w.err
+	}
+	if err := syncDir(w.dir); err != nil {
+		f.Close()
+		w.err = err
+		return w.err
+	}
+	w.f = f
+	if w.bw == nil {
+		w.bw = bufio.NewWriterSize(f, 64<<10)
+	} else {
+		w.bw.Reset(f)
+	}
+	w.size = segHdrLen
+	w.total += segHdrLen
+	w.segs = append(w.segs, segmentInfo{path: path, firstSeq: seq, size: segHdrLen})
+	w.met.Segments.SetInt(len(w.segs))
+	w.met.SizeBytes.Set(float64(w.total))
+	return nil
+}
+
+// segMetaLocked finalizes the active segment's bookkeeping (size, record
+// span) before the segment list is consulted for rotation or GC. Records are
+// consecutive within a segment, so the span follows from nextSeq.
+func (w *WAL) segMetaLocked() {
+	if n := len(w.segs); n > 0 && w.f != nil {
+		last := &w.segs[n-1]
+		last.size = w.size
+		if w.nextSeq > last.firstSeq {
+			last.lastSeq = w.nextSeq - 1
+			last.records = w.nextSeq - last.firstSeq
+		}
+	}
+}
+
+// GC removes segments every record of which is strictly below keepSeq — the
+// caller passes min(newest checkpoint seq, window horizon seq), so a segment
+// is only collected once both the checkpoint and the sliding window have
+// moved past it. The active (last) segment is never collected.
+func (w *WAL) GC(keepSeq uint64) (int, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.closed {
+		return 0, ErrClosed
+	}
+	w.segMetaLocked()
+	removed := 0
+	for len(w.segs) > 1 && w.segs[0].lastSeq < keepSeq {
+		sg := w.segs[0]
+		if err := os.Remove(sg.path); err != nil {
+			return removed, fmt.Errorf("wal: gc: %w", err)
+		}
+		w.total -= sg.size
+		w.segs = w.segs[1:]
+		removed++
+	}
+	if removed > 0 {
+		w.met.GCSegments.Add(uint64(removed))
+		w.met.Segments.SetInt(len(w.segs))
+		w.met.SizeBytes.Set(float64(w.total))
+	}
+	return removed, nil
+}
+
+// SegmentCount returns the number of live segments.
+func (w *WAL) SegmentCount() int {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return len(w.segs)
+}
+
+// SizeBytes returns the total on-disk size of the log.
+func (w *WAL) SizeBytes() int64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.total
+}
+
+// flusher is the FsyncInterval background goroutine. The stop channel is
+// passed in (captured at spawn time): stopFlusher nils the w.stopFlush field
+// for idempotency, and it can run before this goroutine is first scheduled —
+// reading the field here could then see nil and block forever.
+func (w *WAL) flusher(stop <-chan struct{}) {
+	defer close(w.flushDone)
+	t := time.NewTicker(w.opt.FsyncInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-stop:
+			return
+		case <-t.C:
+			w.mu.Lock()
+			if w.err == nil && w.bw != nil {
+				if err := w.bw.Flush(); err == nil {
+					w.syncLocked()
+				} else {
+					w.err = fmt.Errorf("wal: flush: %w", err)
+				}
+			}
+			w.mu.Unlock()
+		}
+	}
+}
+
+// Close flushes, fsyncs and closes the log. Idempotent.
+func (w *WAL) Close() error {
+	w.stopFlusher()
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.closed {
+		return nil
+	}
+	w.closed = true
+	var firstErr error
+	if w.err == nil && w.bw != nil {
+		if err := w.bw.Flush(); err != nil {
+			firstErr = err
+		} else if err := w.f.Sync(); err != nil {
+			firstErr = err
+		}
+	}
+	if w.f != nil {
+		if err := w.f.Close(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+		w.f = nil
+	}
+	if w.err == nil {
+		w.err = ErrClosed
+	}
+	if firstErr != nil {
+		return fmt.Errorf("wal: close: %w", firstErr)
+	}
+	return nil
+}
+
+// Abort closes the log WITHOUT flushing buffered data — the file is left
+// exactly as the last Commit (and the OS) saw it. It exists for crash
+// simulation in tests and for tearing down a WAL whose state is already
+// known bad.
+func (w *WAL) Abort() {
+	w.stopFlusher()
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.closed {
+		return
+	}
+	w.closed = true
+	if w.f != nil {
+		w.f.Close()
+		w.f = nil
+	}
+	if w.err == nil {
+		w.err = ErrClosed
+	}
+}
+
+func (w *WAL) stopFlusher() {
+	w.mu.Lock()
+	stop := w.stopFlush
+	w.stopFlush = nil
+	w.mu.Unlock()
+	if stop != nil {
+		close(stop)
+		<-w.flushDone
+	}
+}
+
+// syncDir fsyncs a directory so renames and creations within it are durable.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return fmt.Errorf("wal: sync dir: %w", err)
+	}
+	defer d.Close()
+	if err := d.Sync(); err != nil {
+		return fmt.Errorf("wal: sync dir: %w", err)
+	}
+	return nil
+}

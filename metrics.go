@@ -9,6 +9,7 @@ import (
 	"pskyline/internal/core"
 	"pskyline/internal/obs"
 	"pskyline/internal/stats"
+	"pskyline/internal/wal"
 )
 
 // monMetrics is the Monitor's observability block. The engine records the
@@ -45,6 +46,14 @@ type monMetrics struct {
 	probSumBits   atomic.Uint64 // float64 bits: Σ occurrence prob of pushed elements
 	probCount     atomic.Uint64
 	lastPublishNs atomic.Int64
+
+	// Durability: the WAL's own counters/histograms (recorded under m.mu,
+	// which satisfies their single-writer contract) and checkpoint
+	// bookkeeping. Unused when durability is disabled.
+	wal       wal.Metrics
+	ckpts     obs.Counter // checkpoints installed
+	ckptFails obs.Counter // checkpoint attempts that failed
+	ckptSeqA  atomic.Uint64
 }
 
 // mirrorLocked copies the engine's single-writer state into the atomic
@@ -140,6 +149,31 @@ func (m *Monitor) buildRegistry() {
 	r.RegisterHistogram("pskyline_publish_interval_seconds",
 		"Interval between consecutive view publications.", &mm.publishGap)
 
+	if m.wal != nil {
+		wm := &mm.wal
+		r.RegisterCounter("pskyline_wal_appends_total", "Elements appended to the write-ahead log.", &wm.Appends)
+		r.RegisterCounterFunc("pskyline_wal_appended_bytes_total", "Bytes appended to the write-ahead log.", func() float64 { return float64(wm.AppendedBytes.Load()) })
+		r.RegisterCounter("pskyline_wal_commits_total", "WAL group commits (one per push or ingested batch).", &wm.Commits)
+		r.RegisterCounter("pskyline_wal_fsyncs_total", "WAL fsync syscalls.", &wm.Fsyncs)
+		r.RegisterCounter("pskyline_wal_rotations_total", "WAL segment rotations.", &wm.Rotations)
+		r.RegisterCounter("pskyline_wal_gc_segments_total", "WAL segments removed by garbage collection.", &wm.GCSegments)
+		r.RegisterGauge("pskyline_wal_segments", "Live WAL segment count.", &wm.Segments)
+		r.RegisterGauge("pskyline_wal_size_bytes", "Total on-disk size of the write-ahead log.", &wm.SizeBytes)
+		r.RegisterCounter("pskyline_checkpoints_total", "Checkpoints installed.", &mm.ckpts)
+		r.RegisterCounter("pskyline_checkpoint_failures_total", "Checkpoint attempts that failed.", &mm.ckptFails)
+		r.RegisterGaugeFunc("pskyline_checkpoint_seq", "Stream position of the newest installed checkpoint.", func() float64 { return float64(mm.ckptSeqA.Load()) })
+		r.RegisterGaugeFunc("pskyline_recovery_replayed_records", "WAL records re-ingested by the last recovery.", func() float64 { return float64(m.recovery.Replayed) })
+		r.RegisterGaugeFunc("pskyline_recovery_truncated_bytes", "Torn WAL bytes discarded by the last recovery.", func() float64 { return float64(m.recovery.TruncatedBytes) })
+		for _, st := range []struct {
+			name string
+			h    *obs.Histogram
+		}{{"wal_append", &wm.AppendLatency}, {"wal_commit", &wm.CommitLatency}, {"wal_fsync", &wm.FsyncLatency}} {
+			r.RegisterHistogram("pskyline_stage_seconds",
+				"Per-stage latency of the arrival/expiry pipeline.",
+				st.h, obs.Label{Key: "stage", Value: st.name})
+		}
+	}
+
 	m.reg = r
 }
 
@@ -207,8 +241,30 @@ type Metrics struct {
 	// expectation bounds evaluated at (WindowFill, dims, MeanProb) and the
 	// maintained thresholds — the live version of the paper's size check.
 	TheorySkylineBound, TheoryCandidateBound float64
-	// Stages are the per-stage latency summaries in pipeline order.
+	// Stages are the per-stage latency summaries in pipeline order
+	// (including the wal_append/wal_commit/wal_fsync stages when durability
+	// is enabled).
 	Stages []StageLatency
+	// WAL reports the durability subsystem; nil when durability is disabled.
+	WAL *WALMetrics
+}
+
+// WALMetrics is the durability subsystem's slice of a Metrics snapshot.
+type WALMetrics struct {
+	// Appends and AppendedBytes count logged elements and their on-disk
+	// size; Commits counts group commits and Fsyncs actual fsync syscalls.
+	Appends, AppendedBytes, Commits, Fsyncs uint64
+	// Rotations and GCSegments count segment lifecycle events; Segments and
+	// SizeBytes are the current log extent.
+	Rotations, GCSegments uint64
+	Segments              int
+	SizeBytes             int64
+	// Checkpoints and CheckpointFailures count installation attempts;
+	// CheckpointSeq is the newest installed checkpoint's stream position.
+	Checkpoints, CheckpointFailures uint64
+	CheckpointSeq                   uint64
+	// Recovery reports what Open found and repaired.
+	Recovery RecoveryInfo
 }
 
 // Metrics returns an observability snapshot. Like the query methods it is
@@ -241,6 +297,37 @@ func (m *Monitor) Metrics() Metrics {
 			P99Ns:  s.QuantileNs(0.99),
 			MaxNs:  s.MaxNs,
 		})
+	}
+	if m.wal != nil {
+		wm := &mm.wal
+		out.WAL = &WALMetrics{
+			Appends:            wm.Appends.Load(),
+			AppendedBytes:      wm.AppendedBytes.Load(),
+			Commits:            wm.Commits.Load(),
+			Fsyncs:             wm.Fsyncs.Load(),
+			Rotations:          wm.Rotations.Load(),
+			GCSegments:         wm.GCSegments.Load(),
+			Segments:           int(wm.Segments.Load()),
+			SizeBytes:          int64(wm.SizeBytes.Load()),
+			Checkpoints:        mm.ckpts.Load(),
+			CheckpointFailures: mm.ckptFails.Load(),
+			CheckpointSeq:      mm.ckptSeqA.Load(),
+			Recovery:           m.recovery,
+		}
+		for _, st := range []struct {
+			name string
+			h    *obs.Histogram
+		}{{"wal_append", &wm.AppendLatency}, {"wal_commit", &wm.CommitLatency}, {"wal_fsync", &wm.FsyncLatency}} {
+			s := st.h.Snapshot()
+			out.Stages = append(out.Stages, StageLatency{
+				Stage:  st.name,
+				Count:  s.Count,
+				MeanNs: s.MeanNs(),
+				P50Ns:  s.QuantileNs(0.50),
+				P99Ns:  s.QuantileNs(0.99),
+				MaxNs:  s.MaxNs,
+			})
+		}
 	}
 	return out
 }

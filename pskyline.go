@@ -42,6 +42,7 @@ import (
 	"pskyline/internal/core"
 	"pskyline/internal/geom"
 	"pskyline/internal/obs"
+	"pskyline/internal/wal"
 )
 
 // ErrClosed is returned by Push and PushBatch after Close.
@@ -128,6 +129,12 @@ type Options struct {
 	// goroutine down. Zero disables the queue: Push and PushBatch then
 	// ingest synchronously and a view is published before they return.
 	AsyncQueue int
+
+	// Durability, when Dir is set, makes the monitor crash-recoverable:
+	// every element is appended to a write-ahead log before the engine
+	// applies it, checkpoints are installed periodically, and Open recovers
+	// the combined state after a crash. See the Durability type.
+	Durability Durability
 }
 
 // Monitor is a continuous probabilistic skyline operator. It is safe for
@@ -173,10 +180,40 @@ type Monitor struct {
 	probCount uint64
 
 	aq *asyncQueue // nil when Options.AsyncQueue == 0
+
+	// Durability (nil wal when disabled). dur holds the normalized options;
+	// ckptSince and ckptSeq are checkpoint bookkeeping under mu; replaying
+	// suppresses callbacks while recovery re-ingests the log tail; walErr
+	// latches the first durability failure so every later write fails fast.
+	wal       *wal.WAL
+	dur       Durability
+	ckptSince int
+	ckptSeq   uint64
+	replaying bool
+	recovery  RecoveryInfo
+	walErr    atomic.Pointer[error]
+
+	closed bool // guarded by mu; Push/PushBatch return ErrClosed once set
 }
 
-// NewMonitor returns a Monitor for the given options.
+// NewMonitor returns a Monitor for the given options. When
+// Options.Durability.Dir is set it is equivalent to Open: the directory's
+// durable state (if any) is recovered and new pushes are logged.
 func NewMonitor(opt Options) (*Monitor, error) {
+	if opt.Durability.Dir != "" {
+		return Open(opt)
+	}
+	m, err := newMonitorCore(opt)
+	if err != nil {
+		return nil, err
+	}
+	return m.finish(), nil
+}
+
+// newMonitorCore builds a fresh monitor without publishing a view or
+// starting background goroutines (the recovery path replays the WAL tail in
+// between).
+func newMonitorCore(opt Options) (*Monitor, error) {
 	if (opt.Window > 0) == (opt.Period > 0) {
 		return nil, errors.New("pskyline: exactly one of Window and Period must be positive")
 	}
@@ -201,28 +238,51 @@ func NewMonitor(opt Options) (*Monitor, error) {
 		return nil, fmt.Errorf("pskyline: %w", err)
 	}
 	m.eng = eng
-	if opt.TopK > 0 {
-		minQ := opt.TopKMinQ
-		if minQ == 0 {
-			ths := eng.Thresholds()
-			minQ = ths[len(ths)-1]
-		}
-		m.topk, err = core.NewTopKTracker(eng, opt.TopK, minQ)
-		if err != nil {
-			return nil, fmt.Errorf("pskyline: %w", err)
-		}
+	if err := m.initTopK(); err != nil {
+		return nil, fmt.Errorf("pskyline: %w", err)
 	}
 	m.dims = eng.Dims()
+	return m, nil
+}
+
+// initTopK attaches the continuous top-k tracker configured in m.opts.
+func (m *Monitor) initTopK() error {
+	if m.opts.TopK <= 0 {
+		return nil
+	}
+	minQ := m.opts.TopKMinQ
+	if minQ == 0 {
+		ths := m.eng.Thresholds()
+		minQ = ths[len(ths)-1]
+	}
+	var err error
+	m.topk, err = core.NewTopKTracker(m.eng, m.opts.TopK, minQ)
+	return err
+}
+
+// finish publishes the first view, assembles the export registry and starts
+// the async ingestion queue. No other goroutine can reference the monitor
+// yet, so the "locked" helpers run without the lock.
+func (m *Monitor) finish() *Monitor {
 	m.publishLocked()
 	m.buildRegistry()
-	if opt.AsyncQueue > 0 {
-		m.aq = newAsyncQueue(m, opt.AsyncQueue)
+	if m.opts.AsyncQueue > 0 {
+		m.aq = newAsyncQueue(m, m.opts.AsyncQueue)
 	}
-	return m, nil
+	return m
 }
 
 // onChange runs under m.mu (the engine is only driven from Push).
 func (m *Monitor) onChange(ev core.Event) {
+	if m.replaying {
+		// Recovery replay re-executes transitions that were already
+		// reported before the crash: keep the payload cleanup, skip the
+		// re-notification (callbacks, churn counters, trace).
+		if ev.ToBand == -1 {
+			delete(m.data, ev.Item.Seq)
+		}
+		return
+	}
 	enter := ev.FromBand != 0 && ev.ToBand == 0
 	leave := ev.FromBand == 0 && ev.ToBand != 0
 	if enter || leave {
@@ -281,17 +341,29 @@ func (m *Monitor) Push(e Element) (uint64, error) {
 	if err := m.validate(e); err != nil {
 		return 0, err
 	}
+	if p := m.walErr.Load(); p != nil {
+		return 0, *p
+	}
 	if m.aq != nil {
 		return m.aq.enqueue(e)
 	}
 	m.mu.Lock()
 	defer m.mu.Unlock()
+	if m.closed {
+		return 0, ErrClosed
+	}
+	if m.wal != nil {
+		if err := m.logOneLocked(e); err != nil {
+			return 0, err
+		}
+	}
 	seq, err := m.ingestLocked(e)
 	if err != nil {
 		return 0, err
 	}
 	m.refreshTopKLocked()
 	m.publishLocked()
+	m.maybeCheckpointLocked(1)
 	return seq, nil
 }
 
@@ -315,11 +387,22 @@ func (m *Monitor) PushBatch(es []Element) (uint64, error) {
 			return 0, fmt.Errorf("batch element %d: %w", i, err)
 		}
 	}
+	if p := m.walErr.Load(); p != nil {
+		return 0, *p
+	}
 	if m.aq != nil {
 		return m.aq.enqueueBatch(es)
 	}
 	m.mu.Lock()
 	defer m.mu.Unlock()
+	if m.closed {
+		return 0, ErrClosed
+	}
+	if m.wal != nil && len(es) > 0 {
+		if err := m.logBatchLocked(es); err != nil {
+			return 0, err
+		}
+	}
 	first, err := m.ingestBatchLocked(es)
 	if err != nil {
 		// Unreachable after up-front validation; publish what was ingested
@@ -331,6 +414,7 @@ func (m *Monitor) PushBatch(es []Element) (uint64, error) {
 	if len(es) > 0 {
 		m.refreshTopKLocked()
 		m.publishLocked()
+		m.maybeCheckpointLocked(len(es))
 	}
 	return first, nil
 }

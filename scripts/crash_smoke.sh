@@ -1,0 +1,65 @@
+#!/usr/bin/env bash
+# Crash-recovery smoke test: ingest the first half of a stream under the WAL,
+# kill -9 the process mid-stream, restart on the same directory with the
+# second half, and assert the final skyline is identical to an uninterrupted
+# run over the whole stream. Run from the repo root (`make crash-smoke`).
+set -euo pipefail
+
+GO=${GO:-go}
+N=${N:-9000}
+CUT=${CUT:-6000}
+WINDOW=${WINDOW:-1500}
+tmp=$(mktemp -d)
+pid=
+trap 'exec 9>&- 2>/dev/null || true; kill -9 "$pid" 2>/dev/null || true; rm -rf "$tmp"' EXIT
+
+"$GO" build -o "$tmp/pskyline" ./cmd/pskyline
+"$GO" run ./cmd/datagen -dims 2 -n "$N" -seed 7 > "$tmp/stream.csv"
+
+# Uninterrupted oracle: one process sees the whole stream, no durability.
+"$tmp/pskyline" -dims 2 -window "$WINDOW" -q 0.3 -snapshot "$N" \
+    < "$tmp/stream.csv" > "$tmp/oracle.log"
+
+# Phase 1: feed the first half through a FIFO held open by this script, so
+# the process is still mid-ingest (stdin open, waiting for more) when the
+# kill lands. The snapshot print tells us all $CUT elements were applied.
+mkfifo "$tmp/pipe"
+"$tmp/pskyline" -dims 2 -window "$WINDOW" -q 0.3 -snapshot "$CUT" \
+    -wal "$tmp/wal" -wal-fsync always \
+    < "$tmp/pipe" > "$tmp/crash.log" 2> "$tmp/crash.err" &
+pid=$!
+exec 9> "$tmp/pipe"
+head -n "$CUT" "$tmp/stream.csv" >&9
+for _ in $(seq 1 300); do
+    grep -q "^@$CUT skyline" "$tmp/crash.log" 2>/dev/null && break
+    kill -0 "$pid" 2>/dev/null || { echo "phase 1 exited early"; cat "$tmp/crash.err"; exit 1; }
+    sleep 0.1
+done
+grep -q "^@$CUT skyline" "$tmp/crash.log" \
+    || { echo "phase 1 never reached element $CUT"; cat "$tmp/crash.err"; exit 1; }
+kill -9 "$pid"
+wait "$pid" 2>/dev/null || true
+pid=
+exec 9>&-
+
+# Phase 2: restart on the same WAL directory; recovery must replay the first
+# half before the second half streams in.
+tail -n +"$((CUT + 1))" "$tmp/stream.csv" | \
+    "$tmp/pskyline" -dims 2 -window "$WINDOW" -q 0.3 -snapshot "$((N - CUT))" \
+    -wal "$tmp/wal" -wal-fsync always > "$tmp/recover.log" 2> "$tmp/recover.err"
+
+grep -q "pskyline: recovered from" "$tmp/recover.err" \
+    || { echo "restart did not report recovery"; cat "$tmp/recover.err"; exit 1; }
+grep -q " $CUT replayed records" "$tmp/recover.err" \
+    || { echo "expected $CUT replayed records"; cat "$tmp/recover.err"; exit 1; }
+
+# The skyline at stream position N must be identical in both runs.
+grep -E "^@$N skyline|^  seq=" "$tmp/oracle.log"  > "$tmp/oracle.sky"
+grep -E "^@$N skyline|^  seq=" "$tmp/recover.log" > "$tmp/recover.sky"
+[ -s "$tmp/oracle.sky" ] || { echo "oracle produced no skyline snapshot"; exit 1; }
+if ! cmp -s "$tmp/oracle.sky" "$tmp/recover.sky"; then
+    echo "SKYLINE DIVERGED after crash recovery:"
+    diff "$tmp/oracle.sky" "$tmp/recover.sky" | head -20
+    exit 1
+fi
+echo "crash smoke OK: kill -9 at $CUT/$N, recovery replayed the log and the final skyline matches the uninterrupted run"

@@ -41,7 +41,7 @@ for series in \
 done
 
 health=$(fetch /healthz)
-echo "$health" | grep -q '"status":"ok"' || { echo "BAD /healthz: $health"; exit 1; }
+echo "$health" | grep -q '"status":"serving"' || { echo "BAD /healthz: $health"; exit 1; }
 echo "$health" | grep -q "\"processed\":$N" || { echo "BAD /healthz: $health"; exit 1; }
 
 fetch /debug/skyline | grep -q '"skyline":' || { echo "BAD /debug/skyline"; exit 1; }
