@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build vet lint test race bench-concurrent bench bench-smoke serve-smoke crash-smoke ci
+.PHONY: build vet lint test race bench-concurrent bench bench-smoke serve-smoke crash-smoke chaos-smoke ci
 
 build:
 	$(GO) build ./...
@@ -57,4 +57,11 @@ serve-smoke:
 crash-smoke:
 	bash scripts/crash_smoke.sh
 
-ci: build lint test race bench-concurrent bench-smoke serve-smoke crash-smoke
+# End-to-end chaos smoke test: seeded fault storm (torn writes, failed
+# writes/fsyncs) absorbed by the retry policy, kill -9 mid-ingest, restart
+# and byte-compare the skyline against a no-fault oracle; then a shed-policy
+# run on a dead disk that must keep serving.
+chaos-smoke:
+	bash scripts/chaos_smoke.sh
+
+ci: build lint test race bench-concurrent bench-smoke serve-smoke crash-smoke chaos-smoke

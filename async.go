@@ -1,6 +1,11 @@
 package pskyline
 
-import "sync"
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+)
 
 // maxIngestBatch bounds how many queued elements the background goroutine
 // ingests under one lock hold (and thus per published view): large enough to
@@ -8,15 +13,72 @@ import "sync"
 // lock holds bounded.
 const maxIngestBatch = 256
 
+// OverloadPolicy selects what a full async queue does to producers.
+type OverloadPolicy int
+
+const (
+	// Block (the default) applies backpressure: Push blocks until the
+	// consumer makes room. Nothing is ever dropped; producers slow to the
+	// ingestion rate.
+	Block OverloadPolicy = iota
+	// DropNewest sheds the arriving element: Push returns ErrOverloaded
+	// immediately and the element is never queued. Latency stays bounded
+	// and the already-accepted prefix of the stream is preserved intact.
+	DropNewest
+	// DropOldest evicts the oldest queued (not yet ingested) element to
+	// make room for the arriving one. Push always succeeds; under sustained
+	// overload the queue holds the most recent elements — the natural choice
+	// for a sliding-window operator, where old elements expire anyway.
+	// Because evicted elements already held reserved sequence numbers, the
+	// numbers returned by Push/PushBatch are provisional under this policy:
+	// a later eviction shifts what the engine actually assigns.
+	DropOldest
+)
+
+func (p OverloadPolicy) String() string {
+	switch p {
+	case DropNewest:
+		return "drop-newest"
+	case DropOldest:
+		return "drop-oldest"
+	default:
+		return "block"
+	}
+}
+
+// ParseOverloadPolicy parses an overload policy name: "block", "drop-newest"
+// or "drop-oldest" ("" selects the default, block).
+func ParseOverloadPolicy(s string) (OverloadPolicy, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "", "block":
+		return Block, nil
+	case "drop-newest", "dropnewest":
+		return DropNewest, nil
+	case "drop-oldest", "dropoldest":
+		return DropOldest, nil
+	}
+	return 0, fmt.Errorf("pskyline: unknown overload policy %q (want block, drop-newest or drop-oldest)", s)
+}
+
+// ErrOverloaded is returned by Push and PushBatch under the DropNewest
+// policy when the async queue is full. The element (or batch suffix) was not
+// ingested; the caller may retry, shed, or back off. Test with errors.Is.
+var ErrOverloaded = errors.New("pskyline: async queue full")
+
 // asyncQueue is the bounded single-consumer ingestion queue behind
 // Options.AsyncQueue. Producers (Push/PushBatch) reserve sequence numbers
 // and enqueue under enqMu — the reservation order is the channel order, and
 // the single consumer ingests in channel order, so the reserved numbers are
-// exactly the ones the engine will assign. The channel's capacity is the
-// backpressure bound: a full queue blocks producers.
+// exactly the ones the engine will assign (exactly under Block and
+// DropNewest; provisionally under DropOldest, whose evictions consume
+// reserved numbers). The channel's capacity is the overload bound; pol
+// decides what happens when it is reached. Drop bookkeeping runs under
+// enqMu, which satisfies the metrics' single-writer contract and keeps it
+// off the consumer's ingestion path.
 type asyncQueue struct {
 	m     *Monitor
 	ch    chan Element
+	pol   OverloadPolicy
 	flush chan chan struct{} // Drain requests, acknowledged when the queue is empty
 	done  chan struct{}      // closed when the consumer goroutine exits
 
@@ -25,10 +87,11 @@ type asyncQueue struct {
 	closed bool
 }
 
-func newAsyncQueue(m *Monitor, capacity int) *asyncQueue {
+func newAsyncQueue(m *Monitor, capacity int, pol OverloadPolicy) *asyncQueue {
 	q := &asyncQueue{
 		m:     m,
 		ch:    make(chan Element, capacity),
+		pol:   pol,
 		flush: make(chan chan struct{}),
 		done:  make(chan struct{}),
 		next:  m.eng.NextSeq(),
@@ -37,22 +100,64 @@ func newAsyncQueue(m *Monitor, capacity int) *asyncQueue {
 	return q
 }
 
-// enqueue reserves the next sequence number for e and queues it, blocking
-// while the queue is full. The element is already validated.
+// put queues one element according to the overload policy, reporting whether
+// it was accepted. Callers hold enqMu.
+func (q *asyncQueue) put(e Element) bool {
+	switch q.pol {
+	case DropNewest:
+		select {
+		case q.ch <- e:
+			return true
+		default:
+			q.m.met.qDrops.Inc()
+			return false
+		}
+	case DropOldest:
+		for {
+			select {
+			case q.ch <- e:
+				return true
+			default:
+			}
+			// Full: evict the oldest queued element and retry. The receive
+			// is non-blocking because the consumer may drain the queue
+			// between our two selects — then the send simply succeeds.
+			select {
+			case <-q.ch:
+				q.m.met.qDrops.Inc()
+			default:
+			}
+		}
+	default:
+		q.ch <- e
+		return true
+	}
+}
+
+// enqueue reserves the next sequence number for e and queues it according to
+// the overload policy: Block waits for room, DropNewest fails fast with
+// ErrOverloaded (no number is consumed), DropOldest evicts. The element is
+// already validated.
 func (q *asyncQueue) enqueue(e Element) (uint64, error) {
 	q.enqMu.Lock()
 	defer q.enqMu.Unlock()
 	if q.closed {
 		return 0, ErrClosed
 	}
+	if !q.put(e) {
+		return 0, ErrOverloaded
+	}
 	seq := q.next
 	q.next++
-	q.ch <- e
 	return seq, nil
 }
 
-// enqueueBatch reserves len(es) consecutive sequence numbers and queues the
-// elements in order, blocking as the queue fills. Returns the first number.
+// enqueueBatch reserves consecutive sequence numbers and queues the elements
+// in order. Under Block the whole batch is queued (blocking as the queue
+// fills); under DropNewest a full queue cuts the batch — the accepted prefix
+// keeps its numbers and ErrOverloaded reports the dropped suffix; under
+// DropOldest the whole batch is queued, evicting as needed. Returns the
+// first accepted element's number.
 func (q *asyncQueue) enqueueBatch(es []Element) (uint64, error) {
 	q.enqMu.Lock()
 	defer q.enqMu.Unlock()
@@ -60,9 +165,12 @@ func (q *asyncQueue) enqueueBatch(es []Element) (uint64, error) {
 		return 0, ErrClosed
 	}
 	first := q.next
-	q.next += uint64(len(es))
 	for i := range es {
-		q.ch <- es[i]
+		if !q.put(es[i]) {
+			q.m.met.qDrops.Add(uint64(len(es) - i - 1)) // the put counted es[i] itself
+			return first, fmt.Errorf("batch elements %d..%d dropped: %w", i, len(es)-1, ErrOverloaded)
+		}
+		q.next++
 	}
 	return first, nil
 }
@@ -131,9 +239,10 @@ func (q *asyncQueue) gather(buf []Element) []Element {
 // batch insert for count-based windows — and publishes one fresh view. The
 // elements were validated before enqueueing, so engine errors indicate a
 // bug, not bad input. With durability the batch is logged under one group
-// commit first; a log failure latches the monitor's durability error (later
-// pushes fail fast with it) and drops the batch rather than applying
-// unlogged elements.
+// commit first; an unrecoverable log failure (the WAL detached) latches the
+// monitor's durability error (later pushes fail fast with it) and drops the
+// batch rather than applying unlogged elements — recoverable failures were
+// already absorbed by the WAL's Retry/Shed policy and return no error.
 func (m *Monitor) ingestBatch(es []Element) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
@@ -167,8 +276,9 @@ func (m *Monitor) Drain() {
 	}
 }
 
-// Close drains and shuts down the async ingestion goroutine, then flushes
-// and closes the write-ahead log. Further Push and PushBatch calls return
+// Close drains and shuts down the background goroutines (the async
+// ingestion consumer and the shed-policy reattacher), then flushes and
+// closes the write-ahead log. Further Push and PushBatch calls return
 // ErrClosed; queries keep serving the final published view. Close is
 // idempotent and safe to call concurrently. Without an async queue or
 // durability it is a no-op.
@@ -182,6 +292,7 @@ func (m *Monitor) Close() error {
 		q.enqMu.Unlock()
 		<-q.done
 	}
+	m.stopReattacher()
 	m.mu.Lock()
 	m.closed = true
 	m.mu.Unlock()

@@ -42,6 +42,7 @@ package main
 
 import (
 	"bufio"
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -58,22 +59,26 @@ import (
 
 // config collects the parsed command line so tests can drive run directly.
 type config struct {
-	dims       int
-	window     int
-	period     int64
-	thresholds []float64
-	snapshot   int
-	summary    bool
-	file       string
-	ckpt       string
-	batch      int
-	async      int
-	httpAddr   string
+	dims        int
+	window      int
+	period      int64
+	thresholds  []float64
+	snapshot    int
+	summary     bool
+	file        string
+	ckpt        string
+	batch       int
+	async       int
+	httpAddr    string
+	asyncPolicy string
 	// durability (-wal family)
 	walDir       string
 	walFsync     string
+	walPolicy    string
 	walSegmentMB int
 	walCkptEvery int
+	walFault     string
+	walFaultSeed int64
 	// stop overrides the serve-mode shutdown trigger (nil = OS signals);
 	// tests close it to unblock run without sending a signal.
 	stop <-chan struct{}
@@ -91,11 +96,15 @@ func main() {
 		ckpt     = flag.String("checkpoint", "", "checkpoint file: loaded at start if present, written at exit")
 		batch    = flag.Int("batch", 1, "ingest the stream in batches of this many elements")
 		async    = flag.Int("async", 0, "route ingestion through a bounded async queue of this capacity (0 = synchronous)")
+		asyncPol = flag.String("async-policy", "block", "full async queue response: block (backpressure), drop-newest or drop-oldest")
 		httpAddr = flag.String("http", "", "serve /metrics, /healthz, /debug/skyline and /debug/pprof on this address (e.g. :8080); the process then stays up after EOF until SIGINT/SIGTERM")
 		walDir   = flag.String("wal", "", "durability directory: write-ahead log + checkpoints; recovers existing state at start")
 		walFsync = flag.String("wal-fsync", "interval", "WAL commit durability: always, interval or never")
+		walPol   = flag.String("wal-policy", "failstop", "durability failure response: failstop, retry or shed")
 		walSegMB = flag.Int("wal-segment-mb", 0, "WAL segment rotation threshold in MiB (0 = default 64)")
 		walEvery = flag.Int("wal-checkpoint-every", 0, "install a checkpoint every N ingested elements (0 = default, negative = only at exit)")
+		walFault = flag.String("wal-fault", "", "chaos testing: seeded fault schedule for the durability filesystem (e.g. \"sync:after=40:times=3;write:partial=7\")")
+		walFSeed = flag.Int64("wal-fault-seed", 0, "seed for probabilistic -wal-fault rules (0 = 1)")
 	)
 	flag.Parse()
 
@@ -111,9 +120,10 @@ func main() {
 	cfg := config{
 		dims: *dims, window: *window, period: *period, thresholds: thresholds,
 		snapshot: *snapshot, summary: *summary, file: *file, ckpt: *ckpt,
-		batch: *batch, async: *async, httpAddr: *httpAddr,
-		walDir: *walDir, walFsync: *walFsync,
+		batch: *batch, async: *async, asyncPolicy: *asyncPol, httpAddr: *httpAddr,
+		walDir: *walDir, walFsync: *walFsync, walPolicy: *walPol,
 		walSegmentMB: *walSegMB, walCkptEvery: *walEvery,
+		walFault: *walFault, walFaultSeed: *walFSeed,
 	}
 	if err := run(cfg, os.Stdin, os.Stdout, os.Stderr); err != nil {
 		fatal("%v", err)
@@ -131,6 +141,11 @@ func run(cfg config, stdin io.Reader, out, errw io.Writer) error {
 		return fmt.Errorf("-wal and -checkpoint are mutually exclusive: the WAL directory subsumes the single-file checkpoint")
 	}
 	opt := pskyline.Options{Dims: cfg.dims, Thresholds: cfg.thresholds, AsyncQueue: cfg.async}
+	pol, perr := pskyline.ParseOverloadPolicy(cfg.asyncPolicy)
+	if perr != nil {
+		return perr
+	}
+	opt.AsyncPolicy = pol
 	if cfg.period > 0 {
 		opt.Period = cfg.period
 	} else {
@@ -140,8 +155,11 @@ func run(cfg config, stdin io.Reader, out, errw io.Writer) error {
 		opt.Durability = pskyline.Durability{
 			Dir:             cfg.walDir,
 			Fsync:           cfg.walFsync,
+			Policy:          cfg.walPolicy,
 			SegmentBytes:    int64(cfg.walSegmentMB) << 20,
 			CheckpointEvery: cfg.walCkptEvery,
+			InjectFaults:    cfg.walFault,
+			FaultSeed:       cfg.walFaultSeed,
 		}
 	}
 	quiet := cfg.summary || cfg.snapshot > 0
@@ -303,6 +321,13 @@ func run(cfg config, stdin io.Reader, out, errw io.Writer) error {
 		}
 		fmt.Fprintf(errw, "pskyline: stream done, still serving on %s (interrupt to exit)\n", cfg.httpAddr)
 		<-stop
+		// Graceful shutdown: stop accepting, let in-flight requests finish
+		// within the deadline; the deferred Close is the hard backstop.
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			fmt.Fprintf(errw, "pskyline: http shutdown: %v\n", err)
+		}
 	}
 	return nil
 }
@@ -318,10 +343,19 @@ func printWorkSummary(out io.Writer, met pskyline.Metrics) {
 	fmt.Fprintf(out, "theory: E|SKY| <= %.1f (observed %d), E|S| <= %.1f (observed %d)\n",
 		met.TheorySkylineBound, met.Stats.Skyline,
 		met.TheoryCandidateBound, met.Stats.Candidates)
+	if met.QueueCapacity > 0 {
+		fmt.Fprintf(out, "queue: depth=%d capacity=%d dropped=%d\n",
+			met.QueueDepth, met.QueueCapacity, met.QueueDropped)
+	}
 	if w := met.WAL; w != nil {
 		fmt.Fprintf(out, "wal: appends=%d bytes=%d commits=%d fsyncs=%d rotations=%d segments=%d size=%d\n",
 			w.Appends, w.AppendedBytes, w.Commits, w.Fsyncs,
 			w.Rotations, w.Segments, w.SizeBytes)
+		fmt.Fprintf(out, "wal: state=%s write_errors=%d retries=%d dropped_records=%d dropped_bytes=%d reattaches=%d\n",
+			w.State, w.WriteErrors, w.Retries, w.DroppedRecords, w.DroppedBytes, w.Reattaches)
+		if w.LastFault != "" {
+			fmt.Fprintf(out, "wal: last_fault=%q\n", w.LastFault)
+		}
 		fmt.Fprintf(out, "ckpt: installed=%d failures=%d seq=%d gc_segments=%d\n",
 			w.Checkpoints, w.CheckpointFailures, w.CheckpointSeq, w.GCSegments)
 		if rec := w.Recovery; rec.Recovered {

@@ -78,6 +78,25 @@ func newServeMux(h *monitorHandle) *http.ServeMux {
 			"candidates":          met.Stats.Candidates,
 			"publish_age_seconds": time.Since(met.LastPublish).Seconds(),
 		}
+		if w := met.WAL; w != nil {
+			body["wal_state"] = w.State
+			if w.State == "degraded" || w.State == "detached" {
+				// Still 200 — the monitor serves — but the status tells
+				// probes durability is gone.
+				body["status"] = w.State
+			}
+			if w.LastFault != "" {
+				body["wal_last_fault"] = w.LastFault
+			}
+			if w.DroppedRecords > 0 {
+				body["wal_dropped_records"] = w.DroppedRecords
+			}
+		}
+		if met.QueueCapacity > 0 {
+			body["queue_depth"] = met.QueueDepth
+			body["queue_capacity"] = met.QueueCapacity
+			body["queue_dropped"] = met.QueueDropped
+		}
 		if rec := m.Recovery(); rec.Recovered {
 			body["recovery"] = map[string]any{
 				"checkpoint_seq":   rec.CheckpointSeq,
@@ -171,7 +190,17 @@ func startServer(addr string, h *monitorHandle, errw io.Writer) (*http.Server, e
 	if err != nil {
 		return nil, fmt.Errorf("http listen %s: %v", addr, err)
 	}
-	srv := &http.Server{Handler: newServeMux(h)}
+	srv := &http.Server{
+		Handler: newServeMux(h),
+		// Hardening against slow or stuck clients: a slowloris peer cannot
+		// hold a connection open indefinitely, and a wedged response write
+		// cannot pin a handler goroutine forever. WriteTimeout leaves room
+		// for multi-second pprof profile captures.
+		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       time.Minute,
+		WriteTimeout:      2 * time.Minute,
+		IdleTimeout:       2 * time.Minute,
+	}
 	go srv.Serve(ln)
 	fmt.Fprintf(errw, "pskyline: serving /metrics, /healthz, /debug/skyline, /debug/vars, /debug/pprof on http://%s\n", ln.Addr())
 	return srv, nil

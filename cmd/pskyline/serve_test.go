@@ -225,3 +225,80 @@ func TestRunServeMode(t *testing.T) {
 		t.Errorf("-summary missing work/stage block:\n%s", out.String())
 	}
 }
+
+// TestRunServeShutdownInflight: the serve-mode shutdown is graceful — a
+// request already being handled when the stop signal arrives completes
+// normally (run blocks in Shutdown until it drains) instead of being cut
+// mid-response.
+func TestRunServeShutdownInflight(t *testing.T) {
+	stop := make(chan struct{})
+	cfg := config{
+		dims: 2, window: 100, thresholds: []float64{0.3},
+		batch: 1, httpAddr: "127.0.0.1:0", stop: stop,
+	}
+	var out bytes.Buffer
+	var errw syncBuf
+	done := make(chan error, 1)
+	go func() {
+		in := strings.NewReader(strings.Join(genCSV(7, 100), "\n") + "\n")
+		done <- run(cfg, in, &out, &errw)
+	}()
+
+	var addr string
+	for i := 0; i < 400; i++ {
+		if s := errw.String(); strings.Contains(s, "stream done") {
+			at := strings.Index(s, "http://")
+			addr = strings.TrimSpace(strings.SplitN(s[at:], "\n", 2)[0])
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if addr == "" {
+		t.Fatalf("server never reached serve mode; stderr: %s", errw.String())
+	}
+
+	// A 2-second CPU profile capture only answers after profiling finishes,
+	// so it is in flight across the whole shutdown window.
+	type result struct {
+		status int
+		n      int
+		err    error
+	}
+	inflight := make(chan result, 1)
+	go func() {
+		resp, err := http.Get(addr + "/debug/pprof/profile?seconds=2")
+		if err != nil {
+			inflight <- result{err: err}
+			return
+		}
+		body, rerr := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if rerr != nil {
+			inflight <- result{err: rerr}
+			return
+		}
+		inflight <- result{status: resp.StatusCode, n: len(body)}
+	}()
+
+	// Give the request time to reach the handler, then pull the plug.
+	time.Sleep(300 * time.Millisecond)
+	stopAt := time.Now()
+	close(stop)
+
+	if err := <-done; err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	shutdownTook := time.Since(stopAt)
+	r := <-inflight
+	if r.err != nil {
+		t.Fatalf("in-flight request cut by shutdown: %v", r.err)
+	}
+	if r.status != http.StatusOK || r.n == 0 {
+		t.Fatalf("in-flight request got status %d, %d bytes", r.status, r.n)
+	}
+	// Shutdown must actually have waited for the ~2s capture rather than
+	// returning instantly and racing the hard Close.
+	if shutdownTook < time.Second {
+		t.Fatalf("run returned %v after stop — did not wait for the in-flight request", shutdownTook)
+	}
+}

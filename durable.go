@@ -3,15 +3,19 @@ package pskyline
 import (
 	"errors"
 	"fmt"
-	"os"
 	"time"
 
+	"pskyline/internal/vfs"
 	"pskyline/internal/wal"
 )
 
 // DefaultCheckpointEvery is the automatic checkpoint cadence when
 // Durability.CheckpointEvery is zero.
 const DefaultCheckpointEvery = 1 << 16
+
+// DefaultReattachEvery is the degraded-mode reattach probe cadence when
+// Durability.ReattachEvery is zero.
+const DefaultReattachEvery = time.Second
 
 // Durability configures the write-ahead log and checkpoint store that make a
 // Monitor crash-recoverable. With Dir set, every Push appends the element to
@@ -52,6 +56,35 @@ type Durability struct {
 	// negative disables automatic checkpoints — the log then grows until
 	// Checkpoint is called explicitly.
 	CheckpointEvery int
+
+	// Policy selects the response to durability failures (disk write, fsync,
+	// rotation or segment-creation errors): "failstop" (the default — the
+	// first failure latches a sticky error and every later push fails fast),
+	// "retry" (bounded in-place recovery with exponential backoff; transient
+	// faults are invisible to callers) or "shed" (drop durability, keep
+	// ingesting and serving; a background goroutine restores durability with
+	// a fresh checkpoint once the disk heals). See DESIGN.md §12.
+	Policy string
+	// RetryMax bounds recovery attempts per failed operation under the
+	// "retry" policy (0 selects wal.DefaultRetryMax). RetryBase and
+	// RetryMaxDelay shape the backoff between attempts.
+	RetryMax      int
+	RetryBase     time.Duration
+	RetryMaxDelay time.Duration
+	// ReattachEvery is the degraded-mode probe cadence under the "shed"
+	// policy: how often the monitor attempts to write a fresh checkpoint and
+	// reattach the log (0 selects DefaultReattachEvery).
+	ReattachEvery time.Duration
+
+	// InjectFaults, when non-empty, wraps the durability filesystem in a
+	// deterministic, seeded fault injector driven by this schedule spec
+	// (vfs.ParseSchedule syntax; the -wal-fault CLI knob). Chaos testing
+	// only — never set it in production.
+	InjectFaults string
+	// FaultSeed seeds the schedule's probabilistic rules (0 selects 1).
+	FaultSeed int64
+
+	fs vfs.FS // test hook: overrides the filesystem (see export_test.go)
 }
 
 // RecoveryInfo reports what Open found and repaired. It is fixed at Open
@@ -69,9 +102,16 @@ type RecoveryInfo struct {
 	// SegmentsDropped the whole segments discarded after a corrupt one.
 	TruncatedBytes  int64
 	SegmentsDropped int
+	// TornSegments counts segments cut at a plain torn tail (the expected
+	// crash signature); CorruptSegments counts segments cut at actual
+	// corruption (bad length, checksum, decode or sequence).
+	TornSegments    int
+	CorruptSegments int
 	// CheckpointsSkipped counts newer checkpoints that failed to decode and
 	// were passed over for an older one.
 	CheckpointsSkipped int
+	// TmpFilesRemoved counts stale checkpoint temp files swept at Open.
+	TmpFilesRemoved int
 	// Duration is the wall time recovery took.
 	Duration time.Duration
 }
@@ -99,17 +139,39 @@ func Open(opt Options) (*Monitor, error) {
 	if err != nil {
 		return nil, fmt.Errorf("pskyline: %w", err)
 	}
+	fpol, err := wal.ParsePolicy(d.Policy)
+	if err != nil {
+		return nil, fmt.Errorf("pskyline: %w", err)
+	}
 	if d.CheckpointEvery == 0 {
 		d.CheckpointEvery = DefaultCheckpointEvery
 	} else if d.CheckpointEvery < 0 {
 		d.CheckpointEvery = 0
+	}
+	if d.ReattachEvery <= 0 {
+		d.ReattachEvery = DefaultReattachEvery
+	}
+	fsys := d.fs
+	if fsys == nil && d.InjectFaults != "" {
+		seed := d.FaultSeed
+		if seed == 0 {
+			seed = 1
+		}
+		f, err := vfs.ParseSchedule(vfs.OS{}, seed, d.InjectFaults)
+		if err != nil {
+			return nil, fmt.Errorf("pskyline: %w", err)
+		}
+		fsys = f
+	}
+	if fsys == nil {
+		fsys = vfs.OS{}
 	}
 	t0 := time.Now()
 
 	// Restore the newest checkpoint that decodes; fall back to older ones
 	// (atomic installation makes a corrupt newest checkpoint unlikely, but a
 	// decode failure must not brick the directory).
-	refs, err := wal.Checkpoints(d.Dir)
+	refs, err := wal.Checkpoints(fsys, d.Dir)
 	if err != nil {
 		return nil, fmt.Errorf("pskyline: open: %w", err)
 	}
@@ -119,7 +181,7 @@ func Open(opt Options) (*Monitor, error) {
 		lastErr error
 	)
 	for _, ref := range refs {
-		f, err := os.Open(ref.Path)
+		f, err := fsys.Open(ref.Path)
 		if err != nil {
 			lastErr = err
 			rec.CheckpointsSkipped++
@@ -148,10 +210,19 @@ func Open(opt Options) (*Monitor, error) {
 		return nil, err
 	}
 
+	m.fsys = fsys
+	m.walPol = fpol
+	m.degradedCh = make(chan struct{}, 1)
 	w, scan, err := wal.Open(d.Dir, wal.Options{
 		Fsync:         pol,
 		FsyncInterval: d.FsyncInterval,
 		SegmentBytes:  d.SegmentBytes,
+		FS:            fsys,
+		Policy:        fpol,
+		RetryMax:      d.RetryMax,
+		RetryBase:     d.RetryBase,
+		RetryMaxDelay: d.RetryMaxDelay,
+		OnStateChange: m.walStateChanged,
 		Metrics:       &m.met.wal,
 	})
 	if err != nil {
@@ -159,6 +230,9 @@ func Open(opt Options) (*Monitor, error) {
 	}
 	rec.TruncatedBytes = scan.TruncatedBytes
 	rec.SegmentsDropped = scan.SegmentsDropped
+	rec.TornSegments = scan.TornSegments
+	rec.CorruptSegments = scan.CorruptSegments
+	rec.TmpFilesRemoved = scan.TmpFilesRemoved
 	if scan.HasRecords {
 		rec.Recovered = true
 	}
@@ -213,6 +287,89 @@ func (m *Monitor) checkConfig(opt Options) error {
 // non-durable monitors).
 func (m *Monitor) Recovery() RecoveryInfo { return m.recovery }
 
+// WALState returns the durability health state (wal.StateHealthy for
+// non-durable monitors, where there is nothing to be unhealthy about).
+// Lock-free.
+func (m *Monitor) WALState() wal.State {
+	if m.wal == nil {
+		return wal.StateHealthy
+	}
+	return m.wal.State()
+}
+
+// walStateChanged is the WAL's OnStateChange hook. It runs with the WAL
+// mutex held, so it only pokes the reattacher's wakeup channel (non-blocking;
+// the channel has capacity 1 and the reattacher also polls on a ticker).
+func (m *Monitor) walStateChanged(s wal.State) {
+	if s == wal.StateDegraded {
+		select {
+		case m.degradedCh <- struct{}{}:
+		default:
+		}
+	}
+}
+
+// reattacher is the Shed policy's background recovery goroutine: whenever
+// the WAL sits degraded, it periodically tries to write a fresh checkpoint
+// (capturing everything ingested so far, including the records shed while
+// degraded) and, on success, reattaches the log. stop is captured at spawn
+// time like the WAL flusher's.
+func (m *Monitor) reattacher(stop <-chan struct{}) {
+	defer close(m.reattachDone)
+	t := time.NewTicker(m.dur.ReattachEvery)
+	defer t.Stop()
+	for {
+		select {
+		case <-stop:
+			return
+		case <-m.degradedCh:
+		case <-t.C:
+		}
+		if m.wal.State() == wal.StateDegraded {
+			m.tryReattachLocked()
+		}
+	}
+}
+
+// tryReattachLocked makes one reattach attempt: checkpoint at the current
+// stream position, then hand the log a clean restart at that position. Both
+// steps can fail (the disk may still be sick) — the monitor simply stays
+// degraded and the next tick retries.
+func (m *Monitor) tryReattachLocked() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed || m.wal.State() != wal.StateDegraded {
+		return
+	}
+	seq := m.eng.NextSeq()
+	if _, err := wal.WriteCheckpoint(m.fsys, m.dur.Dir, seq, m.snapshotLocked); err != nil {
+		m.met.ckptFails.Inc()
+		return
+	}
+	m.ckptSeq = seq
+	m.ckptSince = 0
+	m.met.ckpts.Inc()
+	m.met.ckptSeqA.Store(seq)
+	if err := m.wal.Reattach(seq); err != nil {
+		return
+	}
+	// Old checkpoints are superseded; a failure here is retried by the next
+	// regular checkpoint.
+	wal.RemoveCheckpointsBefore(m.fsys, m.dur.Dir, seq)
+}
+
+// stopReattacher shuts the Shed recovery goroutine down. Idempotent; no-op
+// for monitors without one.
+func (m *Monitor) stopReattacher() {
+	if m.reattachStop == nil {
+		return
+	}
+	m.reattachOnce.Do(func() {
+		close(m.reattachStop)
+		<-m.reattachDone
+	})
+}
+
 // Checkpoint installs a checkpoint of the current ingested state and
 // garbage-collects log segments and older checkpoints that recovery can no
 // longer need. With an async queue, call Drain first to checkpoint a
@@ -253,9 +410,11 @@ func (m *Monitor) logBatchLocked(es []Element) error {
 	return nil
 }
 
-// walFail latches a durability failure. The WAL's own errors are sticky, so
-// no later append can succeed and silently leave a gap; latching the error
-// here lets Push fail fast without taking the lock.
+// walFail latches a durability failure. With the new health state machine
+// the WAL only returns an error once it is detached (FailStop, or Retry with
+// its budget exhausted) — Retry successes and Shed degradations are absorbed
+// below it — so an error here is final and latching it lets Push fail fast
+// without taking the lock.
 func (m *Monitor) walFail(err error) error {
 	werr := fmt.Errorf("pskyline: durability: %w", err)
 	m.walErr.CompareAndSwap(nil, &werr)
@@ -265,13 +424,18 @@ func (m *Monitor) walFail(err error) error {
 // maybeCheckpointLocked counts ingested elements toward the automatic
 // checkpoint cadence. Checkpoint failures are counted and retried after
 // another CheckpointEvery elements — the monitor keeps serving; only
-// recovery cost grows. Callers hold m.mu.
+// recovery cost grows. While the WAL is degraded the reattacher owns
+// checkpointing (a checkpoint without a reattach would be wasted work).
+// Callers hold m.mu.
 func (m *Monitor) maybeCheckpointLocked(n int) {
 	if m.wal == nil || m.dur.CheckpointEvery <= 0 {
 		return
 	}
 	m.ckptSince += n
 	if m.ckptSince < m.dur.CheckpointEvery {
+		return
+	}
+	if m.wal.State() == wal.StateDegraded {
 		return
 	}
 	if err := m.checkpointLocked(); err != nil {
@@ -286,7 +450,7 @@ func (m *Monitor) maybeCheckpointLocked(n int) {
 // hold m.mu.
 func (m *Monitor) checkpointLocked() error {
 	seq := m.eng.NextSeq()
-	if _, err := wal.WriteCheckpoint(m.dur.Dir, seq, m.snapshotLocked); err != nil {
+	if _, err := wal.WriteCheckpoint(m.fsys, m.dur.Dir, seq, m.snapshotLocked); err != nil {
 		return err
 	}
 	m.ckptSeq = seq
@@ -300,7 +464,7 @@ func (m *Monitor) checkpointLocked() error {
 	if _, err := m.wal.GC(keep); err != nil {
 		return err
 	}
-	if _, err := wal.RemoveCheckpointsBefore(m.dur.Dir, seq); err != nil {
+	if _, err := wal.RemoveCheckpointsBefore(m.fsys, m.dur.Dir, seq); err != nil {
 		return err
 	}
 	return nil

@@ -1,5 +1,7 @@
 package pskyline
 
+import "pskyline/internal/vfs"
+
 // Crash simulates a process kill for tests: the async queue (if any) is
 // drained and stopped so the cut point is deterministic, then the WAL is
 // closed WITHOUT flushing — only records already handed to the OS by Commit
@@ -17,7 +19,16 @@ func (m *Monitor) Crash() {
 		q.enqMu.Unlock()
 		<-q.done
 	}
+	m.stopReattacher()
 	if m.wal != nil {
 		m.wal.Abort()
 	}
+}
+
+// WithFS returns a copy of opt whose durability layer runs on fsys instead of
+// the real filesystem — the hook chaos tests use to inject faults without
+// going through the Options.Durability.InjectFaults string.
+func WithFS(opt Options, fsys vfs.FS) Options {
+	opt.Durability.fs = fsys
+	return opt
 }

@@ -1,0 +1,94 @@
+// Package vfs is the durability stack's filesystem seam. The write-ahead
+// log and checkpoint store perform every file operation through the FS
+// interface, so a test can substitute a deterministic fault-injecting
+// implementation (Fault) and reach every disk failure mode — EIO, ENOSPC,
+// short/torn writes at byte k, fsync failure, rename failure — from plain Go
+// tests, without root, loop devices, or flaky external tooling.
+//
+// Production code uses OS, a zero-cost passthrough to package os: the File
+// values it returns ARE *os.File, so the hot append path pays one interface
+// method dispatch and no allocation per write.
+package vfs
+
+import (
+	"io"
+	"io/fs"
+	"os"
+)
+
+// File is the subset of *os.File the durability stack writes and scans
+// through.
+type File interface {
+	io.Reader
+	io.Writer
+	io.Closer
+	// Sync flushes the file to stable storage (fsync).
+	Sync() error
+}
+
+// FS is the filesystem operation set of the durability stack. All paths are
+// interpreted exactly as package os would.
+type FS interface {
+	// Create opens name for writing, truncating it if it exists
+	// (os.O_WRONLY|os.O_CREATE|os.O_TRUNC).
+	Create(name string) (File, error)
+	// CreateExcl creates name for writing, failing if it exists
+	// (os.O_WRONLY|os.O_CREATE|os.O_EXCL).
+	CreateExcl(name string) (File, error)
+	// OpenAppend opens an existing file for appending (os.O_WRONLY|os.O_APPEND).
+	OpenAppend(name string) (File, error)
+	// Open opens name read-only.
+	Open(name string) (File, error)
+	// ReadDir lists the directory, sorted by filename.
+	ReadDir(name string) ([]fs.DirEntry, error)
+	// Stat returns file metadata.
+	Stat(name string) (fs.FileInfo, error)
+	// Truncate resizes name to size bytes.
+	Truncate(name string, size int64) error
+	// Rename atomically moves oldpath to newpath.
+	Rename(oldpath, newpath string) error
+	// Remove deletes a file.
+	Remove(name string) error
+	// MkdirAll creates a directory path.
+	MkdirAll(name string, perm fs.FileMode) error
+	// SyncDir fsyncs a directory, making renames and creations in it durable.
+	SyncDir(dir string) error
+}
+
+// OS is the production FS: a stateless passthrough to package os.
+type OS struct{}
+
+func (OS) Create(name string) (File, error) {
+	return os.OpenFile(name, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+}
+
+func (OS) CreateExcl(name string) (File, error) {
+	return os.OpenFile(name, os.O_WRONLY|os.O_CREATE|os.O_EXCL, 0o644)
+}
+
+func (OS) OpenAppend(name string) (File, error) {
+	return os.OpenFile(name, os.O_WRONLY|os.O_APPEND, 0o644)
+}
+
+func (OS) Open(name string) (File, error) { return os.Open(name) }
+
+func (OS) ReadDir(name string) ([]fs.DirEntry, error) { return os.ReadDir(name) }
+
+func (OS) Stat(name string) (fs.FileInfo, error) { return os.Stat(name) }
+
+func (OS) Truncate(name string, size int64) error { return os.Truncate(name, size) }
+
+func (OS) Rename(oldpath, newpath string) error { return os.Rename(oldpath, newpath) }
+
+func (OS) Remove(name string) error { return os.Remove(name) }
+
+func (OS) MkdirAll(name string, perm fs.FileMode) error { return os.MkdirAll(name, perm) }
+
+func (OS) SyncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	return d.Sync()
+}

@@ -8,6 +8,8 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+
+	"pskyline/internal/vfs"
 )
 
 // Checkpoints are opaque snapshot blobs (the Monitor's versioned gob
@@ -15,7 +17,9 @@ import (
 // write-temp + fsync + atomic rename + fsync(dir): a crash mid-install never
 // leaves a half-written checkpoint under a valid name, so recovery can trust
 // any ckpt-*.ckpt it finds — and still falls back to the next older one if
-// the payload fails to decode.
+// the payload fails to decode. A failed or crashed install leaves only a
+// *.ckpt.tmp file, which WriteCheckpoint removes on the spot and Open sweeps
+// at recovery.
 
 // CheckpointRef names one installed checkpoint.
 type CheckpointRef struct {
@@ -45,9 +49,13 @@ func parseCheckpointName(name string) (uint64, bool) {
 }
 
 // Checkpoints lists the directory's installed checkpoints, newest first.
-// A missing directory is an empty list, not an error.
-func Checkpoints(dir string) ([]CheckpointRef, error) {
-	ents, err := os.ReadDir(dir)
+// A missing directory is an empty list, not an error. fsys nil selects the
+// production filesystem.
+func Checkpoints(fsys vfs.FS, dir string) ([]CheckpointRef, error) {
+	if fsys == nil {
+		fsys = vfs.OS{}
+	}
+	ents, err := fsys.ReadDir(dir)
 	if os.IsNotExist(err) {
 		return nil, nil
 	}
@@ -71,20 +79,26 @@ func Checkpoints(dir string) ([]CheckpointRef, error) {
 
 // WriteCheckpoint installs a checkpoint capturing stream position seq: write
 // produces the blob onto the supplied writer, and the file becomes visible
-// under its final name only after its contents are durable.
-func WriteCheckpoint(dir string, seq uint64, write func(io.Writer) error) (CheckpointRef, error) {
-	if err := os.MkdirAll(dir, 0o755); err != nil {
+// under its final name only after its contents are durable. On any failure
+// the temp file is removed (best effort; Open sweeps survivors) and the
+// previously installed checkpoint remains untouched and authoritative.
+// fsys nil selects the production filesystem.
+func WriteCheckpoint(fsys vfs.FS, dir string, seq uint64, write func(io.Writer) error) (CheckpointRef, error) {
+	if fsys == nil {
+		fsys = vfs.OS{}
+	}
+	if err := fsys.MkdirAll(dir, 0o755); err != nil {
 		return CheckpointRef{}, fmt.Errorf("wal: checkpoint: %w", err)
 	}
 	final := filepath.Join(dir, checkpointName(seq))
 	tmp := final + ".tmp"
-	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	f, err := fsys.Create(tmp)
 	if err != nil {
 		return CheckpointRef{}, fmt.Errorf("wal: checkpoint: %w", err)
 	}
 	fail := func(err error) (CheckpointRef, error) {
 		f.Close()
-		os.Remove(tmp)
+		fsys.Remove(tmp)
 		return CheckpointRef{}, fmt.Errorf("wal: checkpoint: %w", err)
 	}
 	if err := write(f); err != nil {
@@ -94,30 +108,34 @@ func WriteCheckpoint(dir string, seq uint64, write func(io.Writer) error) (Check
 		return fail(err)
 	}
 	if err := f.Close(); err != nil {
-		os.Remove(tmp)
+		fsys.Remove(tmp)
 		return CheckpointRef{}, fmt.Errorf("wal: checkpoint: %w", err)
 	}
-	if err := os.Rename(tmp, final); err != nil {
-		os.Remove(tmp)
+	if err := fsys.Rename(tmp, final); err != nil {
+		fsys.Remove(tmp)
 		return CheckpointRef{}, fmt.Errorf("wal: checkpoint: %w", err)
 	}
-	if err := syncDir(dir); err != nil {
-		return CheckpointRef{}, err
+	if err := fsys.SyncDir(dir); err != nil {
+		return CheckpointRef{}, fmt.Errorf("wal: checkpoint: %w", err)
 	}
 	return CheckpointRef{Path: final, Seq: seq}, nil
 }
 
 // RemoveCheckpointsBefore deletes checkpoints older than seq, returning how
-// many were removed. The newest checkpoint should always be kept.
-func RemoveCheckpointsBefore(dir string, seq uint64) (int, error) {
-	refs, err := Checkpoints(dir)
+// many were removed. The newest checkpoint should always be kept. fsys nil
+// selects the production filesystem.
+func RemoveCheckpointsBefore(fsys vfs.FS, dir string, seq uint64) (int, error) {
+	if fsys == nil {
+		fsys = vfs.OS{}
+	}
+	refs, err := Checkpoints(fsys, dir)
 	if err != nil {
 		return 0, err
 	}
 	removed := 0
 	for _, ref := range refs {
 		if ref.Seq < seq {
-			if err := os.Remove(ref.Path); err != nil {
+			if err := fsys.Remove(ref.Path); err != nil {
 				return removed, fmt.Errorf("wal: %w", err)
 			}
 			removed++

@@ -1,0 +1,156 @@
+package wal
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"time"
+)
+
+// Policy selects how the WAL responds to durability failures (disk write,
+// fsync, rotation or segment-creation errors).
+type Policy int
+
+const (
+	// FailStop (the default) latches the first failure as a sticky error:
+	// every later Append/Commit fails fast with it and the log never
+	// contains a gap papered over by a later successful write. The caller
+	// decides whether to keep serving reads.
+	FailStop Policy = iota
+	// Retry attempts bounded in-place recovery: exponential backoff with
+	// seeded jitter, the torn segment tail truncated back to the last
+	// known-good byte and the handle reopened (or the segment rotated)
+	// between attempts. Pending records are kept in memory, so a transient
+	// fault (a few failed syscalls) is invisible to the caller and the log
+	// stays a clean prefix. When the retry budget is exhausted the WAL
+	// detaches — the remaining behavior is FailStop.
+	Retry
+	// Shed drops durability rather than availability: on failure the WAL
+	// transitions to StateDegraded, discards pending records (counted in
+	// Metrics.DroppedRecords) and turns every later append into a counted
+	// no-op, so ingestion and queries continue at full speed. The owner is
+	// expected to watch for StateDegraded and call Reattach once it has
+	// installed a fresh checkpoint covering the gap.
+	Shed
+)
+
+func (p Policy) String() string {
+	switch p {
+	case Retry:
+		return "retry"
+	case Shed:
+		return "shed"
+	default:
+		return "failstop"
+	}
+}
+
+// ParsePolicy parses a durability failure policy name: "failstop", "retry"
+// or "shed" ("" selects the default, failstop).
+func ParsePolicy(s string) (Policy, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "", "failstop":
+		return FailStop, nil
+	case "retry":
+		return Retry, nil
+	case "shed":
+		return Shed, nil
+	}
+	return 0, fmt.Errorf("wal: unknown durability policy %q (want failstop, retry or shed)", s)
+}
+
+// State is the WAL health state machine:
+//
+//	StateHealthy ──fault──▶ StateRetrying ──budget──▶ StateDetached
+//	     ▲    ╲                   │ success                ▲
+//	     │     ╲fault (Shed)      ▼                        │fault (FailStop)
+//	     │      ─────────▶ StateDegraded ──Reattach──▶ StateHealthy
+//
+// FailStop jumps straight from StateHealthy to StateDetached. Retry cycles
+// healthy ⇄ retrying and detaches when the budget runs out. Shed degrades
+// instead of detaching and returns to healthy via Reattach.
+type State int32
+
+const (
+	// StateHealthy: appends are being written and synced normally.
+	StateHealthy State = iota
+	// StateRetrying: a failure occurred and recovery attempts are running
+	// (Retry policy). Pending records are held in memory.
+	StateRetrying
+	// StateDegraded: durability has been shed (Shed policy). Appends are
+	// counted and dropped; the engine keeps ingesting. Reattach restores
+	// logging after the owner installs a checkpoint covering the gap.
+	StateDegraded
+	// StateDetached: an unrecoverable failure was latched. Every operation
+	// returns the sticky error (which wraps ErrDetached).
+	StateDetached
+)
+
+func (s State) String() string {
+	switch s {
+	case StateRetrying:
+		return "retrying"
+	case StateDegraded:
+		return "degraded"
+	case StateDetached:
+		return "detached"
+	default:
+		return "healthy"
+	}
+}
+
+// ErrDetached marks the sticky error latched when the WAL gives up on a
+// durability failure (FailStop, or Retry with the budget exhausted). Test
+// with errors.Is.
+var ErrDetached = errors.New("wal: detached after unrecoverable durability failure")
+
+// Retry tuning defaults (Options.RetryMax and friends; zero selects these).
+const (
+	DefaultRetryMax      = 6
+	DefaultRetryBase     = 10 * time.Millisecond
+	DefaultRetryMaxDelay = time.Second
+)
+
+// backoffDelay returns the sleep before retry attempt a (1-based):
+// exponential from RetryBase, capped at RetryMaxDelay, with seeded jitter in
+// [0.5, 1.0)× so synchronized retries across instances decorrelate.
+func (w *WAL) backoffDelay(attempt int) time.Duration {
+	d := w.opt.RetryBase << uint(attempt-1)
+	if d <= 0 || d > w.opt.RetryMaxDelay {
+		d = w.opt.RetryMaxDelay
+	}
+	return d/2 + time.Duration(w.rng.Int63n(int64(d/2)+1))
+}
+
+// setStateLocked moves the health state machine and mirrors the transition
+// into the atomic used by lock-free readers, the metrics gauge, and the
+// owner's OnStateChange callback. The callback runs with the WAL mutex held:
+// it must not call back into the WAL (a non-blocking channel send is the
+// intended use). Callers hold w.mu.
+func (w *WAL) setStateLocked(s State, cause error) {
+	if State(w.stateA.Load()) == s {
+		return
+	}
+	w.stateA.Store(int32(s))
+	w.met.State.SetInt(int(s))
+	if cause != nil {
+		c := cause
+		w.lastFault.Store(&c)
+	}
+	if w.opt.OnStateChange != nil {
+		w.opt.OnStateChange(s)
+	}
+}
+
+// State returns the current health state. Lock-free: safe from any
+// goroutine, including while a retry loop is sleeping inside the mutex.
+func (w *WAL) State() State { return State(w.stateA.Load()) }
+
+// LastFault returns the most recent durability failure observed (nil while
+// the log has never faulted). Lock-free.
+func (w *WAL) LastFault() error {
+	if p := w.lastFault.Load(); p != nil {
+		return *p
+	}
+	return nil
+}

@@ -22,9 +22,25 @@ type Metrics struct {
 	// GCSegments counts segments removed by garbage collection.
 	GCSegments obs.Counter
 
+	// WriteErrors counts durability failures observed (including each
+	// failed retry attempt); Retries counts recovery attempts made under
+	// the Retry policy.
+	WriteErrors obs.Counter
+	Retries     obs.Counter
+	// DroppedRecords and DroppedBytes count records shed while degraded
+	// (Shed policy): records that were acknowledged to the caller but never
+	// reached the log. Reattaches counts successful recoveries from
+	// StateDegraded back to StateHealthy.
+	DroppedRecords obs.Counter
+	DroppedBytes   obs.Counter
+	Reattaches     obs.Counter
+
 	// Segments and SizeBytes track the live segment count and total log size.
 	Segments  obs.Gauge
 	SizeBytes obs.Gauge
+	// State mirrors the health state machine as its numeric value
+	// (0 healthy, 1 retrying, 2 degraded, 3 detached).
+	State obs.Gauge
 
 	// AppendLatency, CommitLatency and FsyncLatency are the stage latency
 	// histograms of the durability pipeline.

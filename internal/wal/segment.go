@@ -4,11 +4,12 @@ import (
 	"encoding/binary"
 	"fmt"
 	"io"
-	"os"
 	"path/filepath"
 	"sort"
 	"strconv"
 	"strings"
+
+	"pskyline/internal/vfs"
 )
 
 // Segment files open with an 8-byte magic so a stray file that happens to
@@ -50,8 +51,8 @@ type segmentInfo struct {
 }
 
 // listSegments returns the directory's segments sorted by first sequence.
-func listSegments(dir string) ([]segmentInfo, error) {
-	ents, err := os.ReadDir(dir)
+func listSegments(fsys vfs.FS, dir string) ([]segmentInfo, error) {
+	ents, err := fsys.ReadDir(dir)
 	if err != nil {
 		return nil, fmt.Errorf("wal: %w", err)
 	}
@@ -70,24 +71,44 @@ func listSegments(dir string) ([]segmentInfo, error) {
 	return segs, nil
 }
 
+// scanEnd classifies why a segment scan stopped before the file's end.
+// endTorn is the expected crash signature — a record that simply ran out of
+// bytes (a partial header or payload at the tail). endCorrupt means the
+// bytes were present but wrong: a bad length prefix, CRC mismatch, decode
+// failure, or sequence discontinuity. The distinction matters for recovery
+// diagnostics: torn tails are routine, corruption in the middle of a
+// supposedly synced log is not.
+type scanEnd int
+
+const (
+	endClean scanEnd = iota
+	endTorn
+	endCorrupt
+)
+
 // scanSegment validates one segment from the front: header magic, each
 // record's length prefix and CRC, the name/first-record agreement, and
-// intra-segment sequence continuity. It returns the segment metadata and the
-// byte offset of the first invalid position — the torn point. A fully valid
-// segment has torn == size. onRecord, when non-nil, receives every valid
-// record in order (used by Replay; the scan pass on Open passes nil).
-func scanSegment(path string, nameSeq uint64, onRecord func(Record) error) (info segmentInfo, torn int64, err error) {
-	f, err := os.Open(path)
+// intra-segment sequence continuity. It returns the segment metadata, the
+// byte offset of the first invalid position — the torn point — and why the
+// scan stopped there. A fully valid segment has torn == size and endClean.
+// onRecord, when non-nil, receives every valid record in order (used by
+// Replay; the scan pass on Open passes nil).
+func scanSegment(fsys vfs.FS, path string, nameSeq uint64, onRecord func(Record) error) (info segmentInfo, torn int64, reason scanEnd, err error) {
+	f, err := fsys.Open(path)
 	if err != nil {
-		return info, 0, fmt.Errorf("wal: %w", err)
+		return info, 0, endClean, fmt.Errorf("wal: %w", err)
 	}
 	defer f.Close()
 	info = segmentInfo{path: path, firstSeq: nameSeq}
 
 	var hdr [segHdrLen]byte
-	if _, err := io.ReadFull(f, hdr[:]); err != nil || string(hdr[:]) != string(segMagic) {
-		// Missing or corrupt header: nothing in this file is trustworthy.
-		return info, 0, nil
+	if _, herr := io.ReadFull(f, hdr[:]); herr != nil {
+		// Fewer than 8 bytes: a segment creation that died mid-magic.
+		return info, 0, endTorn, nil
+	}
+	if string(hdr[:]) != string(segMagic) {
+		// A full header that is not ours: nothing in the file is trustworthy.
+		return info, 0, endCorrupt, nil
 	}
 	off := int64(segHdrLen)
 	r := newSegReader(f)
@@ -96,39 +117,47 @@ func scanSegment(path string, nameSeq uint64, onRecord func(Record) error) (info
 	var scratch []float64
 	expect := nameSeq
 	for {
-		if _, err := io.ReadFull(r, recHdr[:]); err != nil {
-			// Clean EOF ends the segment; a partial header is a torn tail.
+		if _, herr := io.ReadFull(r, recHdr[:]); herr != nil {
+			if herr != io.EOF {
+				// A partial header is a torn tail; clean EOF ends the segment.
+				reason = endTorn
+			}
 			break
 		}
 		n := int(binary.LittleEndian.Uint32(recHdr[:4]))
 		if n < 29 || n > maxPayload {
+			reason = endCorrupt
 			break
 		}
 		if cap(payload) < n {
 			payload = make([]byte, n)
 		}
 		payload = payload[:n]
-		if _, err := io.ReadFull(r, payload); err != nil {
+		if _, perr := io.ReadFull(r, payload); perr != nil {
+			reason = endTorn
 			break
 		}
 		if checksum(payload) != binary.LittleEndian.Uint32(recHdr[4:]) {
+			reason = endCorrupt
 			break
 		}
 		var rec Record
-		rec, scratch, err = decodeRecord(payload, scratch)
-		if err != nil {
-			err = nil
+		var derr error
+		rec, scratch, derr = decodeRecord(payload, scratch)
+		if derr != nil {
+			reason = endCorrupt
 			break
 		}
 		if rec.Seq != expect {
 			// First record must match the file name; later records must be
 			// consecutive. Either mismatch means corruption from here on.
+			reason = endCorrupt
 			break
 		}
 		expect++
 		if onRecord != nil {
 			if err := onRecord(rec); err != nil {
-				return info, 0, err
+				return info, 0, endClean, err
 			}
 		}
 		off += int64(recHdrLen + n)
@@ -136,19 +165,19 @@ func scanSegment(path string, nameSeq uint64, onRecord func(Record) error) (info
 		info.lastSeq = rec.Seq
 	}
 	info.size = off
-	return info, off, nil
+	return info, off, reason, nil
 }
 
 // segReader is a small fixed-buffer reader so scanning does not issue a
 // syscall per record.
 type segReader struct {
-	f   *os.File
+	f   vfs.File
 	buf [64 << 10]byte
 	r   int
 	n   int
 }
 
-func newSegReader(f *os.File) *segReader { return &segReader{f: f} }
+func newSegReader(f vfs.File) *segReader { return &segReader{f: f} }
 
 func (s *segReader) Read(p []byte) (int, error) {
 	if s.r == s.n {

@@ -9,6 +9,8 @@ import (
 	"path/filepath"
 	"testing"
 	"time"
+
+	"pskyline/internal/vfs"
 )
 
 // testElem is the test stream: deterministic pseudo-random elements.
@@ -175,7 +177,7 @@ func TestSegmentRotationAndGC(t *testing.T) {
 // lastSegment returns the path of the newest segment file.
 func lastSegment(t *testing.T, dir string) string {
 	t.Helper()
-	segs, err := listSegments(dir)
+	segs, err := listSegments(vfs.OS{}, dir)
 	if err != nil || len(segs) == 0 {
 		t.Fatalf("no segments in %s: %v", dir, err)
 	}
@@ -253,7 +255,7 @@ func TestMidLogCorruption(t *testing.T) {
 	if err := w.Close(); err != nil {
 		t.Fatal(err)
 	}
-	segs, err := listSegments(dir)
+	segs, err := listSegments(vfs.OS{}, dir)
 	if err != nil || len(segs) < 4 {
 		t.Fatalf("want >= 4 segments, got %d (%v)", len(segs), err)
 	}
@@ -357,13 +359,13 @@ func TestCheckpointInstallAndList(t *testing.T) {
 	blob := func(s string) func(io.Writer) error {
 		return func(w io.Writer) error { _, err := io.Copy(w, bytes.NewBufferString(s)); return err }
 	}
-	if _, err := WriteCheckpoint(dir, 100, blob("first")); err != nil {
+	if _, err := WriteCheckpoint(nil, dir, 100, blob("first")); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := WriteCheckpoint(dir, 250, blob("second")); err != nil {
+	if _, err := WriteCheckpoint(nil, dir, 250, blob("second")); err != nil {
 		t.Fatal(err)
 	}
-	refs, err := Checkpoints(dir)
+	refs, err := Checkpoints(nil, dir)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -375,10 +377,10 @@ func TestCheckpointInstallAndList(t *testing.T) {
 		t.Fatalf("newest checkpoint payload %q (%v)", raw, err)
 	}
 	// A failed install leaves nothing behind.
-	if _, err := WriteCheckpoint(dir, 300, func(io.Writer) error { return fmt.Errorf("boom") }); err == nil {
+	if _, err := WriteCheckpoint(nil, dir, 300, func(io.Writer) error { return fmt.Errorf("boom") }); err == nil {
 		t.Fatal("failing writer did not error")
 	}
-	if refs, _ = Checkpoints(dir); len(refs) != 2 {
+	if refs, _ = Checkpoints(nil, dir); len(refs) != 2 {
 		t.Fatalf("failed install left debris: %+v", refs)
 	}
 	ents, _ := os.ReadDir(dir)
@@ -387,10 +389,10 @@ func TestCheckpointInstallAndList(t *testing.T) {
 			t.Fatalf("temp file left behind: %s", e.Name())
 		}
 	}
-	if n, err := RemoveCheckpointsBefore(dir, 250); err != nil || n != 1 {
+	if n, err := RemoveCheckpointsBefore(nil, dir, 250); err != nil || n != 1 {
 		t.Fatalf("RemoveCheckpointsBefore = %d, %v", n, err)
 	}
-	if refs, _ = Checkpoints(dir); len(refs) != 1 || refs[0].Seq != 250 {
+	if refs, _ = Checkpoints(nil, dir); len(refs) != 1 || refs[0].Seq != 250 {
 		t.Fatalf("after GC: %+v", refs)
 	}
 }

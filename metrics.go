@@ -54,6 +54,10 @@ type monMetrics struct {
 	ckpts     obs.Counter // checkpoints installed
 	ckptFails obs.Counter // checkpoint attempts that failed
 	ckptSeqA  atomic.Uint64
+
+	// qDrops counts elements shed by the async queue's overload policy
+	// (recorded under the queue's enqueue mutex — single writer).
+	qDrops obs.Counter
 }
 
 // mirrorLocked copies the engine's single-writer state into the atomic
@@ -149,6 +153,13 @@ func (m *Monitor) buildRegistry() {
 	r.RegisterHistogram("pskyline_publish_interval_seconds",
 		"Interval between consecutive view publications.", &mm.publishGap)
 
+	if m.aq != nil {
+		q := m.aq
+		r.RegisterCounter("pskyline_queue_dropped_total", "Elements shed by the async queue's overload policy.", &mm.qDrops)
+		r.RegisterGaugeFunc("pskyline_queue_depth", "Elements waiting in the async ingestion queue.", func() float64 { return float64(len(q.ch)) })
+		r.RegisterGaugeFunc("pskyline_queue_capacity", "Capacity of the async ingestion queue.", func() float64 { return float64(cap(q.ch)) })
+	}
+
 	if m.wal != nil {
 		wm := &mm.wal
 		r.RegisterCounter("pskyline_wal_appends_total", "Elements appended to the write-ahead log.", &wm.Appends)
@@ -159,6 +170,12 @@ func (m *Monitor) buildRegistry() {
 		r.RegisterCounter("pskyline_wal_gc_segments_total", "WAL segments removed by garbage collection.", &wm.GCSegments)
 		r.RegisterGauge("pskyline_wal_segments", "Live WAL segment count.", &wm.Segments)
 		r.RegisterGauge("pskyline_wal_size_bytes", "Total on-disk size of the write-ahead log.", &wm.SizeBytes)
+		r.RegisterGauge("pskyline_wal_state", "Durability health state (0 healthy, 1 retrying, 2 degraded, 3 detached).", &wm.State)
+		r.RegisterCounter("pskyline_wal_write_errors_total", "Durability failures observed (including failed retry attempts).", &wm.WriteErrors)
+		r.RegisterCounter("pskyline_wal_retries_total", "WAL recovery attempts under the retry policy.", &wm.Retries)
+		r.RegisterCounter("pskyline_wal_dropped_records_total", "Records shed while the WAL was degraded.", &wm.DroppedRecords)
+		r.RegisterCounter("pskyline_wal_dropped_bytes_total", "Bytes shed while the WAL was degraded.", &wm.DroppedBytes)
+		r.RegisterCounter("pskyline_wal_reattaches_total", "Successful recoveries from degraded back to healthy.", &wm.Reattaches)
 		r.RegisterCounter("pskyline_checkpoints_total", "Checkpoints installed.", &mm.ckpts)
 		r.RegisterCounter("pskyline_checkpoint_failures_total", "Checkpoint attempts that failed.", &mm.ckptFails)
 		r.RegisterGaugeFunc("pskyline_checkpoint_seq", "Stream position of the newest installed checkpoint.", func() float64 { return float64(mm.ckptSeqA.Load()) })
@@ -245,6 +262,12 @@ type Metrics struct {
 	// (including the wal_append/wal_commit/wal_fsync stages when durability
 	// is enabled).
 	Stages []StageLatency
+	// QueueDepth and QueueCapacity describe the async ingestion queue
+	// (both zero without one); QueueDropped counts elements shed by its
+	// overload policy.
+	QueueDepth    int
+	QueueCapacity int
+	QueueDropped  uint64
 	// WAL reports the durability subsystem; nil when durability is disabled.
 	WAL *WALMetrics
 }
@@ -263,6 +286,18 @@ type WALMetrics struct {
 	// CheckpointSeq is the newest installed checkpoint's stream position.
 	Checkpoints, CheckpointFailures uint64
 	CheckpointSeq                   uint64
+	// State is the durability health state ("healthy", "retrying",
+	// "degraded" or "detached"); LastFault describes the most recent
+	// durability failure ("" while none occurred).
+	State     string
+	LastFault string
+	// WriteErrors counts durability failures observed (including each
+	// failed retry attempt); Retries counts recovery attempts under the
+	// retry policy.
+	WriteErrors, Retries uint64
+	// DroppedRecords and DroppedBytes count records shed while degraded;
+	// Reattaches counts successful degraded→healthy recoveries.
+	DroppedRecords, DroppedBytes, Reattaches uint64
 	// Recovery reports what Open found and repaired.
 	Recovery RecoveryInfo
 }
@@ -287,6 +322,11 @@ func (m *Monitor) Metrics() Metrics {
 	if ns := mm.lastPublishNs.Load(); ns != 0 {
 		out.LastPublish = time.Unix(0, ns)
 	}
+	if m.aq != nil {
+		out.QueueDepth = len(m.aq.ch)
+		out.QueueCapacity = cap(m.aq.ch)
+		out.QueueDropped = mm.qDrops.Load()
+	}
 	for _, st := range mm.eng.StageHistograms() {
 		s := st.Hist.Snapshot()
 		out.Stages = append(out.Stages, StageLatency{
@@ -309,10 +349,19 @@ func (m *Monitor) Metrics() Metrics {
 			GCSegments:         wm.GCSegments.Load(),
 			Segments:           int(wm.Segments.Load()),
 			SizeBytes:          int64(wm.SizeBytes.Load()),
+			State:              m.wal.State().String(),
+			WriteErrors:        wm.WriteErrors.Load(),
+			Retries:            wm.Retries.Load(),
+			DroppedRecords:     wm.DroppedRecords.Load(),
+			DroppedBytes:       wm.DroppedBytes.Load(),
+			Reattaches:         wm.Reattaches.Load(),
 			Checkpoints:        mm.ckpts.Load(),
 			CheckpointFailures: mm.ckptFails.Load(),
 			CheckpointSeq:      mm.ckptSeqA.Load(),
 			Recovery:           m.recovery,
+		}
+		if err := m.wal.LastFault(); err != nil {
+			out.WAL.LastFault = err.Error()
 		}
 		for _, st := range []struct {
 			name string

@@ -42,6 +42,7 @@ import (
 	"pskyline/internal/core"
 	"pskyline/internal/geom"
 	"pskyline/internal/obs"
+	"pskyline/internal/vfs"
 	"pskyline/internal/wal"
 )
 
@@ -130,6 +131,13 @@ type Options struct {
 	// ingest synchronously and a view is published before they return.
 	AsyncQueue int
 
+	// AsyncPolicy selects what a full async queue does to producers: Block
+	// (the default — backpressure), DropNewest (reject the arriving element
+	// with ErrOverloaded) or DropOldest (evict the oldest queued element to
+	// make room — the window semantics tolerate gaps, recency wins). Drops
+	// are counted in Metrics().QueueDropped. Ignored without AsyncQueue.
+	AsyncPolicy OverloadPolicy
+
 	// Durability, when Dir is set, makes the monitor crash-recoverable:
 	// every element is appended to a write-ahead log before the engine
 	// applies it, checkpoints are installed periodically, and Open recovers
@@ -184,14 +192,24 @@ type Monitor struct {
 	// Durability (nil wal when disabled). dur holds the normalized options;
 	// ckptSince and ckptSeq are checkpoint bookkeeping under mu; replaying
 	// suppresses callbacks while recovery re-ingests the log tail; walErr
-	// latches the first durability failure so every later write fails fast.
-	wal       *wal.WAL
-	dur       Durability
-	ckptSince int
-	ckptSeq   uint64
-	replaying bool
-	recovery  RecoveryInfo
-	walErr    atomic.Pointer[error]
+	// latches the first unrecoverable durability failure so every later
+	// write fails fast. fsys is the filesystem seam shared by the WAL and
+	// the checkpoint store; walPol the parsed failure policy. Under the
+	// "shed" policy degradedCh wakes the reattacher goroutine, whose
+	// lifecycle reattachStop/reattachDone/reattachOnce manage.
+	wal          *wal.WAL
+	dur          Durability
+	fsys         vfs.FS
+	walPol       wal.Policy
+	ckptSince    int
+	ckptSeq      uint64
+	replaying    bool
+	recovery     RecoveryInfo
+	walErr       atomic.Pointer[error]
+	degradedCh   chan struct{}
+	reattachStop chan struct{}
+	reattachDone chan struct{}
+	reattachOnce sync.Once
 
 	closed bool // guarded by mu; Push/PushBatch return ErrClosed once set
 }
@@ -219,6 +237,9 @@ func newMonitorCore(opt Options) (*Monitor, error) {
 	}
 	if opt.AsyncQueue < 0 {
 		return nil, errors.New("pskyline: AsyncQueue must be >= 0")
+	}
+	if opt.AsyncPolicy < Block || opt.AsyncPolicy > DropOldest {
+		return nil, errors.New("pskyline: unknown AsyncPolicy")
 	}
 	m := &Monitor{
 		data:   make(map[uint64]any),
@@ -261,13 +282,19 @@ func (m *Monitor) initTopK() error {
 }
 
 // finish publishes the first view, assembles the export registry and starts
-// the async ingestion queue. No other goroutine can reference the monitor
-// yet, so the "locked" helpers run without the lock.
+// the background goroutines: the async ingestion queue and, under the shed
+// durability policy, the reattacher. No other goroutine can reference the
+// monitor yet, so the "locked" helpers run without the lock.
 func (m *Monitor) finish() *Monitor {
 	m.publishLocked()
-	m.buildRegistry()
 	if m.opts.AsyncQueue > 0 {
-		m.aq = newAsyncQueue(m, m.opts.AsyncQueue)
+		m.aq = newAsyncQueue(m, m.opts.AsyncQueue, m.opts.AsyncPolicy)
+	}
+	m.buildRegistry()
+	if m.wal != nil && m.walPol == wal.Shed {
+		m.reattachStop = make(chan struct{})
+		m.reattachDone = make(chan struct{})
+		go m.reattacher(m.reattachStop)
 	}
 	return m
 }

@@ -1,0 +1,95 @@
+#!/usr/bin/env bash
+# Chaos smoke test: ingest under the WAL with a seeded fault schedule on the
+# durability filesystem (torn writes, whole-write and fsync failures) and the
+# retry policy absorbing it, kill -9 the process mid-stream, restart on the
+# same directory with the second half, and assert the final skyline is
+# identical to an uninterrupted no-fault run over the whole stream. Run from
+# the repo root (`make chaos-smoke`).
+set -euo pipefail
+
+GO=${GO:-go}
+N=${N:-9000}
+CUT=${CUT:-6000}
+WINDOW=${WINDOW:-1500}
+# Seeded transient-fault schedule: every write fails with 8% probability
+# (tearing 5 bytes in), every fsync with 10%. The retry policy must make all
+# of it invisible.
+FAULTS=${FAULTS:-'write:p=0.08:times=-1:partial=5;sync:p=0.10:times=-1'}
+SEED=${SEED:-42}
+tmp=$(mktemp -d)
+pid=
+trap 'exec 9>&- 2>/dev/null || true; kill -9 "$pid" 2>/dev/null || true; rm -rf "$tmp"' EXIT
+
+"$GO" build -o "$tmp/pskyline" ./cmd/pskyline
+"$GO" run ./cmd/datagen -dims 2 -n "$N" -seed 7 > "$tmp/stream.csv"
+
+# Uninterrupted oracle: whole stream, no durability, no faults.
+"$tmp/pskyline" -dims 2 -window "$WINDOW" -q 0.3 -snapshot "$N" \
+    < "$tmp/stream.csv" > "$tmp/oracle.log"
+
+# Phase 1: first half through a FIFO with the fault schedule active, fsync
+# always and the retry policy. The snapshot print proves all $CUT elements
+# were applied despite the storm; then the kill lands mid-ingest.
+mkfifo "$tmp/pipe"
+"$tmp/pskyline" -dims 2 -window "$WINDOW" -q 0.3 -snapshot "$CUT" \
+    -wal "$tmp/wal" -wal-fsync always -wal-policy retry \
+    -wal-fault "$FAULTS" -wal-fault-seed "$SEED" \
+    < "$tmp/pipe" > "$tmp/chaos.log" 2> "$tmp/chaos.err" &
+pid=$!
+exec 9> "$tmp/pipe"
+head -n "$CUT" "$tmp/stream.csv" >&9
+for _ in $(seq 1 600); do
+    grep -q "^@$CUT skyline" "$tmp/chaos.log" 2>/dev/null && break
+    kill -0 "$pid" 2>/dev/null || { echo "phase 1 exited early"; cat "$tmp/chaos.err"; exit 1; }
+    sleep 0.1
+done
+grep -q "^@$CUT skyline" "$tmp/chaos.log" \
+    || { echo "phase 1 never reached element $CUT"; cat "$tmp/chaos.err"; exit 1; }
+kill -9 "$pid"
+wait "$pid" 2>/dev/null || true
+pid=
+exec 9>&-
+
+# Phase 2: restart on the same WAL directory with the disk healed. Recovery
+# must replay the complete committed first half — the fault storm and its
+# repairs must have left a clean log.
+tail -n +"$((CUT + 1))" "$tmp/stream.csv" | \
+    "$tmp/pskyline" -dims 2 -window "$WINDOW" -q 0.3 -snapshot "$((N - CUT))" \
+    -wal "$tmp/wal" -wal-fsync always -summary \
+    > "$tmp/recover.log" 2> "$tmp/recover.err"
+
+grep -q "pskyline: recovered from" "$tmp/recover.err" \
+    || { echo "restart did not report recovery"; cat "$tmp/recover.err"; exit 1; }
+grep -q " $CUT replayed records" "$tmp/recover.err" \
+    || { echo "expected $CUT replayed records"; cat "$tmp/recover.err"; exit 1; }
+
+# The skyline at stream position N must be byte-identical in both runs.
+grep -E "^@$N skyline|^  seq=" "$tmp/oracle.log"  > "$tmp/oracle.sky"
+grep -E "^@$N skyline|^  seq=" "$tmp/recover.log" > "$tmp/recover.sky"
+[ -s "$tmp/oracle.sky" ] || { echo "oracle produced no skyline snapshot"; exit 1; }
+if ! cmp -s "$tmp/oracle.sky" "$tmp/recover.sky"; then
+    echo "SKYLINE DIVERGED after chaos + crash recovery:"
+    diff "$tmp/oracle.sky" "$tmp/recover.sky" | head -20
+    exit 1
+fi
+
+# Phase 3: shed policy against a disk whose segment writes fail forever.
+# Ingestion must survive to the end with records counted as dropped, and the
+# summary must surface the degradation. (The exact final state is timing-
+# dependent — the background reattacher flips degraded->healthy until the
+# next segment write fails again — so assert on the monotonic drop counter.)
+"$tmp/pskyline" -dims 2 -window "$WINDOW" -q 0.3 -summary \
+    -wal "$tmp/shedwal" -wal-fsync always -wal-policy shed \
+    -wal-fault 'write:path=.seg:times=-1' -wal-fault-seed "$SEED" \
+    < "$tmp/stream.csv" > "$tmp/shed.log" 2> "$tmp/shed.err" \
+    || { echo "shed run failed"; cat "$tmp/shed.err"; exit 1; }
+grep -q "processed $N elements" "$tmp/shed.log" \
+    || { echo "shed run did not process the full stream"; cat "$tmp/shed.log"; exit 1; }
+grep -Eq "wal: state=(degraded|healthy|retrying)" "$tmp/shed.log" \
+    || { echo "shed summary missing wal state"; cat "$tmp/shed.log"; exit 1; }
+grep -Eq "dropped_records=[1-9]" "$tmp/shed.log" \
+    || { echo "shed run dropped no records despite dead segment writes"; cat "$tmp/shed.log"; exit 1; }
+grep -Eq "write_errors=[1-9]" "$tmp/shed.log" \
+    || { echo "shed summary shows no write errors"; cat "$tmp/shed.log"; exit 1; }
+
+echo "chaos smoke OK: retry policy absorbed the seeded fault storm (kill -9 at $CUT/$N, skyline matches), shed policy kept serving on a dead disk"
