@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build vet lint test race bench-concurrent bench bench-smoke serve-smoke crash-smoke chaos-smoke ci
+.PHONY: build vet lint test race bench-concurrent bench bench-smoke serve-smoke crash-smoke chaos-smoke shard-smoke ci
 
 build:
 	$(GO) build ./...
@@ -18,8 +18,11 @@ lint:
 		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
 	$(GO) vet ./...
 
+# -shuffle=on randomizes test (and subtest-parent) execution order so
+# accidental inter-test state dependencies surface in CI instead of on a
+# laptop; the seed is printed on failure for reproduction.
 test:
-	$(GO) test ./...
+	$(GO) test -shuffle=on ./...
 
 # The whole suite under the race detector: the concurrency stress tests in
 # concurrent_test.go and view_test.go are written to give it dense
@@ -64,4 +67,11 @@ crash-smoke:
 chaos-smoke:
 	bash scripts/chaos_smoke.sh
 
-ci: build lint test race bench-concurrent bench-smoke serve-smoke crash-smoke chaos-smoke
+# End-to-end multi-tenant smoke test: one `pskyline -streams` process hosts
+# three independent streams, concurrent NDJSON ingest hits each over HTTP,
+# and the sharded stream's skyline is compared against an identically-fed
+# single-engine stream.
+shard-smoke:
+	bash scripts/shard_smoke.sh
+
+ci: build lint test race bench-concurrent bench-smoke serve-smoke crash-smoke chaos-smoke shard-smoke

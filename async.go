@@ -66,32 +66,47 @@ func ParseOverloadPolicy(s string) (OverloadPolicy, error) {
 var ErrOverloaded = errors.New("pskyline: async queue full")
 
 // asyncQueue is the bounded single-consumer ingestion queue behind
-// Options.AsyncQueue. Producers (Push/PushBatch) reserve sequence numbers
-// and enqueue under enqMu — the reservation order is the channel order, and
-// the single consumer ingests in channel order, so the reserved numbers are
-// exactly the ones the engine will assign (exactly under Block and
-// DropNewest; provisionally under DropOldest, whose evictions consume
-// reserved numbers). The channel's capacity is the overload bound; pol
-// decides what happens when it is reached. Drop bookkeeping runs under
-// enqMu, which satisfies the metrics' single-writer contract and keeps it
-// off the consumer's ingestion path.
+// Options.AsyncQueue. The channel carries sequenced operations, and WHO
+// assigns the sequence numbers is the queue's central contract:
+//
+//   - Standalone monitors (internal mode): producers reserve numbers from
+//     q.next under enqMu — the reservation order is the channel order, and
+//     the single consumer ingests in channel order, so the reserved numbers
+//     are exactly the ones the engine will assign (exactly under Block and
+//     DropNewest; provisionally under DropOldest, whose evictions consume
+//     reserved numbers).
+//   - Shard members (external mode): the ShardedMonitor assigns global
+//     numbers under its own mutex and enqueues pre-numbered ops in order;
+//     the queue must never invent numbers of its own — the old
+//     queue-owns-numbering assumption breaks the moment two shards share
+//     one stream. The consumer applies each drained batch at its carried
+//     numbers and follows it with a watermark tick so expiry keeps up with
+//     the rest of the stream. Under DropOldest an eviction leaves a
+//     sequence gap (the element never existed) instead of renumbering.
+//
+// The channel's capacity is the overload bound; pol decides what happens
+// when it is reached. Drop bookkeeping runs under enqMu, which satisfies
+// the metrics' single-writer contract and keeps it off the consumer's
+// ingestion path.
 type asyncQueue struct {
 	m     *Monitor
-	ch    chan Element
+	ch    chan shardOp
 	pol   OverloadPolicy
+	ext   bool               // external (front-end) sequencing: shard member mode
 	flush chan chan struct{} // Drain requests, acknowledged when the queue is empty
 	done  chan struct{}      // closed when the consumer goroutine exits
 
 	enqMu  sync.Mutex
-	next   uint64 // next sequence number to reserve
+	next   uint64 // next sequence number to reserve (internal mode only)
 	closed bool
 }
 
 func newAsyncQueue(m *Monitor, capacity int, pol OverloadPolicy) *asyncQueue {
 	q := &asyncQueue{
 		m:     m,
-		ch:    make(chan Element, capacity),
+		ch:    make(chan shardOp, capacity),
 		pol:   pol,
+		ext:   m.opts.shard != nil,
 		flush: make(chan chan struct{}),
 		done:  make(chan struct{}),
 		next:  m.eng.NextSeq(),
@@ -100,13 +115,13 @@ func newAsyncQueue(m *Monitor, capacity int, pol OverloadPolicy) *asyncQueue {
 	return q
 }
 
-// put queues one element according to the overload policy, reporting whether
-// it was accepted. Callers hold enqMu.
-func (q *asyncQueue) put(e Element) bool {
+// put queues one operation according to the overload policy, reporting
+// whether it was accepted. Callers hold enqMu.
+func (q *asyncQueue) put(op shardOp) bool {
 	switch q.pol {
 	case DropNewest:
 		select {
-		case q.ch <- e:
+		case q.ch <- op:
 			return true
 		default:
 			q.m.met.qDrops.Inc()
@@ -115,7 +130,7 @@ func (q *asyncQueue) put(e Element) bool {
 	case DropOldest:
 		for {
 			select {
-			case q.ch <- e:
+			case q.ch <- op:
 				return true
 			default:
 			}
@@ -129,7 +144,7 @@ func (q *asyncQueue) put(e Element) bool {
 			}
 		}
 	default:
-		q.ch <- e
+		q.ch <- op
 		return true
 	}
 }
@@ -144,12 +159,48 @@ func (q *asyncQueue) enqueue(e Element) (uint64, error) {
 	if q.closed {
 		return 0, ErrClosed
 	}
-	if !q.put(e) {
+	seq := q.next
+	if !q.put(shardOp{el: e, seq: seq}) {
 		return 0, ErrOverloaded
 	}
-	seq := q.next
 	q.next++
 	return seq, nil
+}
+
+// enqueueOp queues one externally numbered operation (shard member mode).
+// The sharded front end assigns sequence numbers under its own mutex and
+// calls enqueueOp in assignment order, so channel order is sequence order;
+// the queue's own counter is never consulted. A DropNewest rejection (or a
+// DropOldest eviction) leaves a permanent gap at the assigned number —
+// numbers are stable in this mode, never renumbered.
+func (q *asyncQueue) enqueueOp(op shardOp) error {
+	q.enqMu.Lock()
+	defer q.enqMu.Unlock()
+	if q.closed {
+		return ErrClosed
+	}
+	if !q.put(op) {
+		return ErrOverloaded
+	}
+	return nil
+}
+
+// enqueueOps queues a pre-numbered batch in order (shard member mode). Under
+// DropNewest a full queue cuts the batch and ErrOverloaded reports the
+// dropped suffix.
+func (q *asyncQueue) enqueueOps(ops []shardOp) error {
+	q.enqMu.Lock()
+	defer q.enqMu.Unlock()
+	if q.closed {
+		return ErrClosed
+	}
+	for i := range ops {
+		if !q.put(ops[i]) {
+			q.m.met.qDrops.Add(uint64(len(ops) - i - 1)) // the put counted ops[i] itself
+			return fmt.Errorf("batch elements %d..%d dropped: %w", i, len(ops)-1, ErrOverloaded)
+		}
+	}
+	return nil
 }
 
 // enqueueBatch reserves consecutive sequence numbers and queues the elements
@@ -166,7 +217,7 @@ func (q *asyncQueue) enqueueBatch(es []Element) (uint64, error) {
 	}
 	first := q.next
 	for i := range es {
-		if !q.put(es[i]) {
+		if !q.put(shardOp{el: es[i], seq: q.next}) {
 			q.m.met.qDrops.Add(uint64(len(es) - i - 1)) // the put counted es[i] itself
 			return first, fmt.Errorf("batch elements %d..%d dropped: %w", i, len(es)-1, ErrOverloaded)
 		}
@@ -176,19 +227,21 @@ func (q *asyncQueue) enqueueBatch(es []Element) (uint64, error) {
 }
 
 // run is the single consumer: it drains the queue in batches of up to
-// maxIngestBatch elements, ingests each batch under the Monitor's lock and
-// publishes one view per batch.
+// maxIngestBatch operations, ingests each batch under the Monitor's lock
+// and publishes one view per batch. buf reserves one extra slot for the
+// watermark tick appended per batch in external mode.
 func (q *asyncQueue) run() {
 	defer close(q.done)
-	buf := make([]Element, 0, maxIngestBatch)
+	buf := make([]shardOp, 0, maxIngestBatch+1)
+	var els []Element // internal-mode unwrap scratch
 	for {
 		select {
-		case e, ok := <-q.ch:
+		case op, ok := <-q.ch:
 			if !ok {
 				return
 			}
-			buf = q.gather(append(buf[:0], e))
-			q.m.ingestBatch(buf)
+			buf = q.gather(append(buf[:0], op))
+			els = q.ingest(buf, els)
 		case ack := <-q.flush:
 			// Every element sent before the Drain call is already
 			// buffered in ch (its send completed first), so a
@@ -196,13 +249,13 @@ func (q *asyncQueue) run() {
 			buf = buf[:0]
 			for {
 				select {
-				case e, ok := <-q.ch:
+				case op, ok := <-q.ch:
 					if !ok {
 						break
 					}
-					buf = append(buf, e)
-					if len(buf) == cap(buf) {
-						q.m.ingestBatch(buf)
+					buf = append(buf, op)
+					if len(buf) == maxIngestBatch {
+						els = q.ingest(buf, els)
 						buf = buf[:0]
 					}
 					continue
@@ -211,7 +264,12 @@ func (q *asyncQueue) run() {
 				break
 			}
 			if len(buf) > 0 {
-				q.m.ingestBatch(buf)
+				els = q.ingest(buf, els)
+			} else if q.ext {
+				// An idle shard still advances to the current global
+				// watermark, so a Drain of the sharded front end leaves
+				// every shard expired to the same stream position.
+				q.m.applyWatermark()
 			}
 			close(ack)
 		}
@@ -220,19 +278,46 @@ func (q *asyncQueue) run() {
 
 // gather opportunistically tops the batch up with whatever is already
 // queued, without blocking.
-func (q *asyncQueue) gather(buf []Element) []Element {
-	for len(buf) < cap(buf) {
+func (q *asyncQueue) gather(buf []shardOp) []shardOp {
+	for len(buf) < maxIngestBatch {
 		select {
-		case e, ok := <-q.ch:
+		case op, ok := <-q.ch:
 			if !ok {
 				return buf
 			}
-			buf = append(buf, e)
+			buf = append(buf, op)
 		default:
 			return buf
 		}
 	}
 	return buf
+}
+
+// ingest applies one drained batch. External (shard member) mode appends a
+// watermark tick — so expiry catches up to sequence numbers routed to other
+// shards — and hands the pre-numbered ops to applyOps; a durability failure
+// there is already latched in the monitor (later pushes fail fast) and the
+// batch is dropped, mirroring ingestBatch. Internal mode unwraps the
+// elements and runs the classic engine-numbered batch path. els is the
+// unwrap scratch, returned for reuse; buf's payload references are cleared
+// either way so the scratch does not pin expired points.
+func (q *asyncQueue) ingest(buf []shardOp, els []Element) []Element {
+	if q.ext {
+		if op, ok := q.m.wmOp(); ok {
+			buf = append(buf, op)
+		}
+		_ = q.m.applyOps(buf)
+	} else {
+		els = els[:0]
+		for i := range buf {
+			els = append(els, buf[i].el)
+		}
+		q.m.ingestBatch(els)
+	}
+	for i := range buf {
+		buf[i] = shardOp{}
+	}
+	return els
 }
 
 // ingestBatch runs a drained batch through the engine — as one engine-level

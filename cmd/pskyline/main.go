@@ -31,6 +31,19 @@
 // -checkpoint are mutually exclusive (the WAL directory subsumes the
 // single-file checkpoint).
 //
+// -shards N partitions the window across N single-writer engines behind one
+// exact merged query surface (see DESIGN.md §13); -router picks the
+// partitioning scheme. Sharding composes with -batch, -async, -wal (each
+// shard gets its own WAL namespace under DIR) and -http, but not with
+// -checkpoint or the default event mode (use -summary or -snapshot).
+//
+// -streams runs the process as a multi-tenant host instead: each
+// ";"-separated spec (name:dims=..,window=..,q=..[,shards=..][,wal=on],...)
+// opens an independently configured named stream, ingested and queried over
+// HTTP (POST /streams/{name}/push, GET /streams/{name}/skyline) with shared
+// /metrics and /healthz. Requires -http; stdin ingestion is disabled; -wal
+// DIR roots every durable stream's namespace at DIR/streams/<name>.
+//
 // Usage:
 //
 //	datagen -dist anti -dims 3 -n 200000 | pskyline -dims 3 -window 100000 -q 0.3 -summary
@@ -38,6 +51,8 @@
 //	pskyline -dims 3 -window 100000 -q 0.3 -batch 512 -async 4096 -summary < stream.csv
 //	datagen -dims 2 -n 1000000 | pskyline -dims 2 -window 10000 -q 0.3 -http :8080 -summary
 //	datagen -dims 3 -n 500000 | pskyline -dims 3 -window 50000 -q 0.3 -wal ./wal -wal-fsync interval -summary
+//	datagen -dims 3 -n 500000 | pskyline -dims 3 -window 50000 -q 0.3 -shards 4 -batch 256 -summary
+//	pskyline -streams "hot:dims=2,window=1000,q=0.5;cold:dims=3,window=5000,q=0.3,shards=4,wal=on" -wal ./data -http :8080
 package main
 
 import (
@@ -71,6 +86,9 @@ type config struct {
 	async       int
 	httpAddr    string
 	asyncPolicy string
+	shards      int
+	router      string
+	streams     string
 	// durability (-wal family)
 	walDir       string
 	walFsync     string
@@ -98,6 +116,9 @@ func main() {
 		async    = flag.Int("async", 0, "route ingestion through a bounded async queue of this capacity (0 = synchronous)")
 		asyncPol = flag.String("async-policy", "block", "full async queue response: block (backpressure), drop-newest or drop-oldest")
 		httpAddr = flag.String("http", "", "serve /metrics, /healthz, /debug/skyline and /debug/pprof on this address (e.g. :8080); the process then stays up after EOF until SIGINT/SIGTERM")
+		shards   = flag.Int("shards", 1, "partition the window across this many single-writer engines with an exact merged query surface")
+		router   = flag.String("router", "grid", "shard router: grid (spatial cells) or band (probability bands)")
+		streams  = flag.String("streams", "", "multi-tenant mode: ';'-separated stream specs name:dims=..,window=..,q=..[,shards=..][,wal=on]; requires -http, disables stdin ingestion")
 		walDir   = flag.String("wal", "", "durability directory: write-ahead log + checkpoints; recovers existing state at start")
 		walFsync = flag.String("wal-fsync", "interval", "WAL commit durability: always, interval or never")
 		walPol   = flag.String("wal-policy", "failstop", "durability failure response: failstop, retry or shed")
@@ -121,6 +142,7 @@ func main() {
 		dims: *dims, window: *window, period: *period, thresholds: thresholds,
 		snapshot: *snapshot, summary: *summary, file: *file, ckpt: *ckpt,
 		batch: *batch, async: *async, asyncPolicy: *asyncPol, httpAddr: *httpAddr,
+		shards: *shards, router: *router, streams: *streams,
 		walDir: *walDir, walFsync: *walFsync, walPolicy: *walPol,
 		walSegmentMB: *walSegMB, walCkptEvery: *walEvery,
 		walFault: *walFault, walFaultSeed: *walFSeed,
@@ -134,11 +156,23 @@ func main() {
 // the input through it (optionally batched and/or async), serve snapshot
 // prints from the published view, and checkpoint at exit.
 func run(cfg config, stdin io.Reader, out, errw io.Writer) error {
+	if cfg.streams != "" {
+		return runStreams(cfg, errw)
+	}
 	if cfg.batch < 1 {
 		return fmt.Errorf("batch size %d < 1", cfg.batch)
 	}
 	if cfg.walDir != "" && cfg.ckpt != "" {
 		return fmt.Errorf("-wal and -checkpoint are mutually exclusive: the WAL directory subsumes the single-file checkpoint")
+	}
+	if cfg.shards == 0 {
+		cfg.shards = 1
+	}
+	if cfg.shards < 1 {
+		return fmt.Errorf("shard count %d < 1", cfg.shards)
+	}
+	if cfg.shards > 1 && cfg.ckpt != "" {
+		return fmt.Errorf("-shards and -checkpoint are mutually exclusive: sharded state checkpoints through -wal")
 	}
 	opt := pskyline.Options{Dims: cfg.dims, Thresholds: cfg.thresholds, AsyncQueue: cfg.async}
 	pol, perr := pskyline.ParseOverloadPolicy(cfg.asyncPolicy)
@@ -164,6 +198,9 @@ func run(cfg config, stdin io.Reader, out, errw io.Writer) error {
 	}
 	quiet := cfg.summary || cfg.snapshot > 0
 	if !quiet {
+		if cfg.shards > 1 {
+			return fmt.Errorf("-shards needs -summary or -snapshot: enter/leave events are per-shard, not global")
+		}
 		opt.OnEnter = func(p pskyline.SkyPoint) {
 			fmt.Fprintf(out, "+ seq=%d pt=%v p=%.3f\n", p.Seq, p.Point, p.Prob)
 		}
@@ -180,17 +217,24 @@ func run(cfg config, stdin io.Reader, out, errw io.Writer) error {
 	)
 	if cfg.httpAddr != "" {
 		h = newMonitorHandle(nil)
-		srv, err = startServer(cfg.httpAddr, h, errw)
+		srv, err = startServer(cfg.httpAddr, newServeMux(h), errw)
 		if err != nil {
 			return err
 		}
 		defer srv.Close()
 	}
 
-	var m *pskyline.Monitor
-	if cfg.ckpt != "" {
+	// m is the stream operator: a single *Monitor, or a *ShardedMonitor when
+	// -shards > 1. mon is the concrete monitor in single-engine mode, for the
+	// monitor-only surfaces (-checkpoint snapshots, the -summary metric
+	// mirror).
+	var (
+		m   pskyline.Operator
+		mon *pskyline.Monitor
+	)
+	if cfg.shards == 1 && cfg.ckpt != "" {
 		if f, ferr := os.Open(cfg.ckpt); ferr == nil {
-			m, err = pskyline.RestoreMonitor(f, pskyline.RestoreOptions{
+			mon, err = pskyline.RestoreMonitor(f, pskyline.RestoreOptions{
 				OnEnter: opt.OnEnter, OnLeave: opt.OnLeave,
 				AsyncQueue: cfg.async,
 			})
@@ -199,20 +243,36 @@ func run(cfg config, stdin io.Reader, out, errw io.Writer) error {
 				return fmt.Errorf("restore %s: %v", cfg.ckpt, err)
 			}
 			fmt.Fprintf(errw, "pskyline: resumed from %s (%d elements seen)\n",
-				cfg.ckpt, m.Stats().Processed)
+				cfg.ckpt, mon.Stats().Processed)
+			m = mon
 		}
 	}
-	if m == nil {
-		m, err = pskyline.NewMonitor(opt)
+	if m == nil && cfg.shards > 1 {
+		rt, rerr := parseRouter(cfg.router)
+		if rerr != nil {
+			return rerr
+		}
+		var sm *pskyline.ShardedMonitor
+		sm, err = pskyline.NewSharded(pskyline.ShardedOptions{
+			Options: opt, Shards: cfg.shards, Router: rt,
+		})
 		if err != nil {
 			return err
 		}
-		if rec := m.Recovery(); rec.Recovered {
-			fmt.Fprintf(errw, "pskyline: recovered from %s: checkpoint seq %d + %d replayed records (%d torn bytes truncated, %d segments dropped) in %v\n",
-				cfg.walDir, rec.CheckpointSeq, rec.Replayed,
-				rec.TruncatedBytes, rec.SegmentsDropped,
-				rec.Duration.Round(time.Millisecond))
+		m = sm
+	}
+	if m == nil {
+		mon, err = pskyline.NewMonitor(opt)
+		if err != nil {
+			return err
 		}
+		m = mon
+	}
+	if rec := m.Recovery(); rec.Recovered {
+		fmt.Fprintf(errw, "pskyline: recovered from %s: checkpoint seq %d + %d replayed records (%d torn bytes truncated, %d segments dropped) in %v\n",
+			cfg.walDir, rec.CheckpointSeq, rec.Replayed,
+			rec.TruncatedBytes, rec.SegmentsDropped,
+			rec.Duration.Round(time.Millisecond))
 	}
 	defer m.Close()
 	if h != nil {
@@ -288,12 +348,12 @@ func run(cfg config, stdin io.Reader, out, errw io.Writer) error {
 		fmt.Fprintf(errw, "pskyline: checkpoint installed in %s at seq %d\n",
 			cfg.walDir, m.Stats().Processed)
 	}
-	if cfg.ckpt != "" {
+	if cfg.ckpt != "" && mon != nil {
 		f, err := os.Create(cfg.ckpt)
 		if err != nil {
 			return fmt.Errorf("checkpoint: %v", err)
 		}
-		if err := m.Snapshot(f); err != nil {
+		if err := mon.Snapshot(f); err != nil {
 			return fmt.Errorf("checkpoint: %v", err)
 		}
 		if err := f.Close(); err != nil {
@@ -307,29 +367,137 @@ func run(cfg config, stdin io.Reader, out, errw io.Writer) error {
 	fmt.Fprintf(out, "candidates: now %d, max %d; skyline: now %d, max %d\n",
 		st.Candidates, st.MaxCandidates, st.Skyline, st.MaxSkyline)
 	if cfg.summary {
-		printWorkSummary(out, m.Metrics())
+		if mon != nil {
+			printWorkSummary(out, mon.Metrics())
+		} else if sm, ok := m.(*pskyline.ShardedMonitor); ok {
+			printShardSummary(out, sm)
+		}
 	}
 	if srv != nil {
-		stop := cfg.stop
-		if stop == nil {
-			sig := make(chan os.Signal, 1)
-			signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
-			defer signal.Stop(sig)
-			done := make(chan struct{})
-			go func() { <-sig; close(done) }()
-			stop = done
-		}
 		fmt.Fprintf(errw, "pskyline: stream done, still serving on %s (interrupt to exit)\n", cfg.httpAddr)
-		<-stop
-		// Graceful shutdown: stop accepting, let in-flight requests finish
-		// within the deadline; the deferred Close is the hard backstop.
-		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
-		defer cancel()
-		if err := srv.Shutdown(ctx); err != nil {
-			fmt.Fprintf(errw, "pskyline: http shutdown: %v\n", err)
-		}
+		awaitStop(cfg.stop)
+		shutdownServer(srv, errw)
 	}
 	return nil
+}
+
+// runStreams hosts a multi-tenant registry of named streams behind the HTTP
+// API: stdin is not read, every stream is ingested through POST
+// /streams/{name}/push, and -wal DIR (if set) roots the durable streams'
+// namespaces. Durable streams checkpoint at clean shutdown.
+func runStreams(cfg config, errw io.Writer) error {
+	if cfg.httpAddr == "" {
+		return fmt.Errorf("-streams requires -http: streams are ingested over HTTP")
+	}
+	if cfg.ckpt != "" {
+		return fmt.Errorf("-streams and -checkpoint are mutually exclusive: durable streams checkpoint through -wal")
+	}
+	specs, err := pskyline.ParseStreamSpecs(cfg.streams)
+	if err != nil {
+		return err
+	}
+	var base pskyline.Durability
+	if cfg.walDir != "" {
+		base = pskyline.Durability{
+			Dir:             cfg.walDir,
+			Fsync:           cfg.walFsync,
+			Policy:          cfg.walPolicy,
+			SegmentBytes:    int64(cfg.walSegmentMB) << 20,
+			CheckpointEvery: cfg.walCkptEvery,
+			InjectFaults:    cfg.walFault,
+			FaultSeed:       cfg.walFaultSeed,
+		}
+	}
+	reg := pskyline.NewStreamRegistry(base)
+	defer reg.CloseAll()
+	for _, sc := range specs {
+		op, err := reg.Open(sc)
+		if err != nil {
+			return err
+		}
+		if rec := op.Recovery(); rec.Recovered {
+			fmt.Fprintf(errw, "pskyline: stream %s: recovered checkpoint seq %d + %d replayed records in %v\n",
+				sc.Name, rec.CheckpointSeq, rec.Replayed, rec.Duration.Round(time.Millisecond))
+		}
+	}
+	srv, err := startServer(cfg.httpAddr, newRegistryMux(reg), errw)
+	if err != nil {
+		return err
+	}
+	defer srv.Close()
+	fmt.Fprintf(errw, "pskyline: hosting %d streams: %s (interrupt to exit)\n",
+		len(specs), strings.Join(reg.Names(), ", "))
+	awaitStop(cfg.stop)
+	shutdownServer(srv, errw)
+	for _, name := range reg.Names() {
+		cfg, _ := reg.Config(name)
+		if !cfg.Durable {
+			continue
+		}
+		if op, ok := reg.Get(name); ok {
+			op.Drain()
+			if err := op.Checkpoint(); err != nil {
+				fmt.Fprintf(errw, "pskyline: stream %s: checkpoint: %v\n", name, err)
+			} else {
+				fmt.Fprintf(errw, "pskyline: stream %s: checkpoint installed at seq %d\n",
+					name, op.Stats().Processed)
+			}
+		}
+	}
+	return reg.CloseAll()
+}
+
+// awaitStop blocks until stop closes, or — when stop is nil — until the
+// process receives SIGINT or SIGTERM.
+func awaitStop(stop <-chan struct{}) {
+	if stop == nil {
+		sig := make(chan os.Signal, 1)
+		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+		defer signal.Stop(sig)
+		done := make(chan struct{})
+		go func() { <-sig; close(done) }()
+		stop = done
+	}
+	<-stop
+}
+
+// shutdownServer gracefully drains the HTTP server: stop accepting, let
+// in-flight requests finish within the deadline; the caller's deferred Close
+// is the hard backstop.
+func shutdownServer(srv *http.Server, errw io.Writer) {
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		fmt.Fprintf(errw, "pskyline: http shutdown: %v\n", err)
+	}
+}
+
+// parseRouter maps the -router flag to a shard router.
+func parseRouter(name string) (pskyline.Router, error) {
+	switch strings.ToLower(strings.TrimSpace(name)) {
+	case "", "grid":
+		return pskyline.GridRouter{}, nil
+	case "band":
+		return pskyline.BandRouter{}, nil
+	default:
+		return nil, fmt.Errorf("unknown router %q: want grid or band", name)
+	}
+}
+
+// printShardSummary renders the -summary block for a sharded session: the
+// merged view's aggregate work counters plus one line per shard.
+func printShardSummary(out io.Writer, sm *pskyline.ShardedMonitor) {
+	for i := 0; i < sm.NumShards(); i++ {
+		met := sm.Shard(i).Metrics()
+		c := met.Counters
+		fmt.Fprintf(out, "shard %d: processed=%d candidates=%d skyline=%d nodes=%d items=%d expiries=%d\n",
+			i, met.Stats.Processed, met.Stats.Candidates, met.Stats.Skyline,
+			c.NodesVisited, c.ItemsTouched, c.Expiries)
+		if w := met.WAL; w != nil {
+			fmt.Fprintf(out, "shard %d wal: state=%s appends=%d commits=%d checkpoints=%d\n",
+				i, w.State, w.Appends, w.Commits, w.Checkpoints)
+		}
+	}
 }
 
 // printWorkSummary renders the -summary observability block: the engine's

@@ -2,49 +2,57 @@ package main
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net"
 	"net/http"
 	"net/http/pprof"
+	"strconv"
 	"sync/atomic"
 	"time"
 
 	"pskyline"
+	"pskyline/internal/wal"
 )
 
+// opBox wraps the Operator interface so it can live in an atomic.Pointer.
+type opBox struct{ op pskyline.Operator }
+
 // monitorHandle is the indirection that lets the HTTP server come up before
-// crash recovery finishes: the monitor pointer is nil while Open replays the
+// crash recovery finishes: the operator pointer is nil while Open replays the
 // log, and every endpoint answers 503 {"status":"recovering"} until the
-// recovered monitor is stored. Readiness probes can therefore hold traffic
-// back during a long replay instead of reading a half-recovered state.
+// recovered operator is stored. Readiness probes can therefore hold traffic
+// back during a long replay instead of reading a half-recovered state. The
+// handle serves either a single *Monitor or a *ShardedMonitor — both
+// implement pskyline.Operator.
 type monitorHandle struct {
-	mon atomic.Pointer[pskyline.Monitor]
+	mon atomic.Pointer[opBox]
 }
 
-func newMonitorHandle(m *pskyline.Monitor) *monitorHandle {
+func newMonitorHandle(op pskyline.Operator) *monitorHandle {
 	h := &monitorHandle{}
-	if m != nil {
-		h.mon.Store(m)
+	if op != nil {
+		h.mon.Store(&opBox{op: op})
 	}
 	return h
 }
 
-func (h *monitorHandle) set(m *pskyline.Monitor) { h.mon.Store(m) }
+func (h *monitorHandle) set(op pskyline.Operator) { h.mon.Store(&opBox{op: op}) }
 
 // ready answers 503 and reports false while recovery is still running.
-func (h *monitorHandle) ready(w http.ResponseWriter) (*pskyline.Monitor, bool) {
-	m := h.mon.Load()
-	if m == nil {
+func (h *monitorHandle) ready(w http.ResponseWriter) (pskyline.Operator, bool) {
+	b := h.mon.Load()
+	if b == nil {
 		w.Header().Set("Content-Type", "application/json")
 		w.WriteHeader(http.StatusServiceUnavailable)
 		json.NewEncoder(w).Encode(map[string]any{"status": "recovering"})
 		return nil, false
 	}
-	return m, true
+	return b.op, true
 }
 
-// newServeMux builds the observability endpoint set over a live Monitor.
+// newServeMux builds the observability endpoint set over a live operator.
 // Every handler reads the lock-free export surfaces (the published view, the
 // atomic metric mirrors, the trace ring), so scraping — even aggressively —
 // never blocks ingestion.
@@ -52,7 +60,8 @@ func (h *monitorHandle) ready(w http.ResponseWriter) (*pskyline.Monitor, bool) {
 //	/metrics        Prometheus text exposition
 //	/healthz        liveness + stream position JSON; "serving" once ready,
 //	                503 "recovering" while crash recovery replays the log
-//	/debug/skyline  current skyline and the recent-transition trace, JSON
+//	/debug/skyline  current skyline (and, for a single monitor, the
+//	                recent-transition trace), JSON
 //	/debug/vars     all metrics as one expvar-style JSON object
 //	/debug/pprof/   the standard runtime profiles
 func newServeMux(h *monitorHandle) *http.ServeMux {
@@ -70,14 +79,53 @@ func newServeMux(h *monitorHandle) *http.ServeMux {
 		if !ok {
 			return
 		}
-		met := m.Metrics()
-		body := map[string]any{
-			"status":              "serving",
-			"processed":           met.Stats.Processed,
-			"skyline":             met.Stats.Skyline,
-			"candidates":          met.Stats.Candidates,
-			"publish_age_seconds": time.Since(met.LastPublish).Seconds(),
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(operatorHealth(m))
+	})
+	mux.HandleFunc("/debug/skyline", func(w http.ResponseWriter, r *http.Request) {
+		m, ok := h.ready(w)
+		if !ok {
+			return
 		}
+		v := m.View()
+		body := map[string]any{
+			"processed":  v.Processed(),
+			"thresholds": v.Thresholds(),
+			"skyline":    skylineJSON(v.Skyline()),
+		}
+		// The transition trace is per-engine state; a sharded operator has
+		// no global trace (bands churn independently per shard).
+		if mon, ok := m.(*pskyline.Monitor); ok {
+			body["trace"] = traceJSON(mon.Trace())
+		}
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(body)
+	})
+	mux.HandleFunc("/debug/vars", func(w http.ResponseWriter, r *http.Request) {
+		m, ok := h.ready(w)
+		if !ok {
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		m.WriteMetricsJSON(w)
+	})
+	addPprof(mux)
+	return mux
+}
+
+// operatorHealth builds the /healthz body for one operator. A single
+// *Monitor reports its full metric mirror (queue depth, WAL counters); a
+// sharded operator reports the merged stream position plus the worst
+// per-shard WAL state.
+func operatorHealth(m pskyline.Operator) map[string]any {
+	body := map[string]any{"status": "serving"}
+	switch t := m.(type) {
+	case *pskyline.Monitor:
+		met := t.Metrics()
+		body["processed"] = met.Stats.Processed
+		body["skyline"] = met.Stats.Skyline
+		body["candidates"] = met.Stats.Candidates
+		body["publish_age_seconds"] = time.Since(met.LastPublish).Seconds()
 		if w := met.WAL; w != nil {
 			body["wal_state"] = w.State
 			if w.State == "degraded" || w.State == "detached" {
@@ -97,46 +145,224 @@ func newServeMux(h *monitorHandle) *http.ServeMux {
 			body["queue_capacity"] = met.QueueCapacity
 			body["queue_dropped"] = met.QueueDropped
 		}
-		if rec := m.Recovery(); rec.Recovered {
-			body["recovery"] = map[string]any{
-				"checkpoint_seq":   rec.CheckpointSeq,
-				"replayed":         rec.Replayed,
-				"truncated_bytes":  rec.TruncatedBytes,
-				"segments_dropped": rec.SegmentsDropped,
-				"duration_seconds": rec.Duration.Seconds(),
+	default:
+		st := m.Stats()
+		body["processed"] = st.Processed
+		body["skyline"] = st.Skyline
+		body["candidates"] = st.Candidates
+		if sm, ok := m.(*pskyline.ShardedMonitor); ok {
+			body["shards"] = sm.NumShards()
+		}
+		if ws := m.WALState(); ws != wal.StateHealthy {
+			body["wal_state"] = ws.String()
+			if ws == wal.StateDegraded || ws == wal.StateDetached {
+				body["status"] = ws.String()
 			}
 		}
-		w.Header().Set("Content-Type", "application/json")
-		json.NewEncoder(w).Encode(body)
-	})
-	mux.HandleFunc("/debug/skyline", func(w http.ResponseWriter, r *http.Request) {
-		m, ok := h.ready(w)
-		if !ok {
-			return
+	}
+	if rec := m.Recovery(); rec.Recovered {
+		body["recovery"] = map[string]any{
+			"checkpoint_seq":   rec.CheckpointSeq,
+			"replayed":         rec.Replayed,
+			"truncated_bytes":  rec.TruncatedBytes,
+			"segments_dropped": rec.SegmentsDropped,
+			"duration_seconds": rec.Duration.Seconds(),
 		}
-		v := m.View()
-		w.Header().Set("Content-Type", "application/json")
-		json.NewEncoder(w).Encode(map[string]any{
-			"processed":  v.Processed(),
-			"thresholds": v.Thresholds(),
-			"skyline":    skylineJSON(v.Skyline()),
-			"trace":      traceJSON(m.Trace()),
-		})
+	}
+	return body
+}
+
+// newRegistryMux builds the multi-tenant endpoint set over a stream
+// registry. One /metrics endpoint serves every stream (series carry
+// stream="<name>" and, for sharded streams, shard="<i>" labels), and each
+// stream is addressable by name for ingestion and queries:
+//
+//	/metrics                Prometheus exposition for all streams
+//	/healthz                per-stream positions + worst WAL state
+//	/streams                GET: list open streams with positions
+//	/streams/{name}/push    POST: NDJSON {"point":[...],"prob":p,"ts":t}
+//	                        per line; ?drain=1 waits for visibility
+//	/streams/{name}/skyline GET: current skyline; ?q=Q restricts to a
+//	                        stricter registered threshold
+//	/debug/vars             all metrics as one JSON object
+//	/debug/pprof/           the standard runtime profiles
+func newRegistryMux(reg *pskyline.StreamRegistry) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		reg.WritePrometheus(w)
 	})
 	mux.HandleFunc("/debug/vars", func(w http.ResponseWriter, r *http.Request) {
-		m, ok := h.ready(w)
+		w.Header().Set("Content-Type", "application/json")
+		reg.WriteMetricsJSON(w)
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		streams := map[string]any{}
+		status := "serving"
+		for _, name := range reg.Names() {
+			op, ok := reg.Get(name)
+			if !ok {
+				continue
+			}
+			sh := operatorHealth(op)
+			if s, _ := sh["status"].(string); s != "serving" && status == "serving" {
+				status = s
+			}
+			delete(sh, "status")
+			streams[name] = sh
+		}
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(map[string]any{"status": status, "streams": streams})
+	})
+	mux.HandleFunc("GET /streams", func(w http.ResponseWriter, r *http.Request) {
+		type streamJSON struct {
+			Name       string `json:"name"`
+			Shards     int    `json:"shards"`
+			Processed  uint64 `json:"processed"`
+			Skyline    int    `json:"skyline"`
+			Candidates int    `json:"candidates"`
+			WALState   string `json:"wal_state"`
+		}
+		out := []streamJSON{}
+		for _, name := range reg.Names() {
+			op, ok := reg.Get(name)
+			if !ok {
+				continue
+			}
+			cfg, _ := reg.Config(name)
+			st := op.Stats()
+			out = append(out, streamJSON{
+				Name: name, Shards: cfg.Shards,
+				Processed: st.Processed, Skyline: st.Skyline,
+				Candidates: st.Candidates, WALState: op.WALState().String(),
+			})
+		}
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(map[string]any{"streams": out})
+	})
+	mux.HandleFunc("POST /streams/{name}/push", func(w http.ResponseWriter, r *http.Request) {
+		op, ok := lookupStream(reg, w, r)
 		if !ok {
 			return
 		}
+		accepted, err := pushNDJSON(op, r.Body)
+		if err != nil {
+			code := http.StatusBadRequest
+			if errors.Is(err, pskyline.ErrOverloaded) {
+				code = http.StatusTooManyRequests
+			} else if errors.Is(err, pskyline.ErrClosed) {
+				code = http.StatusConflict
+			}
+			httpError(w, code, fmt.Sprintf("after %d accepted: %v", accepted, err))
+			return
+		}
+		if r.URL.Query().Get("drain") == "1" {
+			op.Drain()
+		}
 		w.Header().Set("Content-Type", "application/json")
-		m.WriteMetricsJSON(w)
+		json.NewEncoder(w).Encode(map[string]any{"accepted": accepted})
 	})
+	mux.HandleFunc("GET /streams/{name}/skyline", func(w http.ResponseWriter, r *http.Request) {
+		op, ok := lookupStream(reg, w, r)
+		if !ok {
+			return
+		}
+		var (
+			sky []pskyline.SkyPoint
+			err error
+		)
+		if qs := r.URL.Query().Get("q"); qs != "" {
+			q, perr := strconv.ParseFloat(qs, 64)
+			if perr != nil {
+				httpError(w, http.StatusBadRequest, fmt.Sprintf("bad q: %v", perr))
+				return
+			}
+			sky, err = op.Query(q)
+			if err != nil {
+				httpError(w, http.StatusBadRequest, err.Error())
+				return
+			}
+		} else {
+			sky = op.Skyline()
+		}
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(map[string]any{
+			"processed": op.Stats().Processed,
+			"skyline":   skylineJSON(sky),
+		})
+	})
+	addPprof(mux)
+	return mux
+}
+
+func lookupStream(reg *pskyline.StreamRegistry, w http.ResponseWriter, r *http.Request) (pskyline.Operator, bool) {
+	name := r.PathValue("name")
+	op, ok := reg.Get(name)
+	if !ok {
+		httpError(w, http.StatusNotFound, fmt.Sprintf("unknown stream %q", name))
+		return nil, false
+	}
+	return op, true
+}
+
+func httpError(w http.ResponseWriter, code int, msg string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(map[string]any{"error": msg})
+}
+
+// pushElementJSON is the wire form of one ingested element (NDJSON line).
+type pushElementJSON struct {
+	Point []float64 `json:"point"`
+	Prob  float64   `json:"prob"`
+	TS    int64     `json:"ts"`
+}
+
+// pushNDJSON streams newline-delimited JSON elements into op in bounded
+// batches, returning how many elements were accepted before any error.
+func pushNDJSON(op pskyline.Operator, body io.Reader) (int, error) {
+	const batchSize = 256
+	dec := json.NewDecoder(body)
+	batch := make([]pskyline.Element, 0, batchSize)
+	accepted := 0
+	flush := func() error {
+		if len(batch) == 0 {
+			return nil
+		}
+		if _, err := op.PushBatch(batch); err != nil {
+			return err
+		}
+		accepted += len(batch)
+		batch = batch[:0]
+		return nil
+	}
+	for {
+		var p pushElementJSON
+		if err := dec.Decode(&p); err != nil {
+			if err == io.EOF {
+				break
+			}
+			if ferr := flush(); ferr != nil {
+				return accepted, ferr
+			}
+			return accepted, fmt.Errorf("element %d: %v", accepted+len(batch)+1, err)
+		}
+		batch = append(batch, pskyline.Element{Point: p.Point, Prob: p.Prob, TS: p.TS})
+		if len(batch) == batchSize {
+			if err := flush(); err != nil {
+				return accepted, err
+			}
+		}
+	}
+	return accepted, flush()
+}
+
+func addPprof(mux *http.ServeMux) {
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
-	return mux
 }
 
 // skyPointJSON is the wire form of a skyline member (payloads are omitted:
@@ -182,16 +408,16 @@ func traceJSON(tr []pskyline.TraceEvent) []traceEventJSON {
 	return out
 }
 
-// startServer binds addr and serves the observability mux in the background.
-// The returned server is already accepting connections (answering 503 until
-// the handle holds a monitor); the caller shuts it down with Close.
-func startServer(addr string, h *monitorHandle, errw io.Writer) (*http.Server, error) {
+// startServer binds addr and serves the given handler in the background.
+// The returned server is already accepting connections; the caller shuts it
+// down with Close.
+func startServer(addr string, handler http.Handler, errw io.Writer) (*http.Server, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("http listen %s: %v", addr, err)
 	}
 	srv := &http.Server{
-		Handler: newServeMux(h),
+		Handler: handler,
 		// Hardening against slow or stuck clients: a slowloris peer cannot
 		// hold a connection open indefinitely, and a wedged response write
 		// cannot pin a handler goroutine forever. WriteTimeout leaves room
@@ -202,6 +428,6 @@ func startServer(addr string, h *monitorHandle, errw io.Writer) (*http.Server, e
 		IdleTimeout:       2 * time.Minute,
 	}
 	go srv.Serve(ln)
-	fmt.Fprintf(errw, "pskyline: serving /metrics, /healthz, /debug/skyline, /debug/vars, /debug/pprof on http://%s\n", ln.Addr())
+	fmt.Fprintf(errw, "pskyline: serving on http://%s\n", ln.Addr())
 	return srv, nil
 }

@@ -3,6 +3,7 @@ package pskyline
 import (
 	"errors"
 	"fmt"
+	"path/filepath"
 	"time"
 
 	"pskyline/internal/vfs"
@@ -85,6 +86,26 @@ type Durability struct {
 	FaultSeed int64
 
 	fs vfs.FS // test hook: overrides the filesystem (see export_test.go)
+}
+
+// Namespace derives a Durability configuration rooted at a subdirectory of
+// this one — the layout seam behind multi-tenant streams
+// (<root>/streams/<name>) and sharded monitors (<stream>/shard-NNN). Every
+// other knob (fsync, policy, fault injection, the test filesystem) is
+// inherited. Each part must be a valid stream name (see StreamConfig), so a
+// namespace can never escape the root or collide with the WAL's own files.
+func (d Durability) Namespace(parts ...string) (Durability, error) {
+	if d.Dir == "" {
+		return d, errors.New("pskyline: Namespace requires Durability.Dir")
+	}
+	nd := d
+	for _, p := range parts {
+		if err := ValidateStreamName(p); err != nil {
+			return d, err
+		}
+		nd.Dir = filepath.Join(nd.Dir, p)
+	}
+	return nd, nil
 }
 
 // RecoveryInfo reports what Open found and repaired. It is fixed at Open
@@ -217,6 +238,7 @@ func Open(opt Options) (*Monitor, error) {
 		Fsync:         pol,
 		FsyncInterval: d.FsyncInterval,
 		SegmentBytes:  d.SegmentBytes,
+		SparseSeq:     opt.shard != nil,
 		FS:            fsys,
 		Policy:        fpol,
 		RetryMax:      d.RetryMax,
@@ -238,11 +260,21 @@ func Open(opt Options) (*Monitor, error) {
 	}
 
 	// Re-ingest the committed log tail through the live ingestion path.
-	// Every record must continue exactly where the engine stands: a gap
-	// means the checkpoint predates the garbage-collected log.
+	// A dense (standalone) log must continue exactly where the engine
+	// stands: a gap means the checkpoint predates the garbage-collected
+	// log. A shard member's log is legitimately sparse — it holds one
+	// shard's subsequence of the globally numbered stream — so only
+	// regressions (records behind the engine) are rejected.
 	m.replaying = true
 	replayed, rerr := w.Replay(m.eng.NextSeq(), func(r wal.Record) error {
-		if want := m.eng.NextSeq(); r.Seq != want {
+		want := m.eng.NextSeq()
+		if m.opts.shard != nil {
+			if r.Seq < want {
+				return fmt.Errorf("log record %d behind shard engine position %d", r.Seq, want)
+			}
+			return m.replayShardLocked(r)
+		}
+		if r.Seq != want {
 			return fmt.Errorf("log record %d does not continue engine position %d (checkpoint older than the retained log?)", r.Seq, want)
 		}
 		_, err := m.ingestLocked(Element{Point: r.Point, Prob: r.Prob, TS: r.TS})
@@ -274,7 +306,13 @@ func (m *Monitor) checkConfig(opt Options) error {
 	if opt.Dims != m.eng.Dims() {
 		return fmt.Errorf("pskyline: open: Options.Dims=%d but the recovered state has %d dimensions", opt.Dims, m.eng.Dims())
 	}
-	if opt.Window != m.eng.Window() {
+	if opt.shard != nil {
+		// Shard engines run windowless; the logical count window is
+		// recorded in the checkpoint instead.
+		if opt.shard.window != m.snapShardWindow {
+			return fmt.Errorf("pskyline: open: shard window %d but the recovered state has window %d", opt.shard.window, m.snapShardWindow)
+		}
+	} else if opt.Window != m.eng.Window() {
 		return fmt.Errorf("pskyline: open: Options.Window=%d but the recovered state has window %d", opt.Window, m.eng.Window())
 	}
 	if opt.Period != m.period {
@@ -471,8 +509,10 @@ func (m *Monitor) checkpointLocked() error {
 }
 
 // horizonLocked returns the sequence of the oldest element still inside the
-// sliding window. Window membership is seq-contiguous for both window kinds,
-// so the horizon follows from the fill. Callers hold m.mu.
+// sliding window. The engine tracks it exactly — next−fill arithmetic would
+// overestimate it for shard members, whose in-window sequences are sparse,
+// and GC past the true horizon would lose replayable records. Callers hold
+// m.mu.
 func (m *Monitor) horizonLocked() uint64 {
-	return m.eng.NextSeq() - uint64(m.eng.InWindow())
+	return m.eng.HorizonSeq()
 }

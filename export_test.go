@@ -25,6 +25,15 @@ func (m *Monitor) Crash() {
 	}
 }
 
+// Crash simulates a process kill of a sharded monitor: every shard's queue
+// is stopped and its WAL abandoned unflushed, as one kill -9 would do to all
+// of them at once.
+func (s *ShardedMonitor) Crash() {
+	for _, sh := range s.shards {
+		sh.Crash()
+	}
+}
+
 // WithFS returns a copy of opt whose durability layer runs on fsys instead of
 // the real filesystem — the hook chaos tests use to inject faults without
 // going through the Options.Durability.InjectFaults string.
@@ -32,3 +41,8 @@ func WithFS(opt Options, fsys vfs.FS) Options {
 	opt.Durability.fs = fsys
 	return opt
 }
+
+// MergeViews exposes the cross-shard candidate merge to the differential
+// suite: the sharded parts and the single-engine oracle's view run through
+// the same merge, so their encodings can be compared byte for byte.
+func MergeViews(parts []*View) *View { return mergeCandidateViews(parts) }

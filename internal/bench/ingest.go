@@ -188,6 +188,50 @@ func benchMonitorPushBatch(dims, window, batch int) testing.BenchmarkResult {
 	})
 }
 
+// benchShardedPush measures batched ingestion through a ShardedMonitor in
+// synchronous mode: route + per-shard sequence stamping + end-of-batch
+// watermark ticks on every shard. Compared against the shards=1 row (and the
+// pushbatch row, which is the unsharded Monitor on the same batch size) this
+// isolates the sharding overhead; on a single-core machine no parallel
+// speedup is available, so the spread between shards=1 and shards=4 is the
+// price of the seam, not a throughput claim.
+func benchShardedPush(dims, window, shards, batch int) testing.BenchmarkResult {
+	return testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		s, err := pskyline.NewSharded(pskyline.ShardedOptions{
+			Options: pskyline.Options{Dims: dims, Window: window, Thresholds: []float64{ingestQ}},
+			Shards:  shards,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer s.Close()
+		elems := monitorElems(dims, 2*window+b.N)
+		for head := elems[:2*window]; len(head) > 0; {
+			n := batch
+			if n > len(head) {
+				n = len(head)
+			}
+			if _, err := s.PushBatch(head[:n]); err != nil {
+				b.Fatal(err)
+			}
+			head = head[n:]
+		}
+		elems = elems[2*window:]
+		b.ResetTimer()
+		for len(elems) > 0 {
+			n := batch
+			if n > len(elems) {
+				n = len(elems)
+			}
+			if _, err := s.PushBatch(elems[:n]); err != nil {
+				b.Fatal(err)
+			}
+			elems = elems[n:]
+		}
+	})
+}
+
 // benchMonitorPushWAL measures element-wise Push with durability on: every
 // push appends its element to the WAL and commits (one buffered write, plus
 // an fsync under the "always" policy) before the engine applies it.
@@ -344,6 +388,8 @@ func Ingest(cfg IngestConfig, w io.Writer) IngestRun {
 	add("push/d=3/k=3", benchEnginePush(3, window, []float64{0.7, 0.5, 0.3}, true))
 	add("looped-push/d=3", benchMonitorPush(3, window))
 	add("pushbatch/d=3/B=512", benchMonitorPushBatch(3, window, 512))
+	add("shardpush/d=3/shards=1/B=512", benchShardedPush(3, window, 1, 512))
+	add("shardpush/d=3/shards=4/B=512", benchShardedPush(3, window, 4, 512))
 	add("walpush/d=3/fsync=never", benchMonitorPushWAL(3, window, "never"))
 	add("walpush/d=3/fsync=interval", benchMonitorPushWAL(3, window, "interval"))
 	add("expire/d=3", benchExpire(3, window))

@@ -349,12 +349,74 @@ func (e *Engine) checkElem(pt geom.Point, p float64) error {
 	return nil
 }
 
+// PushAt processes an arrival carrying an externally assigned sequence
+// number. It is the sharding seam: a sharded front end assigns global
+// sequence numbers and routes each element to one shard engine, so a shard
+// sees a sparse, strictly increasing subsequence of the global stream.
+// Because the count-based auto-expiry arithmetic assumes dense sequences,
+// PushAt requires caller-driven expiry (Window == 0, arrivals tracked):
+// the caller expires by sequence (ExpireSeqBelow) or timestamp
+// (ExpireOlderThan) before pushing.
+func (e *Engine) PushAt(seq uint64, pt geom.Point, p float64, ts int64) (*aggrtree.Item, error) {
+	if err := e.checkElem(pt, p); err != nil {
+		return nil, err
+	}
+	if e.window != 0 {
+		return nil, fmt.Errorf("core: PushAt requires caller-driven expiry (Window == 0), engine has window %d", e.window)
+	}
+	if seq < e.next {
+		return nil, fmt.Errorf("core: PushAt sequence %d behind engine position %d", seq, e.next)
+	}
+	return e.push1At(seq, pt, p, ts), nil
+}
+
+// ExpireSeqBelow expires every tracked element whose sequence is strictly
+// below bound. It is the count-window analogue of ExpireOlderThan for
+// engines driven through PushAt, where sequence gaps make the dense
+// seq−window arithmetic of push1 inapplicable. Returns the number of
+// elements expired from the window (whether or not they were candidates).
+func (e *Engine) ExpireSeqBelow(bound uint64) int {
+	if !e.trackArrivals {
+		panic("core: ExpireSeqBelow requires TrackArrivals or Window == 0")
+	}
+	n := 0
+	for len(e.arrivals) > 0 && e.arrivals[0].Seq < bound {
+		if e.metrics != nil {
+			e.clk.Reset()
+		}
+		e.expire(e.arrivals[0].Seq)
+		e.arrivals = e.arrivals[1:]
+		n++
+	}
+	return n
+}
+
+// HorizonSeq returns the sequence of the oldest element still inside the
+// window (e.next when the window is empty). Unlike next−fill arithmetic it
+// is exact for sparse streams ingested through PushAt, where in-window
+// sequences are not contiguous.
+func (e *Engine) HorizonSeq() uint64 {
+	if e.trackArrivals {
+		if len(e.arrivals) > 0 {
+			return e.arrivals[0].Seq
+		}
+		return e.next
+	}
+	return e.next - uint64(e.InWindow())
+}
+
 // push1 is the validated arrival path shared by Push and PushBatch. Both
 // routes run this exact per-element sequence, which is what makes a batch
 // byte-identical to the equivalent sequence of Push calls.
 func (e *Engine) push1(pt geom.Point, p float64, ts int64) *aggrtree.Item {
-	seq := e.next
-	e.next++
+	return e.push1At(e.next, pt, p, ts)
+}
+
+// push1At is push1 with the sequence made explicit. The dense path passes
+// e.next, so the refactor is behavior-preserving; PushAt may pass any
+// seq ≥ e.next.
+func (e *Engine) push1At(seq uint64, pt geom.Point, p float64, ts int64) *aggrtree.Item {
+	e.next = seq + 1
 	e.processed++
 	e.counters.Pushes++
 	if e.metrics != nil {

@@ -59,7 +59,7 @@ func FuzzWALRecord(f *testing.F) {
 		if err := os.WriteFile(path, content, 0o644); err != nil {
 			t.Fatal(err)
 		}
-		info, torn, reason, err := scanSegment(vfs.OS{}, path, 7, nil)
+		info, torn, reason, err := scanSegment(vfs.OS{}, path, 7, false, nil)
 		if err != nil {
 			t.Fatalf("scanSegment returned an error for in-file garbage: %v", err)
 		}
@@ -102,7 +102,7 @@ func FuzzWALRecordHeader(f *testing.F) {
 		if err := os.WriteFile(path, content, 0o644); err != nil {
 			t.Fatal(err)
 		}
-		info, _, reason, err := scanSegment(vfs.OS{}, path, 3, nil)
+		info, _, reason, err := scanSegment(vfs.OS{}, path, 3, false, nil)
 		if err != nil {
 			t.Fatalf("scanSegment error: %v", err)
 		}

@@ -93,7 +93,13 @@ const (
 // scan stopped there. A fully valid segment has torn == size and endClean.
 // onRecord, when non-nil, receives every valid record in order (used by
 // Replay; the scan pass on Open passes nil).
-func scanSegment(fsys vfs.FS, path string, nameSeq uint64, onRecord func(Record) error) (info segmentInfo, torn int64, reason scanEnd, err error) {
+//
+// sparse relaxes intra-segment continuity to "strictly increasing": a log
+// written by one shard of a sharded monitor carries that shard's
+// subsequence of the globally numbered stream, so consecutive records may
+// legitimately skip sequences. The first record must still match the file
+// name, and any non-increase is still corruption.
+func scanSegment(fsys vfs.FS, path string, nameSeq uint64, sparse bool, onRecord func(Record) error) (info segmentInfo, torn int64, reason scanEnd, err error) {
 	f, err := fsys.Open(path)
 	if err != nil {
 		return info, 0, endClean, fmt.Errorf("wal: %w", err)
@@ -148,13 +154,14 @@ func scanSegment(fsys vfs.FS, path string, nameSeq uint64, onRecord func(Record)
 			reason = endCorrupt
 			break
 		}
-		if rec.Seq != expect {
+		if rec.Seq != expect && !(sparse && info.records > 0 && rec.Seq > expect) {
 			// First record must match the file name; later records must be
-			// consecutive. Either mismatch means corruption from here on.
+			// consecutive (dense) or strictly increasing (sparse). Either
+			// mismatch means corruption from here on.
 			reason = endCorrupt
 			break
 		}
-		expect++
+		expect = rec.Seq + 1
 		if onRecord != nil {
 			if err := onRecord(rec); err != nil {
 				return info, 0, endClean, err

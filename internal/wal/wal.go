@@ -64,6 +64,13 @@ type Options struct {
 	FsyncInterval time.Duration
 	// SegmentBytes is the rotation threshold (0 selects 64 MiB).
 	SegmentBytes int64
+	// SparseSeq relaxes sequence continuity to "strictly increasing":
+	// consecutive records may skip sequence numbers. A shard of a sharded
+	// monitor logs only its own subsequence of the globally numbered
+	// stream, so gaps are the normal shape of its log, not corruption.
+	// The same directory must be opened with the same setting it was
+	// written with.
+	SparseSeq bool
 	// FS is the filesystem the log lives on. Nil selects the production
 	// passthrough (vfs.OS); tests substitute a fault-injecting vfs.Fault.
 	FS vfs.FS
@@ -144,7 +151,10 @@ type WAL struct {
 	pending      []byte
 	pendingRecs  uint64
 	pendingFirst uint64 // seq of pending's first record (pendingRecs > 0)
+	pendingLast  uint64 // seq of pending's last record (pendingRecs > 0)
 	nextSeq      uint64 // seq the next appended record must carry (tracking only)
+	fileRecs     uint64 // records flushed to the active segment
+	fileLastSeq  uint64 // seq of the active segment's last flushed record (fileRecs > 0)
 	rotate       bool   // force a fresh segment on the next flush
 	failedSeg    string // segment path left as debris by a failed creation
 	err          error  // sticky failure; nil while healthy
@@ -200,7 +210,7 @@ func Open(dir string, opt Options) (*WAL, ScanResult, error) {
 	}
 	valid := segs[:0]
 	for i := range segs {
-		info, torn, reason, err := scanSegment(fsys, segs[i].path, segs[i].firstSeq, nil)
+		info, torn, reason, err := scanSegment(fsys, segs[i].path, segs[i].firstSeq, opt.SparseSeq, nil)
 		if err != nil {
 			return nil, ScanResult{}, err
 		}
@@ -266,6 +276,8 @@ func Open(dir string, opt Options) (*WAL, ScanResult, error) {
 		w.f = f
 		w.size = last.size
 		w.committed = last.size
+		w.fileRecs = last.records
+		w.fileLastSeq = last.lastSeq
 	}
 	w.met.Segments.SetInt(len(w.segs))
 	w.met.SizeBytes.Set(float64(w.total))
@@ -327,7 +339,7 @@ func (w *WAL) Replay(from uint64, fn func(Record) error) (uint64, error) {
 		if sg.records == 0 || sg.lastSeq < from {
 			continue
 		}
-		_, _, _, err := scanSegment(w.fs, sg.path, sg.firstSeq, func(rec Record) error {
+		_, _, _, err := scanSegment(w.fs, sg.path, sg.firstSeq, w.opt.SparseSeq, func(rec Record) error {
 			if rec.Seq < from {
 				return nil
 			}
@@ -348,7 +360,15 @@ func (w *WAL) Replay(from uint64, fn func(Record) error) (uint64, error) {
 func (w *WAL) AlignTo(seq uint64) {
 	w.mu.Lock()
 	defer w.mu.Unlock()
-	if w.f != nil && w.nextSeq != seq {
+	// In sparse mode a forward jump is an ordinary gap — appends may
+	// continue in the active segment; only a regression (a checkpoint ahead
+	// of the surviving tail) forces a fresh segment. Dense logs rotate on
+	// any misalignment.
+	misaligned := w.nextSeq != seq
+	if w.opt.SparseSeq {
+		misaligned = seq < w.nextSeq
+	}
+	if w.f != nil && misaligned {
 		// Finalize the tail's metadata at its true span before nextSeq moves.
 		w.segMetaLocked()
 		w.rotate = true
@@ -367,6 +387,12 @@ func (w *WAL) AppendElement(seq uint64, pt []float64, p float64, ts int64) error
 	if w.err != nil {
 		return w.err
 	}
+	if w.opt.SparseSeq && seq < w.nextSeq {
+		// A sparse log has no dense continuity to enforce, so regressions
+		// would otherwise go undetected until a scan flags the segment
+		// corrupt. Catch the caller bug at the source instead.
+		return fmt.Errorf("wal: append sequence %d behind log position %d", seq, w.nextSeq)
+	}
 	if w.State() == StateDegraded {
 		w.met.DroppedRecords.Inc()
 		w.met.DroppedBytes.Add(uint64(recordLen(len(pt))))
@@ -378,6 +404,7 @@ func (w *WAL) AppendElement(seq uint64, pt []float64, p float64, ts int64) error
 	}
 	w.pending = appendRecord(w.pending, seq, pt, p, ts)
 	w.pendingRecs++
+	w.pendingLast = seq
 	w.nextSeq = seq + 1
 	w.met.Appends.Inc()
 	w.met.AppendLatency.Record(time.Since(t0))
@@ -471,6 +498,8 @@ func (w *WAL) writePendingOnceLocked() error {
 	w.size += n
 	w.committed = w.size
 	w.total += n
+	w.fileRecs += w.pendingRecs
+	w.fileLastSeq = w.pendingLast
 	w.met.AppendedBytes.Add(uint64(n))
 	w.met.SizeBytes.Set(float64(w.total))
 	w.pending = w.pending[:0]
@@ -637,6 +666,8 @@ func (w *WAL) Reattach(seq uint64) error {
 	w.dirty = false
 	w.pending = w.pending[:0]
 	w.pendingRecs = 0
+	w.fileRecs = 0
+	w.fileLastSeq = 0
 	w.rotate = false
 	w.failedSeg = ""
 	w.nextSeq = seq
@@ -709,6 +740,8 @@ func (w *WAL) ensureSegmentLocked(seq uint64, n int64) error {
 	w.size = segHdrLen
 	w.committed = segHdrLen
 	w.dirty = false
+	w.fileRecs = 0
+	w.fileLastSeq = 0
 	w.total += segHdrLen
 	w.segs = append(w.segs, segmentInfo{path: path, firstSeq: seq, size: segHdrLen})
 	w.met.Segments.SetInt(len(w.segs))
@@ -717,20 +750,17 @@ func (w *WAL) ensureSegmentLocked(seq uint64, n int64) error {
 }
 
 // segMetaLocked finalizes the active segment's bookkeeping (size, record
-// span) before the segment list is consulted for rotation or GC. Records are
-// consecutive within a segment, so the span follows from the next on-disk
-// sequence — pending (unflushed) records are not part of the segment yet.
+// span) before the segment list is consulted for rotation or GC. The record
+// count and last sequence are tracked exactly at flush time — arithmetic
+// from the next sequence would miscount sparse (gapped) logs — and pending
+// (unflushed) records are not part of the segment yet.
 func (w *WAL) segMetaLocked() {
 	if n := len(w.segs); n > 0 && w.f != nil {
-		diskNext := w.nextSeq
-		if w.pendingRecs > 0 {
-			diskNext = w.pendingFirst
-		}
 		last := &w.segs[n-1]
 		last.size = w.size
-		if diskNext > last.firstSeq {
-			last.lastSeq = diskNext - 1
-			last.records = diskNext - last.firstSeq
+		last.records = w.fileRecs
+		if w.fileRecs > 0 {
+			last.lastSeq = w.fileLastSeq
 		}
 	}
 }

@@ -99,93 +99,116 @@ func (mm *monMetrics) meanProb() float64 {
 // buildRegistry assembles the export registry over the monitor's metrics.
 // Called once at construction; every registered source reads atomics or the
 // published view, so scrapes never contend with ingestion.
+//
+// Standalone monitors own a private registry. Multi-tenant hosts
+// (StreamRegistry, NewSharded) pass a shared registry plus identifying
+// labels (stream="...", shard="..."): series then register as additional
+// labeled children of one family per metric name, so a single /metrics
+// endpoint exports every stream and shard side by side.
 func (m *Monitor) buildRegistry() {
 	mm := &m.met
-	r := obs.NewRegistry()
+	r := m.opts.sharedReg
+	if r == nil {
+		r = obs.NewRegistry()
+	}
+	base := m.opts.metricLabels
+	lbl := func(extra ...obs.Label) []obs.Label {
+		if len(base) == 0 {
+			return extra
+		}
+		return append(append(make([]obs.Label, 0, len(base)+len(extra)), base...), extra...)
+	}
+	counter := func(name, help string, c *obs.Counter) { r.RegisterCounter(name, help, c, lbl()...) }
+	counterFn := func(name, help string, fn func() float64) { r.RegisterCounterFunc(name, help, fn, lbl()...) }
+	gauge := func(name, help string, g *obs.Gauge) { r.RegisterGauge(name, help, g, lbl()...) }
+	gaugeFn := func(name, help string, fn func() float64) { r.RegisterGaugeFunc(name, help, fn, lbl()...) }
+	hist := func(name, help string, h *obs.Histogram, extra ...obs.Label) {
+		r.RegisterHistogram(name, help, h, lbl(extra...)...)
+	}
 	u := func(v *atomic.Uint64) func() float64 {
 		return func() float64 { return float64(v.Load()) }
 	}
 
-	r.RegisterCounterFunc("pskyline_pushes_total", "Stream elements ingested.", u(&mm.pushes))
-	r.RegisterCounterFunc("pskyline_expiries_total", "Candidate elements expired out of the window.", u(&mm.expiries))
-	r.RegisterCounterFunc("pskyline_nodes_visited_total", "R-tree entries classified during probes and update traversals.", u(&mm.nodesVisited))
-	r.RegisterCounterFunc("pskyline_items_touched_total", "Elements examined or mutated individually.", u(&mm.itemsTouched))
-	r.RegisterCounterFunc("pskyline_lazy_applied_total", "Entry-level lazy multiplications covering whole subtrees.", u(&mm.lazyApplied))
-	r.RegisterCounterFunc("pskyline_candidate_removals_total", "Elements dropped from the candidate set before expiry.", u(&mm.removals))
-	r.RegisterCounterFunc("pskyline_band_moves_total", "Element reclassifications between threshold bands.", u(&mm.moves))
-	r.RegisterCounter("pskyline_skyline_enters_total", "Elements entering the q_1-skyline.", &mm.enters)
-	r.RegisterCounter("pskyline_skyline_leaves_total", "Elements leaving the q_1-skyline.", &mm.leaves)
-	r.RegisterCounter("pskyline_view_publishes_total", "Read view publications.", &mm.publishes)
+	counterFn("pskyline_pushes_total", "Stream elements ingested.", u(&mm.pushes))
+	counterFn("pskyline_expiries_total", "Candidate elements expired out of the window.", u(&mm.expiries))
+	counterFn("pskyline_nodes_visited_total", "R-tree entries classified during probes and update traversals.", u(&mm.nodesVisited))
+	counterFn("pskyline_items_touched_total", "Elements examined or mutated individually.", u(&mm.itemsTouched))
+	counterFn("pskyline_lazy_applied_total", "Entry-level lazy multiplications covering whole subtrees.", u(&mm.lazyApplied))
+	counterFn("pskyline_candidate_removals_total", "Elements dropped from the candidate set before expiry.", u(&mm.removals))
+	counterFn("pskyline_band_moves_total", "Element reclassifications between threshold bands.", u(&mm.moves))
+	counter("pskyline_skyline_enters_total", "Elements entering the q_1-skyline.", &mm.enters)
+	counter("pskyline_skyline_leaves_total", "Elements leaving the q_1-skyline.", &mm.leaves)
+	counter("pskyline_view_publishes_total", "Read view publications.", &mm.publishes)
 
-	r.RegisterGaugeFunc("pskyline_candidates", "Current candidate set size |S_{N,q_k}|.", u(&mm.candidates))
-	r.RegisterGaugeFunc("pskyline_skyline_size", "Current q_1-skyline size |SKY_{N,q_1}|.", u(&mm.skyline))
-	r.RegisterGaugeFunc("pskyline_candidates_max", "Maximum candidate set size observed.", u(&mm.maxCandidates))
-	r.RegisterGaugeFunc("pskyline_skyline_max", "Maximum q_1-skyline size observed.", u(&mm.maxSkyline))
-	r.RegisterGaugeFunc("pskyline_window_fill", "Stream elements currently inside the sliding window.", u(&mm.windowFill))
-	r.RegisterGaugeFunc("pskyline_mean_occurrence_prob", "Mean occurrence probability of pushed elements.", mm.meanProb)
-	r.RegisterGaugeFunc("pskyline_publish_age_seconds", "Seconds since the last view publication.", func() float64 {
+	gaugeFn("pskyline_candidates", "Current candidate set size |S_{N,q_k}|.", u(&mm.candidates))
+	gaugeFn("pskyline_skyline_size", "Current q_1-skyline size |SKY_{N,q_1}|.", u(&mm.skyline))
+	gaugeFn("pskyline_candidates_max", "Maximum candidate set size observed.", u(&mm.maxCandidates))
+	gaugeFn("pskyline_skyline_max", "Maximum q_1-skyline size observed.", u(&mm.maxSkyline))
+	gaugeFn("pskyline_window_fill", "Stream elements currently inside the sliding window.", u(&mm.windowFill))
+	gaugeFn("pskyline_mean_occurrence_prob", "Mean occurrence probability of pushed elements.", mm.meanProb)
+	gaugeFn("pskyline_publish_age_seconds", "Seconds since the last view publication.", func() float64 {
 		last := mm.lastPublishNs.Load()
 		if last == 0 {
 			return 0
 		}
 		return float64(time.Now().UnixNano()-last) / 1e9
 	})
-	r.RegisterGaugeFunc("pskyline_threshold_max", "Largest maintained threshold q_1.", func() float64 {
+	gaugeFn("pskyline_threshold_max", "Largest maintained threshold q_1.", func() float64 {
 		ths := m.view.Load().thresholds
 		return ths[0]
 	})
-	r.RegisterGaugeFunc("pskyline_threshold_min", "Smallest maintained threshold q_k.", func() float64 {
+	gaugeFn("pskyline_threshold_min", "Smallest maintained threshold q_k.", func() float64 {
 		ths := m.view.Load().thresholds
 		return ths[len(ths)-1]
 	})
-	r.RegisterGaugeFunc("pskyline_theory_skyline_bound",
+	gaugeFn("pskyline_theory_skyline_bound",
 		"Theorem 7 upper bound on E(|SKY_{N,q_1}|) at the observed window fill and mean probability.",
 		m.theorySkylineBound)
-	r.RegisterGaugeFunc("pskyline_theory_candidate_bound",
+	gaugeFn("pskyline_theory_candidate_bound",
 		"Theorem 8 upper bound on E(|S_{N,q_k}|) at the observed window fill and mean probability.",
 		m.theoryCandidateBound)
 
 	for _, st := range mm.eng.StageHistograms() {
-		r.RegisterHistogram("pskyline_stage_seconds",
+		hist("pskyline_stage_seconds",
 			"Per-stage latency of the arrival/expiry pipeline.",
 			st.Hist, obs.Label{Key: "stage", Value: st.Name})
 	}
-	r.RegisterHistogram("pskyline_publish_interval_seconds",
+	hist("pskyline_publish_interval_seconds",
 		"Interval between consecutive view publications.", &mm.publishGap)
 
 	if m.aq != nil {
 		q := m.aq
-		r.RegisterCounter("pskyline_queue_dropped_total", "Elements shed by the async queue's overload policy.", &mm.qDrops)
-		r.RegisterGaugeFunc("pskyline_queue_depth", "Elements waiting in the async ingestion queue.", func() float64 { return float64(len(q.ch)) })
-		r.RegisterGaugeFunc("pskyline_queue_capacity", "Capacity of the async ingestion queue.", func() float64 { return float64(cap(q.ch)) })
+		counter("pskyline_queue_dropped_total", "Elements shed by the async queue's overload policy.", &mm.qDrops)
+		gaugeFn("pskyline_queue_depth", "Elements waiting in the async ingestion queue.", func() float64 { return float64(len(q.ch)) })
+		gaugeFn("pskyline_queue_capacity", "Capacity of the async ingestion queue.", func() float64 { return float64(cap(q.ch)) })
 	}
 
 	if m.wal != nil {
 		wm := &mm.wal
-		r.RegisterCounter("pskyline_wal_appends_total", "Elements appended to the write-ahead log.", &wm.Appends)
-		r.RegisterCounterFunc("pskyline_wal_appended_bytes_total", "Bytes appended to the write-ahead log.", func() float64 { return float64(wm.AppendedBytes.Load()) })
-		r.RegisterCounter("pskyline_wal_commits_total", "WAL group commits (one per push or ingested batch).", &wm.Commits)
-		r.RegisterCounter("pskyline_wal_fsyncs_total", "WAL fsync syscalls.", &wm.Fsyncs)
-		r.RegisterCounter("pskyline_wal_rotations_total", "WAL segment rotations.", &wm.Rotations)
-		r.RegisterCounter("pskyline_wal_gc_segments_total", "WAL segments removed by garbage collection.", &wm.GCSegments)
-		r.RegisterGauge("pskyline_wal_segments", "Live WAL segment count.", &wm.Segments)
-		r.RegisterGauge("pskyline_wal_size_bytes", "Total on-disk size of the write-ahead log.", &wm.SizeBytes)
-		r.RegisterGauge("pskyline_wal_state", "Durability health state (0 healthy, 1 retrying, 2 degraded, 3 detached).", &wm.State)
-		r.RegisterCounter("pskyline_wal_write_errors_total", "Durability failures observed (including failed retry attempts).", &wm.WriteErrors)
-		r.RegisterCounter("pskyline_wal_retries_total", "WAL recovery attempts under the retry policy.", &wm.Retries)
-		r.RegisterCounter("pskyline_wal_dropped_records_total", "Records shed while the WAL was degraded.", &wm.DroppedRecords)
-		r.RegisterCounter("pskyline_wal_dropped_bytes_total", "Bytes shed while the WAL was degraded.", &wm.DroppedBytes)
-		r.RegisterCounter("pskyline_wal_reattaches_total", "Successful recoveries from degraded back to healthy.", &wm.Reattaches)
-		r.RegisterCounter("pskyline_checkpoints_total", "Checkpoints installed.", &mm.ckpts)
-		r.RegisterCounter("pskyline_checkpoint_failures_total", "Checkpoint attempts that failed.", &mm.ckptFails)
-		r.RegisterGaugeFunc("pskyline_checkpoint_seq", "Stream position of the newest installed checkpoint.", func() float64 { return float64(mm.ckptSeqA.Load()) })
-		r.RegisterGaugeFunc("pskyline_recovery_replayed_records", "WAL records re-ingested by the last recovery.", func() float64 { return float64(m.recovery.Replayed) })
-		r.RegisterGaugeFunc("pskyline_recovery_truncated_bytes", "Torn WAL bytes discarded by the last recovery.", func() float64 { return float64(m.recovery.TruncatedBytes) })
+		counter("pskyline_wal_appends_total", "Elements appended to the write-ahead log.", &wm.Appends)
+		counterFn("pskyline_wal_appended_bytes_total", "Bytes appended to the write-ahead log.", func() float64 { return float64(wm.AppendedBytes.Load()) })
+		counter("pskyline_wal_commits_total", "WAL group commits (one per push or ingested batch).", &wm.Commits)
+		counter("pskyline_wal_fsyncs_total", "WAL fsync syscalls.", &wm.Fsyncs)
+		counter("pskyline_wal_rotations_total", "WAL segment rotations.", &wm.Rotations)
+		counter("pskyline_wal_gc_segments_total", "WAL segments removed by garbage collection.", &wm.GCSegments)
+		gauge("pskyline_wal_segments", "Live WAL segment count.", &wm.Segments)
+		gauge("pskyline_wal_size_bytes", "Total on-disk size of the write-ahead log.", &wm.SizeBytes)
+		gauge("pskyline_wal_state", "Durability health state (0 healthy, 1 retrying, 2 degraded, 3 detached).", &wm.State)
+		counter("pskyline_wal_write_errors_total", "Durability failures observed (including failed retry attempts).", &wm.WriteErrors)
+		counter("pskyline_wal_retries_total", "WAL recovery attempts under the retry policy.", &wm.Retries)
+		counter("pskyline_wal_dropped_records_total", "Records shed while the WAL was degraded.", &wm.DroppedRecords)
+		counter("pskyline_wal_dropped_bytes_total", "Bytes shed while the WAL was degraded.", &wm.DroppedBytes)
+		counter("pskyline_wal_reattaches_total", "Successful recoveries from degraded back to healthy.", &wm.Reattaches)
+		counter("pskyline_checkpoints_total", "Checkpoints installed.", &mm.ckpts)
+		counter("pskyline_checkpoint_failures_total", "Checkpoint attempts that failed.", &mm.ckptFails)
+		gaugeFn("pskyline_checkpoint_seq", "Stream position of the newest installed checkpoint.", func() float64 { return float64(mm.ckptSeqA.Load()) })
+		gaugeFn("pskyline_recovery_replayed_records", "WAL records re-ingested by the last recovery.", func() float64 { return float64(m.recovery.Replayed) })
+		gaugeFn("pskyline_recovery_truncated_bytes", "Torn WAL bytes discarded by the last recovery.", func() float64 { return float64(m.recovery.TruncatedBytes) })
 		for _, st := range []struct {
 			name string
 			h    *obs.Histogram
 		}{{"wal_append", &wm.AppendLatency}, {"wal_commit", &wm.CommitLatency}, {"wal_fsync", &wm.FsyncLatency}} {
-			r.RegisterHistogram("pskyline_stage_seconds",
+			hist("pskyline_stage_seconds",
 				"Per-stage latency of the arrival/expiry pipeline.",
 				st.h, obs.Label{Key: "stage", Value: st.name})
 		}

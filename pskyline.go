@@ -49,6 +49,11 @@ import (
 // ErrClosed is returned by Push and PushBatch after Close.
 var ErrClosed = errors.New("pskyline: monitor is closed")
 
+// errShardMember guards a shard member's public write entry points: pushes
+// must carry globally assigned sequence numbers, which only the owning
+// ShardedMonitor can provide.
+var errShardMember = errors.New("pskyline: monitor is a shard member; push through its ShardedMonitor")
+
 // Element is one uncertain stream element handed to Push.
 type Element struct {
 	// Point is the element's location; smaller coordinates dominate. Its
@@ -143,6 +148,20 @@ type Options struct {
 	// applies it, checkpoints are installed periodically, and Open recovers
 	// the combined state after a crash. See the Durability type.
 	Durability Durability
+
+	// shard marks the monitor as one shard of a ShardedMonitor: sequence
+	// numbers arrive pre-assigned from the sharded front end, the engine
+	// runs without a window of its own (expiry is driven by sequence or
+	// timestamp watermarks), and the public Push/PushBatch entry points are
+	// disabled. Set only by NewSharded.
+	shard *shardMember
+
+	// metricLabels and sharedReg let a multi-tenant host register this
+	// monitor's metric series, labeled, into one shared export registry
+	// (one family per metric name across all streams and shards). Set by
+	// StreamRegistry and NewSharded.
+	metricLabels []obs.Label
+	sharedReg    *obs.Registry
 }
 
 // Monitor is a continuous probabilistic skyline operator. It is safe for
@@ -197,19 +216,26 @@ type Monitor struct {
 	// the checkpoint store; walPol the parsed failure policy. Under the
 	// "shed" policy degradedCh wakes the reattacher goroutine, whose
 	// lifecycle reattachStop/reattachDone/reattachOnce manage.
-	wal          *wal.WAL
-	dur          Durability
-	fsys         vfs.FS
-	walPol       wal.Policy
-	ckptSince    int
-	ckptSeq      uint64
-	replaying    bool
-	recovery     RecoveryInfo
-	walErr       atomic.Pointer[error]
-	degradedCh   chan struct{}
-	reattachStop chan struct{}
-	reattachDone chan struct{}
-	reattachOnce sync.Once
+	wal       *wal.WAL
+	dur       Durability
+	fsys      vfs.FS
+	walPol    wal.Policy
+	ckptSince int
+	ckptSeq   uint64
+	replaying bool
+	recovery  RecoveryInfo
+
+	// lastTS is the highest element timestamp ingested (guarded by mu). It
+	// is checkpointed and, for shard members, drives the recovered global
+	// watermark. snapShardWindow carries a recovered checkpoint's logical
+	// shard window for the Open-time configuration check.
+	lastTS          int64
+	snapShardWindow int
+	walErr          atomic.Pointer[error]
+	degradedCh      chan struct{}
+	reattachStop    chan struct{}
+	reattachDone    chan struct{}
+	reattachOnce    sync.Once
 
 	closed bool // guarded by mu; Push/PushBatch return ErrClosed once set
 }
@@ -232,7 +258,16 @@ func NewMonitor(opt Options) (*Monitor, error) {
 // starting background goroutines (the recovery path replays the WAL tail in
 // between).
 func newMonitorCore(opt Options) (*Monitor, error) {
-	if (opt.Window > 0) == (opt.Period > 0) {
+	if opt.shard != nil {
+		// A shard member holds one slice of a globally numbered stream:
+		// the logical count window lives in the shard config (the engine
+		// runs windowless and expires by explicit sequence/timestamp
+		// watermarks), and the front end validated the window/period
+		// exclusivity already.
+		if (opt.shard.window > 0) == (opt.Period > 0) || opt.Window != 0 {
+			return nil, errors.New("pskyline: internal: malformed shard member configuration")
+		}
+	} else if (opt.Window > 0) == (opt.Period > 0) {
 		return nil, errors.New("pskyline: exactly one of Window and Period must be positive")
 	}
 	if opt.AsyncQueue < 0 {
@@ -248,12 +283,13 @@ func newMonitorCore(opt Options) (*Monitor, error) {
 	}
 	m.trace = newTraceRing(opt.TraceDepth)
 	eng, err := core.NewEngine(core.Options{
-		Dims:       opt.Dims,
-		Window:     opt.Window,
-		Thresholds: opt.Thresholds,
-		MaxEntries: opt.MaxEntries,
-		OnChange:   m.onChange,
-		Metrics:    &m.met.eng,
+		Dims:          opt.Dims,
+		Window:        opt.Window,
+		Thresholds:    opt.Thresholds,
+		MaxEntries:    opt.MaxEntries,
+		TrackArrivals: opt.shard != nil,
+		OnChange:      m.onChange,
+		Metrics:       &m.met.eng,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("pskyline: %w", err)
@@ -365,6 +401,9 @@ func (m *Monitor) validate(e Element) error {
 // sequence number the element will receive once the background goroutine
 // ingests it; call Drain to wait for queries to observe it.
 func (m *Monitor) Push(e Element) (uint64, error) {
+	if m.opts.shard != nil {
+		return 0, errShardMember
+	}
 	if err := m.validate(e); err != nil {
 		return 0, err
 	}
@@ -409,6 +448,9 @@ func (m *Monitor) Push(e Element) (uint64, error) {
 // With an async queue the batch is enqueued whole (blocking when the queue
 // is full) and ingested by the background goroutine.
 func (m *Monitor) PushBatch(es []Element) (uint64, error) {
+	if m.opts.shard != nil {
+		return 0, errShardMember
+	}
 	for i := range es {
 		if err := m.validate(es[i]); err != nil {
 			return 0, fmt.Errorf("batch element %d: %w", i, err)
@@ -465,6 +507,9 @@ func (m *Monitor) ingestLocked(e Element) (uint64, error) {
 	}
 	m.probSum += e.Prob
 	m.probCount++
+	if e.TS > m.lastTS {
+		m.lastTS = e.TS
+	}
 	return it.Seq, nil
 }
 
@@ -509,6 +554,9 @@ func (m *Monitor) ingestBatchLocked(es []Element) (uint64, error) {
 	}
 	for i := range es {
 		m.probSum += es[i].Prob
+		if es[i].TS > m.lastTS {
+			m.lastTS = es[i].TS
+		}
 	}
 	m.probCount += uint64(len(es))
 	return first, nil

@@ -1,0 +1,153 @@
+#!/usr/bin/env bash
+# Multi-tenant smoke test: one `pskyline -streams` process hosts three
+# independent streams (single-engine, 4-shard, async-queued), three
+# concurrent clients POST the same NDJSON dataset to them, and the sharded
+# stream's skyline must match the single-engine one — the merge-exactness
+# guarantee, observed end to end over HTTP. Membership, points and input
+# probabilities must agree exactly; Psky is allowed 1e-12 relative slack
+# because the single engine maintains it incrementally while the shard merge
+# recomputes it canonically (log-factor addition is not associative, so the
+# last couple of ULPs can differ — see DESIGN.md §13). Run from the repo
+# root (`make shard-smoke`).
+set -euo pipefail
+
+GO=${GO:-go}
+ADDR=${ADDR:-127.0.0.1:18084}
+N=${N:-4000}
+tmp=$(mktemp -d)
+trap 'kill "$pid" 2>/dev/null || true; rm -rf "$tmp"' EXIT
+
+"$GO" build -o "$tmp/pskyline" ./cmd/pskyline
+"$GO" run ./cmd/datagen -dims 3 -n "$N" -seed 7 > "$tmp/stream.csv"
+# CSV (x,y,z,prob,ts) -> the push endpoint's NDJSON wire form.
+awk -F, '{printf "{\"point\":[%s,%s,%s],\"prob\":%s,\"ts\":%s}\n",$1,$2,$3,$4,$5}' \
+    "$tmp/stream.csv" > "$tmp/stream.ndjson"
+
+"$tmp/pskyline" -http "$ADDR" -streams \
+    "single:dims=3,window=800,q=0.3;sharded:dims=3,window=800,q=0.3,shards=4;bursty:dims=3,window=800,q=0.5,async=256" \
+    > "$tmp/out.log" 2> "$tmp/err.log" &
+pid=$!
+
+for _ in $(seq 1 100); do
+    grep -q "hosting 3 streams" "$tmp/err.log" 2>/dev/null && break
+    kill -0 "$pid" 2>/dev/null || { echo "pskyline exited early"; cat "$tmp/err.log"; exit 1; }
+    sleep 0.1
+done
+grep -q "hosting 3 streams" "$tmp/err.log" || { echo "server never announced itself"; cat "$tmp/err.log"; exit 1; }
+
+fetch() { curl -fsS --max-time 10 "http://$ADDR$1"; }
+post() {
+    curl -fsS --max-time 60 --data-binary @"$tmp/stream.ndjson" \
+        "http://$ADDR/streams/$1/push?drain=1"
+}
+
+# Concurrent ingest: all three tenants at once, same dataset. Each POST body
+# is decoded sequentially, so per-stream arrival order is deterministic even
+# though the tenants race each other.
+post single  > "$tmp/acc_single.json"  & p1=$!
+post sharded > "$tmp/acc_sharded.json" & p2=$!
+post bursty  > "$tmp/acc_bursty.json"  & p3=$!
+wait "$p1" "$p2" "$p3"
+for s in single sharded bursty; do
+    grep -qF "\"accepted\":$N" "$tmp/acc_$s.json" \
+        || { echo "stream $s did not accept $N elements"; cat "$tmp/acc_$s.json"; exit 1; }
+done
+
+# The 4-shard engine must produce the same skyline: identical seq set,
+# identical points and probabilities, Psky within 1e-12.
+fetch /streams/single/skyline  > "$tmp/sk_single.json"
+fetch /streams/sharded/skyline > "$tmp/sk_sharded.json"
+grep -qF "\"processed\":$N" "$tmp/sk_single.json" \
+    || { echo "single stream lost elements"; cat "$tmp/sk_single.json"; exit 1; }
+cat > "$tmp/skycmp.go" <<'GOEOF'
+// Compares two /streams/{name}/skyline responses: processed counts and the
+// skyline member sets (seq, point, prob) must be identical; psky must agree
+// to 1e-12 relative.
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"os"
+	"sort"
+)
+
+type resp struct {
+	Processed uint64 `json:"processed"`
+	Skyline   []struct {
+		Seq   uint64    `json:"seq"`
+		Point []float64 `json:"point"`
+		Prob  float64   `json:"prob"`
+		Psky  float64   `json:"psky"`
+	} `json:"skyline"`
+}
+
+func load(path string) resp {
+	raw, err := os.ReadFile(path)
+	die(err)
+	var r resp
+	die(json.Unmarshal(raw, &r))
+	sort.Slice(r.Skyline, func(i, j int) bool { return r.Skyline[i].Seq < r.Skyline[j].Seq })
+	return r
+}
+
+func die(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}
+
+func main() {
+	a, b := load(os.Args[1]), load(os.Args[2])
+	if a.Processed != b.Processed || len(a.Skyline) != len(b.Skyline) {
+		fmt.Fprintf(os.Stderr, "processed %d/%d, skyline size %d/%d\n",
+			a.Processed, b.Processed, len(a.Skyline), len(b.Skyline))
+		os.Exit(1)
+	}
+	for i := range a.Skyline {
+		x, y := a.Skyline[i], b.Skyline[i]
+		if x.Seq != y.Seq || x.Prob != y.Prob || fmt.Sprint(x.Point) != fmt.Sprint(y.Point) {
+			fmt.Fprintf(os.Stderr, "member %d differs: %+v vs %+v\n", i, x, y)
+			os.Exit(1)
+		}
+		if diff := math.Abs(x.Psky - y.Psky); diff > 1e-12*math.Max(x.Psky, 1e-300) {
+			fmt.Fprintf(os.Stderr, "seq %d psky %v vs %v\n", x.Seq, x.Psky, y.Psky)
+			os.Exit(1)
+		}
+	}
+	fmt.Printf("skylines match: %d members over %d elements\n", len(a.Skyline), a.Processed)
+}
+GOEOF
+"$GO" run "$tmp/skycmp.go" "$tmp/sk_single.json" "$tmp/sk_sharded.json" \
+    || { echo "sharded skyline differs from single-engine skyline"; exit 1; }
+
+# Restricted query on the sharded stream (q is a registered threshold).
+fetch "/streams/sharded/skyline?q=0.3" | grep -q '"skyline":' \
+    || { echo "BAD restricted query"; exit 1; }
+
+# Tenant listing and health aggregate across all streams.
+listing=$(fetch /streams)
+for want in '"name":"single"' '"name":"sharded"' '"name":"bursty"' '"shards":4'; do
+    echo "$listing" | grep -qF "$want" \
+        || { echo "MISSING in /streams: $want"; echo "$listing"; exit 1; }
+done
+health=$(fetch /healthz)
+echo "$health" | grep -q '"status":"serving"' || { echo "BAD /healthz: $health"; exit 1; }
+echo "$health" | grep -qF "\"processed\":$N" || { echo "BAD /healthz: $health"; exit 1; }
+
+# One exposition serves every tenant: series are labeled by stream, and the
+# sharded stream fans out into per-shard series (labels sorted by key).
+metrics=$(fetch /metrics)
+for series in \
+    'stream="single"' 'stream="bursty"' \
+    'shard="0",stream="sharded"' 'shard="3",stream="sharded"' \
+    "pskyline_pushes_total{stream=\"single\"} $N"; do
+    echo "$metrics" | grep -qF "$series" \
+        || { echo "MISSING series: $series"; echo "$metrics" | head -40; exit 1; }
+done
+
+kill "$pid"
+wait "$pid" 2>/dev/null || true
+echo "shard smoke OK: 3 tenants x $N elements, sharded skyline matches single-engine"

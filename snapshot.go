@@ -25,6 +25,9 @@ const ckptVersion = 1
 const ckptHdrLen = 12 // magic + uint32 version
 
 // monitorSnapshot wraps the engine checkpoint with the monitor's own state.
+// LastTS and ShardWindow were added for sharded monitors; gob tolerates the
+// added fields in both directions (older checkpoints restore them as zero),
+// so the format version is unchanged.
 type monitorSnapshot struct {
 	Period int64
 	Data   map[uint64]any
@@ -32,6 +35,14 @@ type monitorSnapshot struct {
 	// behind the mean-probability and theory-bound gauges across restarts.
 	ProbSum   float64
 	ProbCount uint64
+	// LastTS is the highest ingested element timestamp — for shard members
+	// it seeds the recovered global watermark.
+	LastTS int64
+	// ShardWindow is the logical count window of a shard member (0 for
+	// standalone monitors and time windows): the shard engine itself runs
+	// windowless, so the Open-time configuration check needs it recorded
+	// here.
+	ShardWindow int
 }
 
 // Snapshot writes a checkpoint of the monitor to w: a versioned header, then
@@ -60,12 +71,18 @@ func (m *Monitor) snapshotLocked(w io.Writer) error {
 	if _, err := w.Write(hdr[:]); err != nil {
 		return fmt.Errorf("pskyline: snapshot: %w", err)
 	}
+	shardWindow := 0
+	if m.opts.shard != nil {
+		shardWindow = m.opts.shard.window
+	}
 	enc := gob.NewEncoder(w)
 	if err := enc.Encode(monitorSnapshot{
-		Period:    m.period,
-		Data:      m.data,
-		ProbSum:   m.probSum,
-		ProbCount: m.probCount,
+		Period:      m.period,
+		Data:        m.data,
+		ProbSum:     m.probSum,
+		ProbCount:   m.probCount,
+		LastTS:      m.lastTS,
+		ShardWindow: shardWindow,
 	}); err != nil {
 		return fmt.Errorf("pskyline: snapshot: %w", err)
 	}
@@ -132,11 +149,13 @@ func restoreCore(r io.Reader, opt Options) (*Monitor, error) {
 		return nil, fmt.Errorf("pskyline: restore: %w", err)
 	}
 	m := &Monitor{
-		data:      ms.Data,
-		period:    ms.Period,
-		opts:      opt,
-		probSum:   ms.ProbSum,
-		probCount: ms.ProbCount,
+		data:            ms.Data,
+		period:          ms.Period,
+		opts:            opt,
+		probSum:         ms.ProbSum,
+		probCount:       ms.ProbCount,
+		lastTS:          ms.LastTS,
+		snapShardWindow: ms.ShardWindow,
 	}
 	if m.data == nil {
 		m.data = make(map[uint64]any)
