@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build vet lint test race bench-concurrent bench bench-smoke serve-smoke crash-smoke chaos-smoke shard-smoke ci
+.PHONY: build vet lint test race bench-concurrent bench bench-smoke serve-smoke crash-smoke chaos-smoke shard-smoke bench-recovery ci
 
 build:
 	$(GO) build ./...
@@ -74,4 +74,10 @@ chaos-smoke:
 shard-smoke:
 	bash scripts/shard_smoke.sh
 
-ci: build lint test race bench-concurrent bench-smoke serve-smoke crash-smoke chaos-smoke shard-smoke
+# Recovery-reopen benchmark smoke: seeds a durable window, reopens it via the
+# serial/incremental restore path and the parallel-decode + STR bulk-load
+# path, and asserts both rows complete.
+bench-recovery:
+	bash scripts/recovery_smoke.sh
+
+ci: build lint test race bench-concurrent bench-smoke serve-smoke crash-smoke chaos-smoke shard-smoke bench-recovery

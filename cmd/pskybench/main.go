@@ -31,15 +31,17 @@ func main() {
 		ingestLabel  = flag.String("label", "local", "label naming the -ingest run in the trajectory file")
 		ingestWindow = flag.Int("ingest-window", 0, "sliding window of the -ingest workloads (0 = default 10000)")
 		ingestShort  = flag.Bool("ingest-short", false, "shrink the -ingest workloads for smoke runs")
+		recoverOnly  = flag.Bool("ingest-recover-only", false, "run only the recovery-reopen workloads (the bench-recovery smoke)")
 	)
 	flag.Parse()
 
 	if *ingest {
 		fmt.Printf("pskybench: ingestion workloads (label %q)\n", *ingestLabel)
 		run := bench.Ingest(bench.IngestConfig{
-			Window: *ingestWindow,
-			Short:  *ingestShort,
-			Label:  *ingestLabel,
+			Window:      *ingestWindow,
+			Short:       *ingestShort,
+			Label:       *ingestLabel,
+			RecoverOnly: *recoverOnly,
 		}, os.Stdout)
 		if err := bench.WriteIngest(*ingestOut, run); err != nil {
 			fmt.Fprintln(os.Stderr, "pskybench:", err)

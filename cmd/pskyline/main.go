@@ -209,7 +209,8 @@ func run(cfg config, stdin io.Reader, out, errw io.Writer) error {
 		}
 	}
 	// With durability, the HTTP server comes up before recovery so probes see
-	// 503 "recovering" during replay instead of connection refused.
+	// 503 "recovering" during replay instead of connection refused — with the
+	// live replay progress in the body.
 	var (
 		srv *http.Server
 		h   *monitorHandle
@@ -217,6 +218,11 @@ func run(cfg config, stdin io.Reader, out, errw io.Writer) error {
 	)
 	if cfg.httpAddr != "" {
 		h = newMonitorHandle(nil)
+		if cfg.walDir != "" {
+			prog := &pskyline.RecoveryProgress{}
+			h.progress = prog
+			opt.Durability.Progress = prog
+		}
 		srv, err = startServer(cfg.httpAddr, newServeMux(h), errw)
 		if err != nil {
 			return err

@@ -25,9 +25,12 @@ type opBox struct{ op pskyline.Operator }
 // recovered operator is stored. Readiness probes can therefore hold traffic
 // back during a long replay instead of reading a half-recovered state. The
 // handle serves either a single *Monitor or a *ShardedMonitor — both
-// implement pskyline.Operator.
+// implement pskyline.Operator. With progress set, the 503 body also carries
+// live replay progress (segments decoded/total, records re-ingested), so a
+// probe can tell a long replay from a wedged one.
 type monitorHandle struct {
-	mon atomic.Pointer[opBox]
+	mon      atomic.Pointer[opBox]
+	progress *pskyline.RecoveryProgress
 }
 
 func newMonitorHandle(op pskyline.Operator) *monitorHandle {
@@ -46,7 +49,13 @@ func (h *monitorHandle) ready(w http.ResponseWriter) (pskyline.Operator, bool) {
 	if b == nil {
 		w.Header().Set("Content-Type", "application/json")
 		w.WriteHeader(http.StatusServiceUnavailable)
-		json.NewEncoder(w).Encode(map[string]any{"status": "recovering"})
+		body := map[string]any{"status": "recovering"}
+		if p := h.progress; p != nil {
+			body["segments_decoded"] = p.SegmentsDecoded()
+			body["segments_total"] = p.SegmentsTotal()
+			body["records_replayed"] = p.RecordsReplayed()
+		}
+		json.NewEncoder(w).Encode(body)
 		return nil, false
 	}
 	return b.op, true

@@ -169,6 +169,81 @@ func TestServeMuxRecovering(t *testing.T) {
 	}
 }
 
+// TestServeMuxRecoveringProgress verifies the 503 "recovering" body carries
+// live replay progress when the handle has a RecoveryProgress attached: a
+// durable directory is built with a WAL tail, reopened with the progress
+// hook, and the counters the endpoint reports must match what recovery
+// actually replayed.
+func TestServeMuxRecoveringProgress(t *testing.T) {
+	dir := t.TempDir()
+	opt := pskyline.Options{
+		Dims: 2, Window: 200, Thresholds: []float64{0.3},
+		Durability: pskyline.Durability{Dir: dir, Fsync: "never", CheckpointEvery: -1},
+	}
+	m, err := pskyline.Open(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 500
+	for _, l := range genCSV(13, n) {
+		el, err := parseLine(l, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := m.Push(el); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := m.Close(); err != nil { // Close flushes the WAL; no checkpoint is installed
+		t.Fatal(err)
+	}
+
+	prog := &pskyline.RecoveryProgress{}
+	opt.Durability.Progress = prog
+	m2, err := pskyline.Open(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m2.Close()
+	rec := m2.Recovery()
+	if rec.Replayed != n {
+		t.Fatalf("recovery replayed %d records, want %d", rec.Replayed, n)
+	}
+	if got := prog.RecordsReplayed(); got != n {
+		t.Fatalf("progress reports %d records replayed, want %d", got, n)
+	}
+	if prog.SegmentsTotal() == 0 || prog.SegmentsDecoded() != prog.SegmentsTotal() {
+		t.Fatalf("progress segments %d/%d after recovery", prog.SegmentsDecoded(), prog.SegmentsTotal())
+	}
+
+	h := newMonitorHandle(nil) // still "recovering": no operator stored yet
+	h.progress = prog
+	srv := httptest.NewServer(newServeMux(h))
+	defer srv.Close()
+	resp, err := srv.Client().Get(srv.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("/healthz while recovering: status %d, want 503", resp.StatusCode)
+	}
+	var hm map[string]any
+	if err := json.Unmarshal(body, &hm); err != nil {
+		t.Fatalf("/healthz invalid JSON: %v (%q)", err, body)
+	}
+	if hm["status"] != "recovering" {
+		t.Fatalf("/healthz status = %v, want recovering", hm["status"])
+	}
+	if got := hm["records_replayed"]; got != float64(n) {
+		t.Fatalf("/healthz records_replayed = %v, want %d (body %s)", got, n, body)
+	}
+	if hm["segments_total"] == nil || hm["segments_decoded"] == nil {
+		t.Fatalf("/healthz missing segment progress fields: %s", body)
+	}
+}
+
 // TestRunServeMode drives run() with -http against a live TCP port: the
 // endpoints must respond while the process lingers after EOF, and closing
 // the stop channel must let run return.

@@ -77,6 +77,22 @@ type Durability struct {
 	// reattach the log (0 selects DefaultReattachEvery).
 	ReattachEvery time.Duration
 
+	// RecoveryWorkers sets how many workers decode WAL segments in parallel
+	// during Open's recovery replay (0 selects GOMAXPROCS; 1 forces the
+	// serial scan — the A/B control for recovery benchmarks). Records are
+	// always re-ingested in exact log order regardless of worker count;
+	// only the CPU-bound decode fans out.
+	RecoveryWorkers int
+	// IncrementalRestore rebuilds the checkpointed band trees by inserting
+	// elements one at a time instead of STR bulk loading — the A/B control
+	// for recovery benchmarks. The restored state answers every query
+	// identically; only tree shape and restore time differ.
+	IncrementalRestore bool
+	// Progress, when non-nil, is updated live while Open replays the log,
+	// so a health endpoint can report recovery progress from another
+	// goroutine. Allocate one RecoveryProgress per Open.
+	Progress *RecoveryProgress
+
 	// InjectFaults, when non-empty, wraps the durability filesystem in a
 	// deterministic, seeded fault injector driven by this schedule spec
 	// (vfs.ParseSchedule syntax; the -wal-fault CLI knob). Chaos testing
@@ -107,6 +123,21 @@ func (d Durability) Namespace(parts ...string) (Durability, error) {
 	}
 	return nd, nil
 }
+
+// RecoveryProgress is a live view of Open's crash-recovery replay: how many
+// WAL segments have been decoded and how many records re-ingested so far.
+// All methods are safe to call from any goroutine while Open runs — pass the
+// same value in Durability.Progress and poll it from a readiness endpoint.
+type RecoveryProgress struct{ p wal.ReplayProgress }
+
+// SegmentsTotal returns the number of WAL segments the replay will decode.
+func (r *RecoveryProgress) SegmentsTotal() uint64 { return r.p.SegmentsTotal() }
+
+// SegmentsDecoded returns the number of segments fully decoded so far.
+func (r *RecoveryProgress) SegmentsDecoded() uint64 { return r.p.SegmentsDecoded() }
+
+// RecordsReplayed returns the number of log records re-ingested so far.
+func (r *RecoveryProgress) RecordsReplayed() uint64 { return r.p.RecordsReplayed() }
 
 // RecoveryInfo reports what Open found and repaired. It is fixed at Open
 // time; Monitor.Recovery returns it.
@@ -144,7 +175,10 @@ type RecoveryInfo struct {
 // truncated, and the surviving log tail past the checkpoint is re-ingested
 // through the exact ingestion path used live, so the recovered state is
 // byte-identical to the state the uninterrupted monitor had after its last
-// committed push. Recovery suppresses OnEnter/OnLeave/OnTopK callbacks — the
+// committed push. Checkpointed band trees are rebuilt bottom-up with STR
+// bulk loading and log segments are decoded by parallel workers (see
+// Durability.RecoveryWorkers / IncrementalRestore for the serial controls),
+// so reopening a large window costs seconds, not minutes. Recovery suppresses OnEnter/OnLeave/OnTopK callbacks — the
 // transitions were already reported before the crash.
 //
 // The caller must pass the same core Options (Dims, Window/Period,
@@ -266,7 +300,15 @@ func Open(opt Options) (*Monitor, error) {
 	// shard's subsequence of the globally numbered stream — so only
 	// regressions (records behind the engine) are rejected.
 	m.replaying = true
-	replayed, rerr := w.Replay(m.eng.NextSeq(), func(r wal.Record) error {
+	workers := d.RecoveryWorkers
+	if workers < 0 {
+		workers = 1
+	}
+	var wp *wal.ReplayProgress
+	if d.Progress != nil {
+		wp = &d.Progress.p
+	}
+	replayed, rerr := w.ReplayParallel(m.eng.NextSeq(), workers, wp, func(r wal.Record) error {
 		want := m.eng.NextSeq()
 		if m.opts.shard != nil {
 			if r.Seq < want {

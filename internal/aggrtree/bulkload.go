@@ -1,0 +1,142 @@
+package aggrtree
+
+import (
+	"math"
+	"slices"
+)
+
+// BulkLoad fills an empty tree with the given items bottom-up using
+// Sort-Tile-Recursive packing: sort by the first dimension, cut into slabs,
+// recurse on the remaining dimensions, and pack the resulting tiles into
+// leaves, then group nodes level by level until one root remains. Restoring
+// a window of n elements this way costs one sort pass per dimension plus
+// O(n) node construction, against n incremental inserts (each a descent
+// with possible splits) — the difference is what makes reopening a large
+// durable window O(seconds).
+//
+// Tiles and level groups are distributed evenly (sizes differing by at most
+// one), so every non-root node respects the tree's minimum fill and
+// CheckInvariants holds on the result. Ties on a sort dimension break by
+// sequence number, making the construction fully deterministic: the same
+// item multiset always yields the same tree, byte for byte.
+//
+// The items must carry their final probabilities (Pnew/Pold set by the
+// caller); aggregates are computed from them during construction. The slice
+// is reordered in place. The tree must be empty.
+func (t *Tree) BulkLoad(items []*Item) {
+	if t.size != 0 {
+		panic("aggrtree: BulkLoad on a non-empty tree")
+	}
+	if len(items) == 0 {
+		return
+	}
+	var tiles [][]*Item
+	t.strTile(items, 0, &tiles)
+
+	nodes := make([]*Node, 0, len(tiles))
+	for _, tile := range tiles {
+		n := t.newNode(0)
+		for _, it := range tile {
+			n.attachItem(it)
+		}
+		n.refresh()
+		nodes = append(nodes, n)
+	}
+	level := 1
+	for len(nodes) > 1 {
+		parents := (len(nodes) + t.max - 1) / t.max
+		next := make([]*Node, 0, parents)
+		base, extra := len(nodes)/parents, len(nodes)%parents
+		start := 0
+		for i := 0; i < parents; i++ {
+			sz := base
+			if i < extra {
+				sz++
+			}
+			p := t.newNode(level)
+			for _, c := range nodes[start : start+sz] {
+				p.attachChild(c)
+			}
+			p.refresh()
+			next = append(next, p)
+			start += sz
+		}
+		nodes = next
+		level++
+	}
+	t.freeNode(t.root)
+	t.root = nodes[0]
+	t.root.parent = nil
+	t.size = len(items)
+}
+
+// strTile recursively partitions items into leaf-sized tiles. dim is the
+// dimension this level sorts and slabs on; the slab count is chosen so the
+// remaining dimensions split the leaf count roughly evenly (the classic STR
+// ceil(L^(1/d)) rule).
+func (t *Tree) strTile(items []*Item, dim int, tiles *[][]*Item) {
+	n := len(items)
+	leaves := (n + t.max - 1) / t.max
+	if leaves <= 1 {
+		*tiles = append(*tiles, items)
+		return
+	}
+	sortByDim(items, dim)
+	remDims := t.dims - dim
+	if remDims <= 1 {
+		// Last dimension: cut straight into evenly sized leaf tiles.
+		base, extra := n/leaves, n%leaves
+		start := 0
+		for i := 0; i < leaves; i++ {
+			sz := base
+			if i < extra {
+				sz++
+			}
+			*tiles = append(*tiles, items[start:start+sz])
+			start += sz
+		}
+		return
+	}
+	slabs := int(math.Ceil(math.Pow(float64(leaves), 1/float64(remDims))))
+	if slabs < 1 {
+		slabs = 1
+	}
+	if slabs > n {
+		slabs = n
+	}
+	base, extra := n/slabs, n%slabs
+	start := 0
+	for i := 0; i < slabs; i++ {
+		sz := base
+		if i < extra {
+			sz++
+		}
+		if sz == 0 {
+			continue
+		}
+		t.strTile(items[start:start+sz], dim+1, tiles)
+		start += sz
+	}
+}
+
+// sortByDim orders items by one coordinate, breaking ties by sequence
+// number so the order (and therefore the packed tree) is deterministic.
+// slices.SortFunc (not sort.Slice) keeps the hot restore path free of the
+// reflection-based swapper; seqs are unique, so the unstable sort is still
+// fully determined by the comparator.
+func sortByDim(items []*Item, dim int) {
+	slices.SortFunc(items, func(a, b *Item) int {
+		switch x, y := a.Point[dim], b.Point[dim]; {
+		case x < y:
+			return -1
+		case x > y:
+			return 1
+		case a.Seq < b.Seq:
+			return -1
+		case a.Seq > b.Seq:
+			return 1
+		default:
+			return 0
+		}
+	})
+}

@@ -1,0 +1,190 @@
+package aggrtree
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"pskyline/internal/geom"
+	"pskyline/internal/prob"
+)
+
+func randomItems(rng *rand.Rand, n, dims int) []*Item {
+	items := make([]*Item, n)
+	for i := range items {
+		pt := make(geom.Point, dims)
+		for d := range pt {
+			pt[d] = float64(rng.Intn(50)) // small alphabet → plenty of sort ties
+		}
+		it := NewItem(pt, 0.1+0.9*rng.Float64(), uint64(i+1))
+		it.Pnew = prob.OneMinus(rng.Float64() * 0.9)
+		it.Pold = prob.OneMinus(rng.Float64() * 0.9)
+		items[i] = it
+	}
+	return items
+}
+
+// itemState captures what a tree stores for one element, for set-wise
+// comparison across construction orders.
+type itemState struct {
+	pnew, pold prob.Factor
+	point      string
+}
+
+func collectStates(t *testing.T, tr *Tree) map[uint64]itemState {
+	t.Helper()
+	m := make(map[uint64]itemState, tr.Size())
+	tr.WalkItems(func(it *Item, pnew, pold prob.Factor) bool {
+		if _, dup := m[it.Seq]; dup {
+			t.Fatalf("seq %d walked twice", it.Seq)
+		}
+		m[it.Seq] = itemState{pnew: pnew, pold: pold, point: it.Point.String()}
+		return true
+	})
+	return m
+}
+
+// TestBulkLoadInvariants packs item sets of many shapes and checks the
+// resulting trees hold exactly the incremental trees' contents with valid
+// structure and aggregates — including the leaf coordinate blocks, which
+// CheckInvariants verifies slot by slot.
+func TestBulkLoadInvariants(t *testing.T) {
+	for _, dims := range []int{1, 2, 3, 5} {
+		for _, maxEntries := range []int{4, 12} {
+			for _, n := range []int{0, 1, 3, 12, 13, 25, 100, 1000} {
+				t.Run(fmt.Sprintf("d=%d/max=%d/n=%d", dims, maxEntries, n), func(t *testing.T) {
+					rng := rand.New(rand.NewSource(int64(dims*100000 + maxEntries*1000 + n)))
+					items := randomItems(rng, n, dims)
+					cfg := Config{MaxEntries: maxEntries}
+
+					bulk := New(dims, cfg)
+					bulk.BulkLoad(items)
+					if err := bulk.CheckInvariants(); err != nil {
+						t.Fatalf("bulk-loaded tree: %v", err)
+					}
+					if bulk.Size() != n {
+						t.Fatalf("bulk size %d, want %d", bulk.Size(), n)
+					}
+
+					inc := New(dims, cfg)
+					rng2 := rand.New(rand.NewSource(int64(dims*100000 + maxEntries*1000 + n)))
+					incItems := randomItems(rng2, n, dims)
+					for _, it := range incItems {
+						inc.InsertItem(it)
+					}
+					if err := inc.CheckInvariants(); err != nil {
+						t.Fatalf("incremental tree: %v", err)
+					}
+
+					bs, is := collectStates(t, bulk), collectStates(t, inc)
+					if len(bs) != len(is) {
+						t.Fatalf("bulk walks %d items, incremental %d", len(bs), len(is))
+					}
+					for seq, b := range bs {
+						i, ok := is[seq]
+						if !ok {
+							t.Fatalf("seq %d only in bulk tree", seq)
+						}
+						if b != i {
+							t.Fatalf("seq %d diverged: bulk %+v, incremental %+v", seq, b, i)
+						}
+					}
+				})
+			}
+		}
+	}
+}
+
+// TestBulkLoadDeterministic proves the same item multiset packs into the
+// same tree regardless of input order.
+func TestBulkLoadDeterministic(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	items := randomItems(rng, 500, 3)
+	a := New(3, Config{})
+	a.BulkLoad(append([]*Item(nil), items...))
+
+	rng2 := rand.New(rand.NewSource(99))
+	shuffled := randomItems(rng2, 500, 3)
+	rng2.Shuffle(len(shuffled), func(i, j int) { shuffled[i], shuffled[j] = shuffled[j], shuffled[i] })
+	b := New(3, Config{})
+	b.BulkLoad(shuffled)
+
+	var wa, wb []uint64
+	a.WalkItems(func(it *Item, _, _ prob.Factor) bool { wa = append(wa, it.Seq); return true })
+	b.WalkItems(func(it *Item, _, _ prob.Factor) bool { wb = append(wb, it.Seq); return true })
+	if len(wa) != len(wb) {
+		t.Fatalf("walk lengths %d vs %d", len(wa), len(wb))
+	}
+	for i := range wa {
+		if wa[i] != wb[i] {
+			t.Fatalf("walk order diverged at %d: %d vs %d — packing is input-order dependent", i, wa[i], wb[i])
+		}
+	}
+}
+
+// TestBulkLoadPoison runs bulk loading with pool poisoning on: recycled
+// nodes are NaN-clobbered, so any stale block lane or aggregate surviving
+// into the packed tree trips CheckInvariants.
+func TestBulkLoadPoison(t *testing.T) {
+	SetPoison(true)
+	defer SetPoison(false)
+	pool := NewNodePool(3)
+	rng := rand.New(rand.NewSource(7))
+	for round := 0; round < 5; round++ {
+		tr := New(3, Config{NodePool: pool})
+		items := randomItems(rng, 300, 3)
+		tr.BulkLoad(items)
+		if err := tr.CheckInvariants(); err != nil {
+			t.Fatalf("round %d: %v", round, err)
+		}
+		// Tear the tree down item by item so every node cycles through the
+		// poisoned freelist before the next round bulk-loads from it.
+		for _, it := range items {
+			tr.DeleteItem(it)
+		}
+		if tr.Size() != 0 {
+			t.Fatalf("round %d: %d items left after teardown", round, tr.Size())
+		}
+	}
+}
+
+// FuzzBulkLoad drives BulkLoad with fuzzed shapes and checks structural
+// invariants plus content equality against incremental insertion.
+func FuzzBulkLoad(f *testing.F) {
+	f.Add(int64(1), uint16(10), uint8(3), uint8(12))
+	f.Add(int64(2), uint16(1000), uint8(2), uint8(4))
+	f.Add(int64(3), uint16(13), uint8(5), uint8(6))
+	f.Add(int64(4), uint16(0), uint8(1), uint8(12))
+	f.Fuzz(func(t *testing.T, seed int64, n uint16, dims, maxEntries uint8) {
+		d := int(dims)%6 + 1
+		me := int(maxEntries)
+		if me < 4 {
+			me = 4
+		}
+		if me > 32 {
+			me = 32
+		}
+		count := int(n) % 2048
+		rng := rand.New(rand.NewSource(seed))
+		items := randomItems(rng, count, d)
+		bulk := New(d, Config{MaxEntries: me})
+		bulk.BulkLoad(items)
+		if err := bulk.CheckInvariants(); err != nil {
+			t.Fatalf("bulk (seed=%d n=%d d=%d max=%d): %v", seed, count, d, me, err)
+		}
+		inc := New(d, Config{MaxEntries: me})
+		rng2 := rand.New(rand.NewSource(seed))
+		for _, it := range randomItems(rng2, count, d) {
+			inc.InsertItem(it)
+		}
+		bs, is := collectStates(t, bulk), collectStates(t, inc)
+		if len(bs) != len(is) {
+			t.Fatalf("bulk %d items, incremental %d", len(bs), len(is))
+		}
+		for seq, b := range bs {
+			if i, ok := is[seq]; !ok || b != i {
+				t.Fatalf("seq %d diverged (present=%v)", seq, ok)
+			}
+		}
+	})
+}

@@ -34,6 +34,12 @@ type Node struct {
 	pskyMin, pskyMax prob.Factor
 	pnewMin, pnewMax prob.Factor
 
+	// Leaf coordinate block (block.go): packed SoA mirror of the items'
+	// coordinates, blk[d*blkStride+i] = items[i].Point[d]. Storage is
+	// retained across pool recycling.
+	blk       []float64
+	blkStride int
+
 	// freed marks a node currently sitting in a NodePool freelist. Attach
 	// operations and CheckInvariants reject freed nodes so a stale pointer
 	// into recycled memory fails loudly instead of corrupting aggregates.
@@ -336,12 +342,14 @@ func (n *Node) attachItem(it *Item) {
 		panic("aggrtree: attachItem on freed node or item")
 	}
 	it.leaf = n
+	n.blockAppend(it)
 	n.items = append(n.items, it)
 }
 
 func (n *Node) detachItem(it *Item) {
 	for i, x := range n.items {
 		if x == it {
+			n.blockRemove(i, len(n.items))
 			n.items = append(n.items[:i], n.items[i+1:]...)
 			it.leaf = nil
 			return

@@ -96,6 +96,7 @@ func (p *NodePool) put(n *Node) {
 	}
 	n.items = n.items[:0]
 	if poisonMode {
+		n.blockPoison()
 		n.count = -1
 		n.pnoc = prob.Zero()
 		n.lazyNew, n.lazyOld = prob.Zero(), prob.Zero()

@@ -89,7 +89,22 @@ func (t *Tree) check(n *Node, accNew, accOld prob.Factor) (int, error) {
 		if len(n.children) != 0 {
 			return 0, fmt.Errorf("leaf holds children")
 		}
-		for _, it := range n.items {
+		if len(n.items) > 0 {
+			if n.blk == nil {
+				return 0, fmt.Errorf("leaf with %d items has no coordinate block", len(n.items))
+			}
+			if n.blkStride < len(n.items) || len(n.blk) != t.dims*n.blkStride {
+				return 0, fmt.Errorf("leaf block stride %d / len %d cannot hold %d items of %d dims",
+					n.blkStride, len(n.blk), len(n.items), t.dims)
+			}
+		}
+		for i, it := range n.items {
+			for d := 0; d < t.dims && d < len(it.Point); d++ {
+				if got := n.blk[d*n.blkStride+i]; got != it.Point[d] {
+					return 0, fmt.Errorf("leaf block lane %d slot %d = %v, item coordinate %v (seq %d)",
+						d, i, got, it.Point[d], it.Seq)
+				}
+			}
 			if it.freed {
 				return 0, fmt.Errorf("freed (pooled) item reachable (seq %d)", it.Seq)
 			}

@@ -66,6 +66,9 @@ type IngestConfig struct {
 	Short bool
 	// Label names the run in the trajectory file.
 	Label string
+	// RecoverOnly runs only the recovery-reopen workloads (the
+	// `make bench-recovery` smoke target).
+	RecoverOnly bool
 }
 
 const ingestQ = 0.3
@@ -100,11 +103,13 @@ func ingestResult(name string, r testing.BenchmarkResult) IngestWorkload {
 // element. Stage metrics are enabled — the recorded trajectory measures the
 // instrumented configuration, the one production deployments run; the
 // `nometrics` row re-measures the d=3 workload with timing disabled so the
-// instrumentation overhead is an explicit same-machine diff.
-func benchEnginePush(dims, window int, thresholds []float64, withMetrics bool) testing.BenchmarkResult {
+// instrumentation overhead is an explicit same-machine diff, and the
+// `blockoff` row re-measures it with the SoA block leaf scans disabled so
+// the cache-layout win is one too.
+func benchEnginePush(dims, window int, thresholds []float64, withMetrics, blockOff bool) testing.BenchmarkResult {
 	return testing.Benchmark(func(b *testing.B) {
 		b.ReportAllocs()
-		opt := core.Options{Dims: dims, Window: window, Thresholds: thresholds}
+		opt := core.Options{Dims: dims, Window: window, Thresholds: thresholds, DisableBlockScan: blockOff}
 		if withMetrics {
 			opt.Metrics = new(core.Metrics)
 		}
@@ -380,21 +385,131 @@ func Ingest(cfg IngestConfig, w io.Writer) IngestRun {
 		fmt.Fprintf(w, "  %-28s %10.0f ns/op %8d B/op %7.2f allocs/op %12.0f elems/s\n",
 			row.Name, row.NsPerOp, row.BytesPerOp, row.AllocsPerOp, row.ElemsPerSec)
 	}
-	for _, d := range []int{2, 3, 5} {
-		add(fmt.Sprintf("push/d=%d/q=%.1f", d, ingestQ), benchEnginePush(d, window, []float64{ingestQ}, true))
+	if !cfg.RecoverOnly {
+		for _, d := range []int{2, 3, 5} {
+			add(fmt.Sprintf("push/d=%d/q=%.1f", d, ingestQ), benchEnginePush(d, window, []float64{ingestQ}, true, false))
+		}
+		add("push/d=3/nometrics", benchEnginePush(3, window, []float64{ingestQ}, false, false))
+		add("push/d=3/blockoff", benchEnginePush(3, window, []float64{ingestQ}, true, true))
+		add("push/d=3/q=0.7", benchEnginePush(3, window, []float64{0.7}, true, false))
+		add("push/d=3/k=3", benchEnginePush(3, window, []float64{0.7, 0.5, 0.3}, true, false))
+		add("looped-push/d=3", benchMonitorPush(3, window))
+		add("pushbatch/d=3/B=512", benchMonitorPushBatch(3, window, 512))
+		add("shardpush/d=3/shards=1/B=512", benchShardedPush(3, window, 1, 512))
+		add("shardpush/d=3/shards=4/B=512", benchShardedPush(3, window, 4, 512))
+		add("walpush/d=3/fsync=never", benchMonitorPushWAL(3, window, "never"))
+		add("walpush/d=3/fsync=interval", benchMonitorPushWAL(3, window, "interval"))
+		add("expire/d=3", benchExpire(3, window))
+		add("mixed/d=3", benchMixed(3, window))
 	}
-	add("push/d=3/nometrics", benchEnginePush(3, window, []float64{ingestQ}, false))
-	add("push/d=3/q=0.7", benchEnginePush(3, window, []float64{0.7}, true))
-	add("push/d=3/k=3", benchEnginePush(3, window, []float64{0.7, 0.5, 0.3}, true))
-	add("looped-push/d=3", benchMonitorPush(3, window))
-	add("pushbatch/d=3/B=512", benchMonitorPushBatch(3, window, 512))
-	add("shardpush/d=3/shards=1/B=512", benchShardedPush(3, window, 1, 512))
-	add("shardpush/d=3/shards=4/B=512", benchShardedPush(3, window, 4, 512))
-	add("walpush/d=3/fsync=never", benchMonitorPushWAL(3, window, "never"))
-	add("walpush/d=3/fsync=interval", benchMonitorPushWAL(3, window, "interval"))
-	add("expire/d=3", benchExpire(3, window))
-	add("mixed/d=3", benchMixed(3, window))
+	// Recovery reopen: pskyline.Open against a directory whose checkpoint
+	// holds a full steady-state window (clean shutdown, empty log tail), so
+	// the rows isolate what recovery optimization can change — checkpoint
+	// decode plus band-tree reconstruction. ns/op is per reopen, not per
+	// element. The serial row pins the pre-optimization path (one WAL decode
+	// worker, incremental tree inserts) as the same-machine A/B control for
+	// the STR bulk-load + parallel decode recovery in the fast row.
+	recWindow := 10 * window
+	if dir, err := seedRecoverDir(recWindow); err != nil {
+		fmt.Fprintf(w, "  recover: seed failed: %v\n", err)
+	} else {
+		add(fmt.Sprintf("recover/d=%d/w=%d/serial", recoverDims, recWindow), benchRecover(recWindow, dir, true))
+		add(fmt.Sprintf("recover/d=%d/w=%d/fast", recoverDims, recWindow), benchRecover(recWindow, dir, false))
+		os.RemoveAll(dir)
+	}
 	return run
+}
+
+// recoverDims is the dimensionality of the recovery workloads: d=5 keeps a
+// large fraction of the window in the candidate set (anti-correlated data),
+// so the checkpoint the reopen restores is big enough to measure.
+const recoverDims = 5
+
+// seedRecoverDir builds the durability directory the recover workloads
+// reopen: 2×window pushes to reach steady state, then one checkpoint and a
+// clean close — recovery restores the checkpoint and replays nothing.
+func seedRecoverDir(window int) (string, error) {
+	dir, err := os.MkdirTemp("", "pskybench-recover-")
+	if err != nil {
+		return "", err
+	}
+	m, err := pskyline.Open(recoverOptions(window, dir, false))
+	if err != nil {
+		os.RemoveAll(dir)
+		return "", err
+	}
+	src := ingestDataset(recoverDims).stream(4)
+	batch := make([]pskyline.Element, 0, 512)
+	flush := func() error {
+		if len(batch) == 0 {
+			return nil
+		}
+		_, err := m.PushBatch(batch)
+		batch = batch[:0]
+		return err
+	}
+	for i := 0; i < 2*window; i++ {
+		el := src.Next()
+		batch = append(batch, pskyline.Element{Point: el.Point, Prob: el.P, TS: el.TS})
+		if len(batch) == cap(batch) {
+			if err := flush(); err != nil {
+				os.RemoveAll(dir)
+				return "", err
+			}
+		}
+	}
+	if err := flush(); err != nil {
+		os.RemoveAll(dir)
+		return "", err
+	}
+	if err := m.Checkpoint(); err != nil {
+		os.RemoveAll(dir)
+		return "", err
+	}
+	if err := m.Close(); err != nil {
+		os.RemoveAll(dir)
+		return "", err
+	}
+	// Release the seed run's heap before the reopen measurements: the
+	// 2×window ingest leaves pool arenas and GC debt behind that would
+	// otherwise be charged to whichever recover row runs first.
+	runtime.GC()
+	return dir, nil
+}
+
+func recoverOptions(window int, dir string, serial bool) pskyline.Options {
+	opt := pskyline.Options{
+		Dims: recoverDims, Window: window, Thresholds: []float64{ingestQ},
+		Durability: pskyline.Durability{
+			Dir: dir, Fsync: "never", CheckpointEvery: -1, SegmentBytes: 1 << 20,
+		},
+	}
+	if serial {
+		opt.Durability.RecoveryWorkers = 1
+		opt.Durability.IncrementalRestore = true
+	}
+	return opt
+}
+
+// benchRecover measures one full pskyline.Open of the seeded directory per
+// op (Close runs with the timer stopped).
+func benchRecover(window int, dir string, serial bool) testing.BenchmarkResult {
+	opt := recoverOptions(window, dir, serial)
+	runtime.GC() // both rows start from the same heap state
+	return testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			m, err := pskyline.Open(opt)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.StopTimer()
+			if err := m.Close(); err != nil {
+				b.Fatal(err)
+			}
+			b.StartTimer()
+		}
+	})
 }
 
 // WriteIngest appends run to the trajectory file at path (creating it when

@@ -60,6 +60,11 @@ type Options struct {
 	// Metrics type). Recording is allocation-free; nil disables timing
 	// entirely.
 	Metrics *Metrics
+	// DisableBlockScan turns off the SoA leaf-block dominance scans and
+	// falls back to per-item pointer loops — the A/B control for the block
+	// kernels. Results are identical either way (the differential tests
+	// prove it); only the memory access pattern changes.
+	DisableBlockScan bool
 }
 
 // Event reports an element moving between threshold bands. Band indices are
@@ -106,10 +111,12 @@ type Engine struct {
 	// Hot-path machinery: dimension-specialized dominance kernels selected
 	// once at construction, and the recycling stores that make steady-state
 	// ingestion allocation-free (see arena.go and aggrtree's pools).
-	kern  *geom.Kernels
-	arena *pointArena
-	items *aggrtree.ItemPool
-	nodes *aggrtree.NodePool
+	kern      *geom.Kernels
+	bkern     *geom.BlockKernels
+	blockScan bool // scan leaves through their SoA coordinate blocks
+	arena     *pointArena
+	items     *aggrtree.ItemPool
+	nodes     *aggrtree.NodePool
 
 	maxCand   int
 	maxSky    int
@@ -195,6 +202,8 @@ func NewEngine(opt Options) (*Engine, error) {
 		maxEntries:    opt.MaxEntries,
 		metrics:       opt.Metrics,
 		kern:          geom.KernelsFor(opt.Dims),
+		bkern:         geom.BlockKernelsFor(opt.Dims),
+		blockScan:     !opt.DisableBlockScan,
 		arena:         newPointArena(opt.Dims),
 		items:         aggrtree.NewItemPool(),
 		nodes:         aggrtree.NewNodePool(opt.Dims),

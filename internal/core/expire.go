@@ -86,34 +86,7 @@ func (e *Engine) probeExpire(n *aggrtree.Node, band int, pt geom.Point, om prob.
 	changed := false
 	if n.IsLeaf() {
 		e.counters.ItemsTouched += uint64(len(n.Items()))
-		// The d = 2/3 arms let the inlinable dominance kernels run without
-		// an indirect call.
-		switch e.dims {
-		case 2:
-			for _, x := range n.Items() {
-				if geom.Dominates2(pt, x.Point) {
-					x.Pold = x.Pold.Over(om)
-					*affI = append(*affI, itemT{x, band})
-					changed = true
-				}
-			}
-		case 3:
-			for _, x := range n.Items() {
-				if geom.Dominates3(pt, x.Point) {
-					x.Pold = x.Pold.Over(om)
-					*affI = append(*affI, itemT{x, band})
-					changed = true
-				}
-			}
-		default:
-			for _, x := range n.Items() {
-				if e.kern.Dominates(pt, x.Point) {
-					x.Pold = x.Pold.Over(om)
-					*affI = append(*affI, itemT{x, band})
-					changed = true
-				}
-			}
-		}
+		changed = e.leafExpireDominated(n, band, pt, om, affI)
 	} else {
 		for _, c := range n.Children() {
 			if e.probeExpire(c, band, pt, om, affN, affI) {

@@ -170,7 +170,17 @@ func (e *Engine) insert(it *aggrtree.Item) {
 // under n changed; ancestors' aggregates are refreshed on the unwind.
 func (e *Engine) probeInsert(n *aggrtree.Node, band int, newIt *aggrtree.Item, om, pold prob.Factor, domN *[]nodeT, domI *[]itemT) (prob.Factor, bool) {
 	e.counters.NodesVisited++
-	relDom, relSub := e.kern.ClassifyPoint(n.Rect(), newIt.Point)
+	// The d = 2/3 arms call the unrolled classifiers directly, skipping the
+	// indirect call through the kernel table on every entry visited.
+	var relDom, relSub geom.Relation
+	switch e.dims {
+	case 2:
+		relDom, relSub = geom.ClassifyPoint2(n.Rect(), newIt.Point)
+	case 3:
+		relDom, relSub = geom.ClassifyPoint3(n.Rect(), newIt.Point)
+	default:
+		relDom, relSub = e.kern.ClassifyPoint(n.Rect(), newIt.Point)
+	}
 	if relDom == geom.DomFull {
 		return pold.Times(n.Pnoc()), false
 	}
@@ -195,7 +205,7 @@ func (e *Engine) probeInsert(n *aggrtree.Node, band int, newIt *aggrtree.Item, o
 		// which involves rects, points and Pnoc — all lazy-independent — so
 		// the descent needs neither Push nor a refresh on the unwind.
 		if n.IsLeaf() {
-			return e.foldLeafDominators(n.Items(), newIt.Point, pold), false
+			return e.foldLeafDominators(n, newIt.Point, pold), false
 		}
 		for _, c := range n.Children() {
 			pold = e.probeDominators(c, newIt, pold)
@@ -208,46 +218,10 @@ func (e *Engine) probeInsert(n *aggrtree.Node, band int, newIt *aggrtree.Item, o
 		e.counters.ItemsTouched += uint64(len(n.Items()))
 		if relDom == geom.DomNone {
 			// Nothing under n can dominate a_new; only the dominated side
-			// of the per-item test is live. The d = 2/3 arms let the
-			// inlinable dominance kernels run without an indirect call.
-			switch e.dims {
-			case 2:
-				for _, x := range n.Items() {
-					if geom.Dominates2(newIt.Point, x.Point) {
-						x.Pnew = x.Pnew.Times(om)
-						*domI = append(*domI, itemT{x, band})
-						changed = true
-					}
-				}
-			case 3:
-				for _, x := range n.Items() {
-					if geom.Dominates3(newIt.Point, x.Point) {
-						x.Pnew = x.Pnew.Times(om)
-						*domI = append(*domI, itemT{x, band})
-						changed = true
-					}
-				}
-			default:
-				for _, x := range n.Items() {
-					if e.kern.Dominates(newIt.Point, x.Point) {
-						x.Pnew = x.Pnew.Times(om)
-						*domI = append(*domI, itemT{x, band})
-						changed = true
-					}
-				}
-			}
+			// of the per-item test is live.
+			changed = e.leafMarkDominated(n, band, newIt.Point, om, domI)
 		} else {
-			for _, x := range n.Items() {
-				xDom, newDom := e.kern.Mutual(x.Point, newIt.Point)
-				switch {
-				case xDom:
-					pold = pold.Times(x.OneMinusP())
-				case newDom:
-					x.Pnew = x.Pnew.Times(om)
-					*domI = append(*domI, itemT{x, band})
-					changed = true
-				}
-			}
+			pold, changed = e.leafProbeMutual(n, band, newIt.Point, om, pold, domI)
 		}
 	} else {
 		for _, c := range n.Children() {
@@ -267,7 +241,15 @@ func (e *Engine) probeInsert(n *aggrtree.Node, band int, newIt *aggrtree.Item, o
 // of dominators of a_new without pushing lazies or refreshing aggregates.
 func (e *Engine) probeDominators(n *aggrtree.Node, newIt *aggrtree.Item, pold prob.Factor) prob.Factor {
 	e.counters.NodesVisited++
-	relDom, _ := e.kern.ClassifyPoint(n.Rect(), newIt.Point)
+	var relDom geom.Relation
+	switch e.dims {
+	case 2:
+		relDom, _ = geom.ClassifyPoint2(n.Rect(), newIt.Point)
+	case 3:
+		relDom, _ = geom.ClassifyPoint3(n.Rect(), newIt.Point)
+	default:
+		relDom, _ = e.kern.ClassifyPoint(n.Rect(), newIt.Point)
+	}
 	switch relDom {
 	case geom.DomFull:
 		return pold.Times(n.Pnoc())
@@ -275,38 +257,10 @@ func (e *Engine) probeDominators(n *aggrtree.Node, newIt *aggrtree.Item, pold pr
 		return pold
 	}
 	if n.IsLeaf() {
-		return e.foldLeafDominators(n.Items(), newIt.Point, pold)
+		return e.foldLeafDominators(n, newIt.Point, pold)
 	}
 	for _, c := range n.Children() {
 		pold = e.probeDominators(c, newIt, pold)
-	}
-	return pold
-}
-
-// foldLeafDominators multiplies into pold the non-occurrence factor of every
-// leaf item dominating p. The d = 2/3 arms let the inlinable dominance
-// kernels run without an indirect call.
-func (e *Engine) foldLeafDominators(items []*aggrtree.Item, p geom.Point, pold prob.Factor) prob.Factor {
-	e.counters.ItemsTouched += uint64(len(items))
-	switch e.dims {
-	case 2:
-		for _, x := range items {
-			if geom.Dominates2(x.Point, p) {
-				pold = pold.Times(x.OneMinusP())
-			}
-		}
-	case 3:
-		for _, x := range items {
-			if geom.Dominates3(x.Point, p) {
-				pold = pold.Times(x.OneMinusP())
-			}
-		}
-	default:
-		for _, x := range items {
-			if e.kern.Dominates(x.Point, p) {
-				pold = pold.Times(x.OneMinusP())
-			}
-		}
 	}
 	return pold
 }

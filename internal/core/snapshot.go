@@ -105,6 +105,13 @@ type RestoreOptions struct {
 	// (instrumentation is configuration, not state: histograms restart
 	// empty in the restored process).
 	Metrics *Metrics
+	// IncrementalRestore rebuilds the band trees by inserting the
+	// checkpointed elements one at a time through the regular insertion
+	// path instead of STR bulk-loading — the A/B control for recovery
+	// benchmarks and the differential tests. The resulting engines answer
+	// every query identically; only the tree shape (and restore time)
+	// differs.
+	IncrementalRestore bool
 }
 
 // Restore reads a checkpoint written by Snapshot and returns an engine that
@@ -136,6 +143,10 @@ func RestoreFrom(dec *gob.Decoder, ro RestoreOptions) (*Engine, error) {
 	if err != nil {
 		return nil, fmt.Errorf("core: restore: %w", err)
 	}
+	var bandItems [][]*aggrtree.Item
+	if !ro.IncrementalRestore {
+		bandItems = make([][]*aggrtree.Item, len(e.trees))
+	}
 	for _, si := range s.Items {
 		if si.Band < 0 || si.Band >= len(e.trees) {
 			return nil, fmt.Errorf("core: restore: item %d has band %d of %d", si.Seq, si.Band, len(e.trees))
@@ -150,8 +161,17 @@ func RestoreFrom(dec *gob.Decoder, ro RestoreOptions) (*Engine, error) {
 		it.TS = si.TS
 		it.Pnew = si.Pnew
 		it.Pold = si.Pold
-		e.trees[si.Band].InsertItem(it)
+		if ro.IncrementalRestore {
+			e.trees[si.Band].InsertItem(it)
+		} else {
+			bandItems[si.Band] = append(bandItems[si.Band], it)
+		}
 		e.inS[si.Seq] = it
+	}
+	for b, its := range bandItems {
+		if len(its) > 0 {
+			e.trees[b].BulkLoad(its)
+		}
 	}
 	e.next = s.Next
 	e.processed = s.Processed

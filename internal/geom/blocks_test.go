@@ -1,0 +1,150 @@
+package geom
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// buildLanes packs pts into a dim-major SoA block with the given stride
+// (stride ≥ len(pts)); slack lane slots are filled with garbage to catch
+// kernels that read past m.
+func buildLanes(pts []Point, dims, stride int) []float64 {
+	lanes := make([]float64, dims*stride)
+	for i := range lanes {
+		lanes[i] = -1e300 // garbage that would flip verdicts if read
+	}
+	for i, p := range pts {
+		for d := 0; d < dims; d++ {
+			lanes[d*stride+i] = p[d]
+		}
+	}
+	return lanes
+}
+
+// TestBlockKernelsMatchPointKernels checks every block kernel bit-for-bit
+// against the per-point kernels on dense, tie-heavy and equal inputs,
+// including strides wider than the item count.
+func TestBlockKernelsMatchPointKernels(t *testing.T) {
+	for dims := 1; dims <= 7; dims++ {
+		bk := BlockKernelsFor(dims)
+		if bk.Dims != dims {
+			t.Fatalf("BlockKernelsFor(%d).Dims = %d", dims, bk.Dims)
+		}
+		rng := rand.New(rand.NewSource(int64(900 + dims)))
+		for iter := 0; iter < 4_000; iter++ {
+			sample := densePoint
+			if iter%2 == 1 {
+				sample = tiePoint
+			}
+			m := rng.Intn(14) // 0..13 items, past DefaultMaxEntries
+			pts := make([]Point, m)
+			for i := range pts {
+				pts[i] = sample(rng, dims)
+			}
+			p := sample(rng, dims)
+			if m > 0 && iter%5 == 0 {
+				p = pts[rng.Intn(m)].Clone() // force exact equality with a block item
+			}
+			stride := m + rng.Intn(4)
+			if stride == 0 {
+				stride = 1
+			}
+			lanes := buildLanes(pts, dims, stride)
+
+			var wantDom, wantSub uint64
+			for i, x := range pts {
+				if p.Dominates(x) {
+					wantDom |= 1 << uint(i)
+				}
+				if x.Dominates(p) {
+					wantSub |= 1 << uint(i)
+				}
+			}
+			if got := bk.DominatesBlock(p, lanes, stride, m); got != wantDom {
+				t.Fatalf("d=%d m=%d DominatesBlock = %064b, want %064b (p=%v pts=%v)",
+					dims, m, got, wantDom, p, pts)
+			}
+			if got := bk.BlockDominates(p, lanes, stride, m); got != wantSub {
+				t.Fatalf("d=%d m=%d BlockDominates = %064b, want %064b (p=%v pts=%v)",
+					dims, m, got, wantSub, p, pts)
+			}
+			gotDom, gotSub := bk.MutualBlock(p, lanes, stride, m)
+			if gotDom != wantDom || gotSub != wantSub {
+				t.Fatalf("d=%d m=%d MutualBlock = (%064b, %064b), want (%064b, %064b)",
+					dims, m, gotDom, gotSub, wantDom, wantSub)
+			}
+		}
+	}
+}
+
+// TestBlockKernelsExhaustive2D enumerates every pair drawn from a tiny
+// coordinate alphabet in 2-d, the dimensionality where shared corners are
+// densest, and checks a one-item block against the scalar kernels.
+func TestBlockKernelsExhaustive2D(t *testing.T) {
+	vals := []float64{0, 1, 2}
+	bk := BlockKernelsFor(2)
+	var p, x Point = make(Point, 2), make(Point, 2)
+	lanes := make([]float64, 2)
+	for _, p0 := range vals {
+		for _, p1 := range vals {
+			for _, x0 := range vals {
+				for _, x1 := range vals {
+					p[0], p[1] = p0, p1
+					x[0], x[1] = x0, x1
+					lanes[0], lanes[1] = x0, x1
+					wantDom := b2u(p.Dominates(x))
+					wantSub := b2u(x.Dominates(p))
+					if got := bk.DominatesBlock(p, lanes, 1, 1); got != wantDom {
+						t.Fatalf("DominatesBlock(%v, %v) = %d, want %d", p, x, got, wantDom)
+					}
+					if got := bk.BlockDominates(p, lanes, 1, 1); got != wantSub {
+						t.Fatalf("BlockDominates(%v, %v) = %d, want %d", p, x, got, wantSub)
+					}
+					gd, gs := bk.MutualBlock(p, lanes, 1, 1)
+					if gd != wantDom || gs != wantSub {
+						t.Fatalf("MutualBlock(%v, %v) = (%d,%d), want (%d,%d)", p, x, gd, gs, wantDom, wantSub)
+					}
+				}
+			}
+		}
+	}
+}
+
+func BenchmarkDominatesBlock3(b *testing.B) {
+	rng := rand.New(rand.NewSource(7))
+	const m, stride = 12, 16
+	pts := make([]Point, m)
+	for i := range pts {
+		pts[i] = densePoint(rng, 3)
+	}
+	lanes := buildLanes(pts, 3, stride)
+	p := densePoint(rng, 3)
+	b.ReportAllocs()
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		sink ^= DominatesBlock3(p, lanes, stride, m)
+	}
+	_ = sink
+}
+
+func BenchmarkDominatesLoop3(b *testing.B) {
+	rng := rand.New(rand.NewSource(7))
+	const m = 12
+	pts := make([]Point, m)
+	for i := range pts {
+		pts[i] = densePoint(rng, 3)
+	}
+	p := densePoint(rng, 3)
+	b.ReportAllocs()
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		var mask uint64
+		for j, x := range pts {
+			if Dominates3(p, x) {
+				mask |= 1 << uint(j)
+			}
+		}
+		sink ^= mask
+	}
+	_ = sink
+}

@@ -174,49 +174,59 @@ func mutual5(a, b Point) (bool, bool) {
 //	p ⪯ r.Min (sub full):     !gLo, strict iff lLo
 //	p ⪯ r.Max (sub partial):  !gHi, strict iff lHi
 //
-// relFromAny folds them into the two Relations.
-func relFromAny(gFull, lFull, gPart, lPart bool) Relation {
-	if gFull && !lFull {
+// relFromAny folds them into the two Relations. The per-dimension flags are
+// folded with integer or (b2u compiles to SETcc) instead of short-circuit
+// chains: on shuffled stream data each comparison is close to a coin flip,
+// so branch-free folding beats the predictor.
+func relFromAny(gFull, lFull, gPart, lPart uint64) Relation {
+	if gFull&^lFull != 0 {
 		return DomFull
 	}
-	if gPart && !lPart {
+	if gPart&^lPart != 0 {
 		return DomPartial
 	}
 	return DomNone
 }
 
-func classifyPoint2(r Rect, p Point) (dom, sub Relation) {
+// ClassifyPoint2 computes both dominance relations between a 2-d entry and a
+// point in one pass — the unrolled ClassifyPoint, exported so descent loops
+// that know their dimensionality avoid the indirect call through Kernels.
+func ClassifyPoint2(r Rect, p Point) (dom, sub Relation) {
 	_, _, _ = p[1], r.Min[1], r.Max[1] // bounds-check hint
 	p0, p1 := p[0], p[1]
 	lo0, lo1 := r.Min[0], r.Min[1]
 	hi0, hi1 := r.Max[0], r.Max[1]
-	gLo := p0 > lo0 || p1 > lo1
-	lLo := p0 < lo0 || p1 < lo1
-	gHi := p0 > hi0 || p1 > hi1
-	lHi := p0 < hi0 || p1 < hi1
+	gLo := b2u(p0 > lo0) | b2u(p1 > lo1)
+	lLo := b2u(p0 < lo0) | b2u(p1 < lo1)
+	gHi := b2u(p0 > hi0) | b2u(p1 > hi1)
+	lHi := b2u(p0 < hi0) | b2u(p1 < hi1)
 	return relFromAny(gHi, lHi, gLo, lLo), relFromAny(lLo, gLo, lHi, gHi)
 }
 
-func classifyPoint3(r Rect, p Point) (dom, sub Relation) {
+// ClassifyPoint3 is the 3-d ClassifyPoint2.
+func ClassifyPoint3(r Rect, p Point) (dom, sub Relation) {
 	_, _, _ = p[2], r.Min[2], r.Max[2] // bounds-check hint
 	p0, p1, p2 := p[0], p[1], p[2]
 	lo0, lo1, lo2 := r.Min[0], r.Min[1], r.Min[2]
 	hi0, hi1, hi2 := r.Max[0], r.Max[1], r.Max[2]
-	gLo := p0 > lo0 || p1 > lo1 || p2 > lo2
-	lLo := p0 < lo0 || p1 < lo1 || p2 < lo2
-	gHi := p0 > hi0 || p1 > hi1 || p2 > hi2
-	lHi := p0 < hi0 || p1 < hi1 || p2 < hi2
+	gLo := b2u(p0 > lo0) | b2u(p1 > lo1) | b2u(p2 > lo2)
+	lLo := b2u(p0 < lo0) | b2u(p1 < lo1) | b2u(p2 < lo2)
+	gHi := b2u(p0 > hi0) | b2u(p1 > hi1) | b2u(p2 > hi2)
+	lHi := b2u(p0 < hi0) | b2u(p1 < hi1) | b2u(p2 < hi2)
 	return relFromAny(gHi, lHi, gLo, lLo), relFromAny(lLo, gLo, lHi, gHi)
 }
+
+func classifyPoint2(r Rect, p Point) (dom, sub Relation) { return ClassifyPoint2(r, p) }
+func classifyPoint3(r Rect, p Point) (dom, sub Relation) { return ClassifyPoint3(r, p) }
 
 func classifyPoint4(r Rect, p Point) (dom, sub Relation) {
 	p0, p1, p2, p3 := p[0], p[1], p[2], p[3]
 	lo0, lo1, lo2, lo3 := r.Min[0], r.Min[1], r.Min[2], r.Min[3]
 	hi0, hi1, hi2, hi3 := r.Max[0], r.Max[1], r.Max[2], r.Max[3]
-	gLo := p0 > lo0 || p1 > lo1 || p2 > lo2 || p3 > lo3
-	lLo := p0 < lo0 || p1 < lo1 || p2 < lo2 || p3 < lo3
-	gHi := p0 > hi0 || p1 > hi1 || p2 > hi2 || p3 > hi3
-	lHi := p0 < hi0 || p1 < hi1 || p2 < hi2 || p3 < hi3
+	gLo := b2u(p0 > lo0) | b2u(p1 > lo1) | b2u(p2 > lo2) | b2u(p3 > lo3)
+	lLo := b2u(p0 < lo0) | b2u(p1 < lo1) | b2u(p2 < lo2) | b2u(p3 < lo3)
+	gHi := b2u(p0 > hi0) | b2u(p1 > hi1) | b2u(p2 > hi2) | b2u(p3 > hi3)
+	lHi := b2u(p0 < hi0) | b2u(p1 < hi1) | b2u(p2 < hi2) | b2u(p3 < hi3)
 	return relFromAny(gHi, lHi, gLo, lLo), relFromAny(lLo, gLo, lHi, gHi)
 }
 
@@ -224,10 +234,10 @@ func classifyPoint5(r Rect, p Point) (dom, sub Relation) {
 	p0, p1, p2, p3, p4 := p[0], p[1], p[2], p[3], p[4]
 	lo0, lo1, lo2, lo3, lo4 := r.Min[0], r.Min[1], r.Min[2], r.Min[3], r.Min[4]
 	hi0, hi1, hi2, hi3, hi4 := r.Max[0], r.Max[1], r.Max[2], r.Max[3], r.Max[4]
-	gLo := p0 > lo0 || p1 > lo1 || p2 > lo2 || p3 > lo3 || p4 > lo4
-	lLo := p0 < lo0 || p1 < lo1 || p2 < lo2 || p3 < lo3 || p4 < lo4
-	gHi := p0 > hi0 || p1 > hi1 || p2 > hi2 || p3 > hi3 || p4 > hi4
-	lHi := p0 < hi0 || p1 < hi1 || p2 < hi2 || p3 < hi3 || p4 < hi4
+	gLo := b2u(p0 > lo0) | b2u(p1 > lo1) | b2u(p2 > lo2) | b2u(p3 > lo3) | b2u(p4 > lo4)
+	lLo := b2u(p0 < lo0) | b2u(p1 < lo1) | b2u(p2 < lo2) | b2u(p3 < lo3) | b2u(p4 < lo4)
+	gHi := b2u(p0 > hi0) | b2u(p1 > hi1) | b2u(p2 > hi2) | b2u(p3 > hi3) | b2u(p4 > hi4)
+	lHi := b2u(p0 < hi0) | b2u(p1 < hi1) | b2u(p2 < hi2) | b2u(p3 < hi3) | b2u(p4 < hi4)
 	return relFromAny(gHi, lHi, gLo, lLo), relFromAny(lLo, gLo, lHi, gHi)
 }
 

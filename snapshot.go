@@ -161,7 +161,11 @@ func restoreCore(r io.Reader, opt Options) (*Monitor, error) {
 		m.data = make(map[uint64]any)
 	}
 	m.trace = newTraceRing(opt.TraceDepth)
-	eng, err := core.RestoreFrom(dec, core.RestoreOptions{OnChange: m.onChange, Metrics: &m.met.eng})
+	eng, err := core.RestoreFrom(dec, core.RestoreOptions{
+		OnChange:           m.onChange,
+		Metrics:            &m.met.eng,
+		IncrementalRestore: opt.Durability.IncrementalRestore,
+	})
 	if err != nil {
 		return nil, fmt.Errorf("pskyline: restore: %w", err)
 	}
