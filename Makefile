@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build vet lint test race bench-concurrent bench bench-smoke serve-smoke crash-smoke chaos-smoke shard-smoke bench-recovery ci
+.PHONY: build vet lint test race bench-concurrent bench bench-smoke serve-smoke crash-smoke chaos-smoke shard-smoke bench-recovery load-smoke bench-latency ci
 
 build:
 	$(GO) build ./...
@@ -80,4 +80,21 @@ shard-smoke:
 bench-recovery:
 	bash scripts/recovery_smoke.sh
 
-ci: build lint test race bench-concurrent bench-smoke serve-smoke crash-smoke chaos-smoke shard-smoke bench-recovery
+# End-to-end load-harness smoke test: a short fixed-rate open-loop pskyload
+# sweep against a serve-mode host over HTTP plus an in-process sweep (with
+# the instrumentation-off control), asserting complete accounting and that
+# the windowed visibility-latency series and flight recorder respond.
+load-smoke:
+	bash scripts/load_smoke.sh
+
+# Full latency-vs-rate trajectory: open-loop sweeps of the sync, async and
+# sharded write paths (plus the instrumentation-off control) appended to
+# BENCH_latency.json. Label it after the change being measured, e.g.
+#   make bench-latency BENCH_LABEL=my-change
+bench-latency:
+	$(GO) run ./cmd/pskyload -mode sync -rates 5000,10000,20000 -out BENCH_latency.json -label "$(BENCH_LABEL)-sync"
+	$(GO) run ./cmd/pskyload -mode async -rates 5000,10000,20000 -out BENCH_latency.json -label "$(BENCH_LABEL)-async"
+	$(GO) run ./cmd/pskyload -mode sharded -batch 16 -rates 5000,10000,20000 -out BENCH_latency.json -label "$(BENCH_LABEL)-sharded"
+	$(GO) run ./cmd/pskyload -mode sync -no-latency -rates 10000 -out BENCH_latency.json -label "$(BENCH_LABEL)-control"
+
+ci: build lint test race bench-concurrent bench-smoke serve-smoke crash-smoke chaos-smoke shard-smoke bench-recovery load-smoke

@@ -152,15 +152,17 @@ func (q *asyncQueue) put(op shardOp) bool {
 // enqueue reserves the next sequence number for e and queues it according to
 // the overload policy: Block waits for room, DropNewest fails fast with
 // ErrOverloaded (no number is consumed), DropOldest evicts. The element is
-// already validated.
-func (q *asyncQueue) enqueue(e Element) (uint64, error) {
+// already validated; admitNs is its front-end admission stamp (0 with
+// latency tracking off), carried through the queue so the element's measured
+// latency includes its queue residency.
+func (q *asyncQueue) enqueue(e Element, admitNs int64) (uint64, error) {
 	q.enqMu.Lock()
 	defer q.enqMu.Unlock()
 	if q.closed {
 		return 0, ErrClosed
 	}
 	seq := q.next
-	if !q.put(shardOp{el: e, seq: seq}) {
+	if !q.put(shardOp{el: e, seq: seq, admitNs: admitNs}) {
 		return 0, ErrOverloaded
 	}
 	q.next++
@@ -208,8 +210,9 @@ func (q *asyncQueue) enqueueOps(ops []shardOp) error {
 // fills); under DropNewest a full queue cuts the batch — the accepted prefix
 // keeps its numbers and ErrOverloaded reports the dropped suffix; under
 // DropOldest the whole batch is queued, evicting as needed. Returns the
-// first accepted element's number.
-func (q *asyncQueue) enqueueBatch(es []Element) (uint64, error) {
+// first accepted element's number. admitNs is the batch's shared admission
+// stamp (0 with latency tracking off).
+func (q *asyncQueue) enqueueBatch(es []Element, admitNs int64) (uint64, error) {
 	q.enqMu.Lock()
 	defer q.enqMu.Unlock()
 	if q.closed {
@@ -217,7 +220,7 @@ func (q *asyncQueue) enqueueBatch(es []Element) (uint64, error) {
 	}
 	first := q.next
 	for i := range es {
-		if !q.put(shardOp{el: es[i], seq: q.next}) {
+		if !q.put(shardOp{el: es[i], seq: q.next, admitNs: admitNs}) {
 			q.m.met.qDrops.Add(uint64(len(es) - i - 1)) // the put counted es[i] itself
 			return first, fmt.Errorf("batch elements %d..%d dropped: %w", i, len(es)-1, ErrOverloaded)
 		}
@@ -234,6 +237,7 @@ func (q *asyncQueue) run() {
 	defer close(q.done)
 	buf := make([]shardOp, 0, maxIngestBatch+1)
 	var els []Element // internal-mode unwrap scratch
+	var adm []int64   // internal-mode admission-stamp scratch, parallel to els
 	for {
 		select {
 		case op, ok := <-q.ch:
@@ -241,7 +245,7 @@ func (q *asyncQueue) run() {
 				return
 			}
 			buf = q.gather(append(buf[:0], op))
-			els = q.ingest(buf, els)
+			els, adm = q.ingest(buf, els, adm)
 		case ack := <-q.flush:
 			// Every element sent before the Drain call is already
 			// buffered in ch (its send completed first), so a
@@ -255,7 +259,7 @@ func (q *asyncQueue) run() {
 					}
 					buf = append(buf, op)
 					if len(buf) == maxIngestBatch {
-						els = q.ingest(buf, els)
+						els, adm = q.ingest(buf, els, adm)
 						buf = buf[:0]
 					}
 					continue
@@ -264,7 +268,7 @@ func (q *asyncQueue) run() {
 				break
 			}
 			if len(buf) > 0 {
-				els = q.ingest(buf, els)
+				els, adm = q.ingest(buf, els, adm)
 			} else if q.ext {
 				// An idle shard still advances to the current global
 				// watermark, so a Drain of the sharded front end leaves
@@ -298,26 +302,29 @@ func (q *asyncQueue) gather(buf []shardOp) []shardOp {
 // shards — and hands the pre-numbered ops to applyOps; a durability failure
 // there is already latched in the monitor (later pushes fail fast) and the
 // batch is dropped, mirroring ingestBatch. Internal mode unwraps the
-// elements and runs the classic engine-numbered batch path. els is the
-// unwrap scratch, returned for reuse; buf's payload references are cleared
-// either way so the scratch does not pin expired points.
-func (q *asyncQueue) ingest(buf []shardOp, els []Element) []Element {
+// elements and their admission stamps and runs the classic engine-numbered
+// batch path, passing the current queue depth so flight records capture the
+// backlog behind the batch. els and adm are the unwrap scratches, returned
+// for reuse; buf's payload references are cleared either way so the scratch
+// does not pin expired points.
+func (q *asyncQueue) ingest(buf []shardOp, els []Element, adm []int64) ([]Element, []int64) {
 	if q.ext {
 		if op, ok := q.m.wmOp(); ok {
 			buf = append(buf, op)
 		}
 		_ = q.m.applyOps(buf)
 	} else {
-		els = els[:0]
+		els, adm = els[:0], adm[:0]
 		for i := range buf {
 			els = append(els, buf[i].el)
+			adm = append(adm, buf[i].admitNs)
 		}
-		q.m.ingestBatch(els)
+		q.m.ingestBatch(els, adm, len(q.ch))
 	}
 	for i := range buf {
 		buf[i] = shardOp{}
 	}
-	return els
+	return els, adm
 }
 
 // ingestBatch runs a drained batch through the engine — as one engine-level
@@ -328,19 +335,28 @@ func (q *asyncQueue) ingest(buf []shardOp, els []Element) []Element {
 // monitor's durability error (later pushes fail fast with it) and drops the
 // batch rather than applying unlogged elements — recoverable failures were
 // already absorbed by the WAL's Retry/Shed policy and return no error.
-func (m *Monitor) ingestBatch(es []Element) {
+// admits carries the elements' front-end admission stamps (parallel to es)
+// and queue the async backlog at apply entry, for latency recording.
+func (m *Monitor) ingestBatch(es []Element, admits []int64, queue int) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
+	var sp opSpan
+	if len(admits) > 0 {
+		m.beginOpLocked(&sp, admits[0], queue)
+	}
 	if m.wal != nil && len(es) > 0 {
 		if err := m.logBatchLocked(es); err != nil {
 			return
 		}
 	}
-	if _, err := m.ingestBatchLocked(es); err != nil {
+	first, err := m.ingestBatchLocked(es)
+	if err != nil {
 		panic("pskyline: validated element rejected by engine: " + err.Error())
 	}
+	sp.applyDone()
 	m.refreshTopKLocked()
 	m.publishLocked()
+	m.endOpLocked(&sp, first, len(es), admits, nil)
 	m.maybeCheckpointLocked(len(es))
 }
 

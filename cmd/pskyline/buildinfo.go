@@ -1,0 +1,77 @@
+package main
+
+import (
+	"fmt"
+	"runtime"
+	"runtime/debug"
+)
+
+// buildInfo is what the binary knows about itself: the Go toolchain, the
+// module version, and — when built from a git checkout with module-aware
+// `go build` — the VCS revision, commit time and dirty-worktree flag that
+// runtime/debug.ReadBuildInfo stamps into the binary. It is served by
+// /buildinfo, folded into /healthz, and printed by -version, so an operator
+// can always tie a running process back to the exact source state it was
+// built from.
+type buildInfo struct {
+	GoVersion string `json:"go_version"`
+	Module    string `json:"module"`
+	Version   string `json:"version"`
+	Revision  string `json:"vcs_revision,omitempty"`
+	Time      string `json:"vcs_time,omitempty"`
+	Dirty     bool   `json:"vcs_dirty"`
+}
+
+// readBuildInfo decodes the build metadata baked into the binary. Fields
+// missing from the binary (e.g. a non-VCS build) stay empty.
+func readBuildInfo() buildInfo {
+	out := buildInfo{GoVersion: runtime.Version()}
+	bi, ok := debug.ReadBuildInfo()
+	if !ok {
+		return out
+	}
+	out.Module = bi.Main.Path
+	out.Version = bi.Main.Version
+	for _, s := range bi.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			out.Revision = s.Value
+		case "vcs.time":
+			out.Time = s.Value
+		case "vcs.modified":
+			out.Dirty = s.Value == "true"
+		}
+	}
+	return out
+}
+
+// shortRevision renders the revision for log lines and health bodies:
+// abbreviated, with a "-dirty" suffix for modified worktrees, "" when the
+// binary carries no VCS stamp.
+func (b buildInfo) shortRevision() string {
+	if b.Revision == "" {
+		return ""
+	}
+	rev := b.Revision
+	if len(rev) > 12 {
+		rev = rev[:12]
+	}
+	if b.Dirty {
+		rev += "-dirty"
+	}
+	return rev
+}
+
+func (b buildInfo) String() string {
+	s := fmt.Sprintf("pskyline %s (%s, %s)", b.Version, b.Module, b.GoVersion)
+	if rev := b.shortRevision(); rev != "" {
+		s += " revision " + rev
+		if b.Time != "" {
+			s += " built " + b.Time
+		}
+	}
+	return s
+}
+
+// build is the process-wide build stamp, read once at startup.
+var build = readBuildInfo()

@@ -14,11 +14,18 @@
 // publication on write-heavy streams.
 //
 // -http ADDR serves the monitor's observability endpoints while the stream
-// flows: /metrics (Prometheus), /healthz, /debug/skyline (current skyline +
-// recent transitions), /debug/vars (JSON metrics) and /debug/pprof. With
-// -http the process stays up after the input ends, still serving, until
-// SIGINT/SIGTERM. -summary additionally prints the work counters and
-// per-stage latency quantiles at exit.
+// flows: /metrics (Prometheus), /healthz, /buildinfo, /debug/skyline (current
+// skyline + recent transitions), /debug/flight (flight-recorder span dump),
+// /debug/vars (JSON metrics) and /debug/pprof. With -http the process stays
+// up after the input ends, still serving, until SIGINT/SIGTERM. -summary
+// additionally prints the work counters, per-stage latency quantiles, and the
+// ingest-to-visibility latency block at exit.
+//
+// Ingest-to-visibility latency tracking and the flight recorder are on by
+// default (allocation-free; see DESIGN.md §15); -no-latency turns them off as
+// the instrumentation-off control, -slow-threshold tunes the slow-span latch,
+// and -latency-epoch the recent-quantile window rotation. -version prints the
+// build stamp (VCS revision, Go toolchain) and exits.
 //
 // -wal DIR makes the session crash-recoverable: every element is written to a
 // segmented write-ahead log in DIR before it is applied, checkpoints are
@@ -89,6 +96,10 @@ type config struct {
 	shards      int
 	router      string
 	streams     string
+	// latency instrumentation (-no-latency family)
+	noLatency     bool
+	slowThreshold time.Duration
+	latencyEpoch  time.Duration
 	// durability (-wal family)
 	walDir       string
 	walFsync     string
@@ -126,8 +137,16 @@ func main() {
 		walEvery = flag.Int("wal-checkpoint-every", 0, "install a checkpoint every N ingested elements (0 = default, negative = only at exit)")
 		walFault = flag.String("wal-fault", "", "chaos testing: seeded fault schedule for the durability filesystem (e.g. \"sync:after=40:times=3;write:partial=7\")")
 		walFSeed = flag.Int64("wal-fault-seed", 0, "seed for probabilistic -wal-fault rules (0 = 1)")
+		noLat    = flag.Bool("no-latency", false, "disable ingest-to-visibility latency tracking and the flight recorder (instrumentation-off control)")
+		slowThr  = flag.Duration("slow-threshold", 0, "latch writes at or above this admission-to-visibility latency into the flight recorder's slow ring (0 = default 5ms)")
+		latEpoch = flag.Duration("latency-epoch", 0, "rotation interval of the windowed latency histograms; recent quantiles cover 6 epochs (0 = default 10s)")
+		version  = flag.Bool("version", false, "print build information and exit")
 	)
 	flag.Parse()
+	if *version {
+		fmt.Println(build.String())
+		return
+	}
 
 	var thresholds []float64
 	for _, s := range strings.Split(*qList, ",") {
@@ -143,6 +162,7 @@ func main() {
 		snapshot: *snapshot, summary: *summary, file: *file, ckpt: *ckpt,
 		batch: *batch, async: *async, asyncPolicy: *asyncPol, httpAddr: *httpAddr,
 		shards: *shards, router: *router, streams: *streams,
+		noLatency: *noLat, slowThreshold: *slowThr, latencyEpoch: *latEpoch,
 		walDir: *walDir, walFsync: *walFsync, walPolicy: *walPol,
 		walSegmentMB: *walSegMB, walCkptEvery: *walEvery,
 		walFault: *walFault, walFaultSeed: *walFSeed,
@@ -175,6 +195,11 @@ func run(cfg config, stdin io.Reader, out, errw io.Writer) error {
 		return fmt.Errorf("-shards and -checkpoint are mutually exclusive: sharded state checkpoints through -wal")
 	}
 	opt := pskyline.Options{Dims: cfg.dims, Thresholds: cfg.thresholds, AsyncQueue: cfg.async}
+	opt.Latency = pskyline.LatencyOptions{
+		Disable:       cfg.noLatency,
+		Epoch:         cfg.latencyEpoch,
+		SlowThreshold: cfg.slowThreshold,
+	}
 	pol, perr := pskyline.ParseOverloadPolicy(cfg.asyncPolicy)
 	if perr != nil {
 		return perr
@@ -374,7 +399,9 @@ func run(cfg config, stdin io.Reader, out, errw io.Writer) error {
 		st.Candidates, st.MaxCandidates, st.Skyline, st.MaxSkyline)
 	if cfg.summary {
 		if mon != nil {
-			printWorkSummary(out, mon.Metrics())
+			met := mon.Metrics()
+			printWorkSummary(out, met)
+			printLatencySummary(out, met.Latency, mon.Flight())
 		} else if sm, ok := m.(*pskyline.ShardedMonitor); ok {
 			printShardSummary(out, sm)
 		}
@@ -491,8 +518,10 @@ func parseRouter(name string) (pskyline.Router, error) {
 }
 
 // printShardSummary renders the -summary block for a sharded session: the
-// merged view's aggregate work counters plus one line per shard.
+// merged view's aggregate work counters plus one line per shard, then the
+// shards' merged latency picture.
 func printShardSummary(out io.Writer, sm *pskyline.ShardedMonitor) {
+	var anyLat bool
 	for i := 0; i < sm.NumShards(); i++ {
 		met := sm.Shard(i).Metrics()
 		c := met.Counters
@@ -503,6 +532,60 @@ func printShardSummary(out io.Writer, sm *pskyline.ShardedMonitor) {
 			fmt.Fprintf(out, "shard %d wal: state=%s appends=%d commits=%d checkpoints=%d\n",
 				i, w.State, w.Appends, w.Commits, w.Checkpoints)
 		}
+		if lm := met.Latency; lm != nil {
+			anyLat = true
+			fmt.Fprintf(out, "shard %d visible: n=%d p50=%v p99=%v max=%v\n",
+				i, lm.Visible.TotalCount,
+				time.Duration(lm.Visible.P50Ns).Round(time.Nanosecond),
+				time.Duration(lm.Visible.P99Ns).Round(time.Nanosecond),
+				time.Duration(lm.Visible.MaxNs))
+		}
+	}
+	if anyLat {
+		fi := sm.Flight()
+		fmt.Fprintf(out, "flight (merged): recorded=%d slow=%d threshold=%v\n",
+			fi.Recorded, fi.SlowLatched, fi.SlowThreshold)
+	}
+}
+
+// printLatencySummary renders the ingest-to-visibility latency block of
+// -summary: recent-window quantiles for the applied and visible intervals,
+// the flight recorder counters, and the worst latched slow spans with their
+// stage breakdowns. No-op when tracking is disabled (lm == nil).
+func printLatencySummary(out io.Writer, lm *pskyline.LatencyMetrics, fi pskyline.FlightInfo) {
+	if lm == nil {
+		return
+	}
+	fmt.Fprintf(out, "latency (recent %v window; log2-bucket quantiles, within a factor of sqrt(2) of exact — ±1 bucket, at most 2x)\n",
+		lm.Window)
+	row := func(name string, s pskyline.LatencySummary) {
+		fmt.Fprintf(out, "  %-8s n=%-8d p50=%-10v p99=%-10v p999=%-10v max=%v\n",
+			name, s.Count,
+			time.Duration(s.P50Ns).Round(time.Nanosecond),
+			time.Duration(s.P99Ns).Round(time.Nanosecond),
+			time.Duration(s.P999Ns).Round(time.Nanosecond),
+			time.Duration(s.MaxNs))
+	}
+	row("applied", lm.Applied)
+	row("visible", lm.Visible)
+	fmt.Fprintf(out, "flight: recorded=%d slow=%d threshold=%v\n",
+		lm.FlightSpans, lm.SlowSpans, lm.SlowThreshold)
+	slow := fi.Slow
+	if len(slow) > 3 {
+		slow = slow[len(slow)-3:]
+	}
+	stages := pskyline.SpanStages()
+	for _, sp := range slow {
+		fmt.Fprintf(out, "slow: seq=%d batch=%d total=%v wait=%v apply=%v publish=%v",
+			sp.Seq, sp.Batch,
+			time.Duration(sp.TotalNs), time.Duration(sp.WaitNs),
+			time.Duration(sp.ApplyNs), time.Duration(sp.PublishNs))
+		for j, name := range stages {
+			if sp.StageNs[j] > 0 {
+				fmt.Fprintf(out, " %s=%v", name, time.Duration(sp.StageNs[j]))
+			}
+		}
+		fmt.Fprintln(out)
 	}
 }
 

@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"pskyline"
+	"pskyline/internal/obs"
 	"pskyline/internal/wal"
 )
 
@@ -69,8 +70,11 @@ func (h *monitorHandle) ready(w http.ResponseWriter) (pskyline.Operator, bool) {
 //	/metrics        Prometheus text exposition
 //	/healthz        liveness + stream position JSON; "serving" once ready,
 //	                503 "recovering" while crash recovery replays the log
+//	/buildinfo      build metadata (VCS revision, dirty flag, Go version)
 //	/debug/skyline  current skyline (and, for a single monitor, the
 //	                recent-transition trace), JSON
+//	/debug/flight   flight recorder dump: recent write spans + latched slow
+//	                spans with per-stage breakdowns, JSON
 //	/debug/vars     all metrics as one expvar-style JSON object
 //	/debug/pprof/   the standard runtime profiles
 func newServeMux(h *monitorHandle) *http.ServeMux {
@@ -110,6 +114,14 @@ func newServeMux(h *monitorHandle) *http.ServeMux {
 		w.Header().Set("Content-Type", "application/json")
 		json.NewEncoder(w).Encode(body)
 	})
+	mux.HandleFunc("/debug/flight", func(w http.ResponseWriter, r *http.Request) {
+		m, ok := h.ready(w)
+		if !ok {
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(flightJSON(m.Flight()))
+	})
 	mux.HandleFunc("/debug/vars", func(w http.ResponseWriter, r *http.Request) {
 		m, ok := h.ready(w)
 		if !ok {
@@ -118,8 +130,17 @@ func newServeMux(h *monitorHandle) *http.ServeMux {
 		w.Header().Set("Content-Type", "application/json")
 		m.WriteMetricsJSON(w)
 	})
+	addBuildinfo(mux)
 	addPprof(mux)
 	return mux
+}
+
+// addBuildinfo serves the binary's build stamp.
+func addBuildinfo(mux *http.ServeMux) {
+	mux.HandleFunc("/buildinfo", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(build)
+	})
 }
 
 // operatorHealth builds the /healthz body for one operator. A single
@@ -128,6 +149,9 @@ func newServeMux(h *monitorHandle) *http.ServeMux {
 // per-shard WAL state.
 func operatorHealth(m pskyline.Operator) map[string]any {
 	body := map[string]any{"status": "serving"}
+	if rev := build.shortRevision(); rev != "" {
+		body["revision"] = rev
+	}
 	switch t := m.(type) {
 	case *pskyline.Monitor:
 		met := t.Metrics()
@@ -193,6 +217,8 @@ func operatorHealth(m pskyline.Operator) map[string]any {
 //	                        per line; ?drain=1 waits for visibility
 //	/streams/{name}/skyline GET: current skyline; ?q=Q restricts to a
 //	                        stricter registered threshold
+//	/streams/{name}/flight  GET: the stream's flight recorder dump
+//	/buildinfo              build metadata (VCS revision, Go version)
 //	/debug/vars             all metrics as one JSON object
 //	/debug/pprof/           the standard runtime profiles
 func newRegistryMux(reg *pskyline.StreamRegistry) *http.ServeMux {
@@ -300,8 +326,63 @@ func newRegistryMux(reg *pskyline.StreamRegistry) *http.ServeMux {
 			"skyline":   skylineJSON(sky),
 		})
 	})
+	mux.HandleFunc("GET /streams/{name}/flight", func(w http.ResponseWriter, r *http.Request) {
+		op, ok := lookupStream(reg, w, r)
+		if !ok {
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(flightJSON(op.Flight()))
+	})
+	addBuildinfo(mux)
 	addPprof(mux)
 	return mux
+}
+
+// spanJSON is the wire form of one flight span: phase durations in
+// nanoseconds, the engine stage breakdown keyed by stage name, and the
+// admission stamp converted to wall clock.
+type spanJSON struct {
+	Seq       uint64           `json:"seq"`
+	Batch     int32            `json:"batch"`
+	Shard     int32            `json:"shard"`
+	Queue     int32            `json:"queue"`
+	Admitted  string           `json:"admitted"`
+	WaitNs    int64            `json:"wait_ns"`
+	ApplyNs   int64            `json:"apply_ns"`
+	PublishNs int64            `json:"publish_ns"`
+	TotalNs   int64            `json:"total_ns"`
+	StageNs   map[string]int64 `json:"stage_ns"`
+}
+
+func flightJSON(fi pskyline.FlightInfo) map[string]any {
+	stages := pskyline.SpanStages()
+	spans := func(in []obs.Span) []spanJSON {
+		out := make([]spanJSON, len(in))
+		for i, sp := range in {
+			sj := spanJSON{
+				Seq: sp.Seq, Batch: sp.Batch, Shard: sp.Shard, Queue: sp.Queue,
+				Admitted: pskyline.SpanAdmitTime(sp).Format(time.RFC3339Nano),
+				WaitNs:   sp.WaitNs, ApplyNs: sp.ApplyNs,
+				PublishNs: sp.PublishNs, TotalNs: sp.TotalNs,
+				StageNs: map[string]int64{},
+			}
+			for j, name := range stages {
+				if sp.StageNs[j] != 0 {
+					sj.StageNs[name] = sp.StageNs[j]
+				}
+			}
+			out[i] = sj
+		}
+		return out
+	}
+	return map[string]any{
+		"slow_threshold_ns": fi.SlowThreshold.Nanoseconds(),
+		"recorded":          fi.Recorded,
+		"slow_latched":      fi.SlowLatched,
+		"recent":            spans(fi.Recent),
+		"slow":              spans(fi.Slow),
+	}
 }
 
 func lookupStream(reg *pskyline.StreamRegistry, w http.ResponseWriter, r *http.Request) (pskyline.Operator, bool) {

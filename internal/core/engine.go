@@ -107,6 +107,7 @@ type Engine struct {
 	maxEntries int
 	metrics    *Metrics       // nil disables stage timing
 	clk        obs.StageClock // armed once per arrival/expiry when metrics != nil
+	arrivalNs  int64          // obs.NowNs stamp of the arrival/expiry being processed
 
 	// Hot-path machinery: dimension-specialized dominance kernels selected
 	// once at construction, and the recycling stores that make steady-state
@@ -390,15 +391,35 @@ func (e *Engine) ExpireSeqBelow(bound uint64) int {
 	}
 	n := 0
 	for len(e.arrivals) > 0 && e.arrivals[0].Seq < bound {
-		if e.metrics != nil {
-			e.clk.Reset()
-		}
+		e.stampArrival()
 		e.expire(e.arrivals[0].Seq)
 		e.arrivals = e.arrivals[1:]
 		n++
 	}
 	return n
 }
+
+// stampArrival takes the single monotonic clock reading for the
+// arrival/expiry about to be processed: the one reading arms the stage clock
+// (when metrics are on) and serves as the ArrivalNs timestamp consumers of
+// OnChange events (the trace ring) attach to transitions, so stage timing
+// and event timestamps are mutually consistent by construction. When neither
+// consumer exists the clock is not read at all.
+func (e *Engine) stampArrival() {
+	if e.metrics == nil && e.onChange == nil {
+		return
+	}
+	e.arrivalNs = obs.NowNs()
+	if e.metrics != nil {
+		e.clk.ResetAt(e.arrivalNs)
+	}
+}
+
+// ArrivalNs returns the obs.NowNs reading taken when the engine began
+// processing the current (or most recent) arrival or expiry — the shared
+// timestamp OnChange consumers should attach to transition events. Zero
+// until the first stamped arrival.
+func (e *Engine) ArrivalNs() int64 { return e.arrivalNs }
 
 // HorizonSeq returns the sequence of the oldest element still inside the
 // window (e.next when the window is empty). Unlike next−fill arithmetic it
@@ -428,9 +449,7 @@ func (e *Engine) push1At(seq uint64, pt geom.Point, p float64, ts int64) *aggrtr
 	e.next = seq + 1
 	e.processed++
 	e.counters.Pushes++
-	if e.metrics != nil {
-		e.clk.Reset()
-	}
+	e.stampArrival()
 	if e.window > 0 && seq >= uint64(e.window) {
 		e.expire(seq - uint64(e.window))
 	}
@@ -495,9 +514,7 @@ func (e *Engine) ExpireOlderThan(cutoff int64) int {
 	}
 	n := 0
 	for len(e.arrivals) > 0 && e.arrivals[0].TS < cutoff {
-		if e.metrics != nil {
-			e.clk.Reset()
-		}
+		e.stampArrival()
 		e.expire(e.arrivals[0].Seq)
 		e.arrivals = e.arrivals[1:]
 		n++

@@ -57,7 +57,7 @@ func (e *Engine) expire(seq uint64) {
 	e.applyMoves(s.moves)
 	e.freeItem(it)
 	if met := e.metrics; met != nil {
-		e.clk.Observe(&met.StageExpire)
+		met.span[SpanExpire] += int64(e.clk.Observe(&met.StageExpire))
 	}
 }
 

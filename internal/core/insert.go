@@ -65,7 +65,7 @@ func (e *Engine) insert(it *aggrtree.Item) {
 		}
 	}
 	if met != nil {
-		e.clk.Observe(&met.StageProbe)
+		met.span[SpanProbe] += int64(e.clk.Observe(&met.StageProbe))
 	}
 
 	// Phase 2: split the dominated set by the candidate threshold.
@@ -115,7 +115,7 @@ func (e *Engine) insert(it *aggrtree.Item) {
 		e.updateOld(s.removedN, s.removedI, s.surviveN, s.surviveI)
 	}
 	if met != nil {
-		e.clk.Observe(&met.StageUpdateOld)
+		met.span[SpanUpdateOld] += int64(e.clk.Observe(&met.StageUpdateOld))
 	}
 
 	// Phase 4: evaluate band placement of survivors (downward moves only
@@ -128,7 +128,7 @@ func (e *Engine) insert(it *aggrtree.Item) {
 		e.evalItemPlacement(x, len(e.qs), &s.moves)
 	}
 	if met != nil {
-		e.clk.Observe(&met.StagePlace)
+		met.span[SpanPlace] += int64(e.clk.Observe(&met.StagePlace))
 	}
 
 	// Phase 5: structural changes. Whole removed subtrees are flattened to
@@ -158,7 +158,7 @@ func (e *Engine) insert(it *aggrtree.Item) {
 	e.touch(b)
 	e.emit(it, -1, b)
 	if met != nil {
-		e.clk.Observe(&met.StageApply)
+		met.span[SpanApply] += int64(e.clk.Observe(&met.StageApply))
 	}
 }
 

@@ -37,7 +37,35 @@ type Metrics struct {
 	StageUpdateOld obs.Histogram
 	StagePlace     obs.Histogram
 	StageApply     obs.Histogram
+
+	// span accumulates the same stage durations over the current write
+	// operation (one Push, or one batch): the owner resets it before the
+	// operation and reads it after, to attach a stage breakdown to
+	// per-operation flight records. Plain fields — single writer under the
+	// owner's lock, like the engine itself; the accumulation reuses the
+	// duration each Observe already measured, so it adds no clock reads.
+	span [NumSpanStages]int64
 }
+
+// Span stage indices into the per-operation accumulator, in pipeline order.
+const (
+	SpanExpire = iota
+	SpanProbe
+	SpanUpdateOld
+	SpanPlace
+	SpanApply
+	NumSpanStages
+)
+
+// SpanStageNames names the span stages, indexed by the Span* constants.
+var SpanStageNames = [NumSpanStages]string{"expire", "probe", "update_old", "place", "apply"}
+
+// ResetSpan clears the per-operation stage accumulator. Single writer.
+func (m *Metrics) ResetSpan() { m.span = [NumSpanStages]int64{} }
+
+// SpanNs returns the stage durations accumulated since the last ResetSpan,
+// in nanoseconds by span stage index. Single writer.
+func (m *Metrics) SpanNs() [NumSpanStages]int64 { return m.span }
 
 // StageHistograms returns the stage histograms paired with their short
 // names, in pipeline order — the iteration exporters and summaries use.

@@ -1,0 +1,35 @@
+package obs
+
+import "time"
+
+// The package clock: one process-wide base time captured at init. base holds
+// both a wall reading and a monotonic reading (time.Now always does), so
+//
+//   - NowNs is a pure monotonic offset — one VDSO monotonic read, no wall
+//     clock involved, immune to wall-clock steps — and offsets taken at
+//     different call sites are directly comparable: subtracting two NowNs
+//     stamps gives the true elapsed time between them.
+//   - WallAt converts an offset back to a wall-clock time for display,
+//     using the single wall reading captured at init. Every stamp in the
+//     process converts through the same base, so cross-stamp deltas of the
+//     converted times equal the monotonic deltas exactly.
+//
+// This is what "a single monotonic clock read shared with stage timing"
+// means concretely: a hot path reads NowNs once and hands the same int64 to
+// the stage clock, the trace ring and the latency histograms, instead of
+// each consumer taking (and mixing) its own wall/monotonic readings.
+var base = time.Now()
+
+// NowNs returns the current reading of the package's monotonic clock, in
+// nanoseconds since process start (strictly positive). It costs one
+// monotonic clock read (the time.Since fast path).
+func NowNs() int64 {
+	return int64(time.Since(base))
+}
+
+// WallAt converts a NowNs-style monotonic offset to wall-clock time. Offsets
+// recorded anywhere in the process convert consistently: WallAt(b) −
+// WallAt(a) == (b − a) exactly.
+func WallAt(ns int64) time.Time {
+	return base.Add(time.Duration(ns))
+}

@@ -56,9 +56,44 @@ func (r *Registry) WriteJSON(w io.Writer) error {
 	return enc.Encode(top)
 }
 
+// WindowedJSON is the JSON shape of one windowed summary series: recent
+// quantiles (with p999 — the whole point of a windowed view), the span they
+// cover, and the lifetime totals.
+type WindowedJSON struct {
+	RecentCount  uint64  `json:"recent_count"`
+	RecentMeanNs float64 `json:"recent_mean_ns"`
+	P50Ns        float64 `json:"p50_ns"`
+	P99Ns        float64 `json:"p99_ns"`
+	P999Ns       float64 `json:"p999_ns"`
+	RecentMaxNs  uint64  `json:"recent_max_ns"`
+	WindowNs     int64   `json:"window_ns"`
+	TotalCount   uint64  `json:"total_count"`
+	TotalSumNs   uint64  `json:"total_sum_ns"`
+}
+
+// WindowedJSONOf summarizes a windowed histogram at the current clock.
+func WindowedJSONOf(w *WindowedHistogram) WindowedJSON {
+	snap := w.Snapshot(NowNs())
+	total := w.TotalSnapshot()
+	return WindowedJSON{
+		RecentCount:  snap.Count,
+		RecentMeanNs: snap.MeanNs(),
+		P50Ns:        snap.QuantileNs(0.50),
+		P99Ns:        snap.QuantileNs(0.99),
+		P999Ns:       snap.QuantileNs(0.999),
+		RecentMaxNs:  snap.MaxNs,
+		WindowNs:     int64(w.Window()),
+		TotalCount:   total.Count,
+		TotalSumNs:   total.SumNs,
+	}
+}
+
 func seriesJSON(s series) any {
 	if s.hist != nil {
 		return HistJSONOf(s.hist.Snapshot())
+	}
+	if s.whist != nil {
+		return WindowedJSONOf(s.whist)
 	}
 	return s.value()
 }

@@ -1,0 +1,213 @@
+package obs
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// MaxSpanStages bounds the per-stage breakdown carried by a Span. The owner
+// defines what the indices mean (the engine's pipeline order, for pskyline).
+const MaxSpanStages = 8
+
+// Span is one write operation's timing record: where the time between a
+// client handing an element to the front end and the element becoming
+// visible to readers went. Offsets are on the package clock (WallAt converts
+// AdmitNs for display); the phase durations partition TotalNs as
+// Wait + Apply + Publish.
+type Span struct {
+	// Seq is the first sequence number applied by the operation; Batch the
+	// number of elements it applied (1 for a plain Push).
+	Seq   uint64
+	Batch int32
+	// Shard is the applying shard's index (−1 for unsharded monitors).
+	Shard int32
+	// Queue is the async ingestion queue depth when the operation entered
+	// the locked apply section (−1 on synchronous paths).
+	Queue int32
+	// AdmitNs is the front-end admission stamp (NowNs) of the operation's
+	// oldest element.
+	AdmitNs int64
+	// WaitNs is admission → apply start: queueing plus lock acquisition.
+	WaitNs int64
+	// ApplyNs is the locked apply phase: WAL logging plus the engine update.
+	ApplyNs int64
+	// PublishNs is apply end → view publication (top-k refresh included).
+	PublishNs int64
+	// TotalNs is admission → visibility: WaitNs + ApplyNs + PublishNs.
+	TotalNs int64
+	// StageNs breaks ApplyNs's engine portion down by pipeline stage, in
+	// the engine's stage order (expire, probe, update_old, place, apply).
+	StageNs [MaxSpanStages]int64
+}
+
+// spanSlot is one seqlock slot: even version = stable, odd = mid-write, and
+// every payload field is an individual atomic so concurrent access stays
+// well-defined for the race detector while the version pair provides
+// cross-field consistency (same construction as the trace ring).
+type spanSlot struct {
+	ver     atomic.Uint64
+	seq     atomic.Uint64
+	batch   atomic.Int64
+	shard   atomic.Int64
+	queue   atomic.Int64
+	admit   atomic.Int64
+	wait    atomic.Int64
+	apply   atomic.Int64
+	publish atomic.Int64
+	total   atomic.Int64
+	stages  [MaxSpanStages]atomic.Int64
+}
+
+// SpanRing is a bounded lock-free ring of Spans: a single writer records
+// (allocation-free — a fixed number of atomic stores into preallocated
+// slots), any number of readers collect without ever blocking the writer. A
+// slot overwritten while a reader decodes it is skipped, never returned
+// torn.
+type SpanRing struct {
+	mask  uint64
+	n     atomic.Uint64 // total spans ever written
+	slots []spanSlot
+}
+
+// NewSpanRing returns a ring holding the last `depth` spans (rounded up to a
+// power of two, minimum 1).
+func NewSpanRing(depth int) *SpanRing {
+	if depth <= 0 {
+		depth = 1
+	}
+	cap := 1
+	for cap < depth {
+		cap <<= 1
+	}
+	return &SpanRing{mask: uint64(cap - 1), slots: make([]spanSlot, cap)}
+}
+
+// Record appends one span. Single writer only; never allocates.
+func (r *SpanRing) Record(sp *Span) {
+	pos := r.n.Load()
+	s := &r.slots[pos&r.mask]
+	v := s.ver.Load()
+	s.ver.Store(v + 1)
+	s.seq.Store(sp.Seq)
+	s.batch.Store(int64(sp.Batch))
+	s.shard.Store(int64(sp.Shard))
+	s.queue.Store(int64(sp.Queue))
+	s.admit.Store(sp.AdmitNs)
+	s.wait.Store(sp.WaitNs)
+	s.apply.Store(sp.ApplyNs)
+	s.publish.Store(sp.PublishNs)
+	s.total.Store(sp.TotalNs)
+	for i := range sp.StageNs {
+		s.stages[i].Store(sp.StageNs[i])
+	}
+	s.ver.Store(v + 2)
+	r.n.Store(pos + 1)
+}
+
+// Count returns the total number of spans ever recorded.
+func (r *SpanRing) Count() uint64 { return r.n.Load() }
+
+// Collect decodes the ring's current contents, oldest first. Spans being
+// overwritten concurrently are skipped; everything returned is complete and
+// untorn.
+func (r *SpanRing) Collect() []Span {
+	n := r.n.Load()
+	depth := uint64(len(r.slots))
+	start := uint64(0)
+	if n > depth {
+		start = n - depth
+	}
+	out := make([]Span, 0, n-start)
+	for pos := start; pos < n; pos++ {
+		s := &r.slots[pos&r.mask]
+		v1 := s.ver.Load()
+		if v1&1 == 1 {
+			continue
+		}
+		sp := Span{
+			Seq:       s.seq.Load(),
+			Batch:     int32(s.batch.Load()),
+			Shard:     int32(s.shard.Load()),
+			Queue:     int32(s.queue.Load()),
+			AdmitNs:   s.admit.Load(),
+			WaitNs:    s.wait.Load(),
+			ApplyNs:   s.apply.Load(),
+			PublishNs: s.publish.Load(),
+			TotalNs:   s.total.Load(),
+		}
+		for i := range sp.StageNs {
+			sp.StageNs[i] = s.stages[i].Load()
+		}
+		if s.ver.Load() != v1 {
+			continue // overwritten while decoding
+		}
+		out = append(out, sp)
+	}
+	return out
+}
+
+// Flight-recorder defaults (used when the corresponding option is 0).
+const (
+	DefaultFlightDepth   = 512
+	DefaultSlowDepth     = 128
+	DefaultSlowThreshold = 5 * time.Millisecond
+)
+
+// FlightRecorder keeps the always-on short-term memory of the write path:
+// every operation's span lands in a recent ring, and operations whose
+// admission-to-visibility total meets the slow threshold are additionally
+// latched into a separate slow ring, so the handful of outliers behind a bad
+// p999 survive long after the recent ring has cycled past them. Recording is
+// allocation-free and single-writer; dumping (Recent/Slow) is lock-free from
+// any goroutine.
+type FlightRecorder struct {
+	recent      *SpanRing
+	slow        *SpanRing
+	thresholdNs int64
+	recorded    Counter
+	slowCount   Counter
+}
+
+// NewFlightRecorder sizes the rings and the slow threshold (0 selects the
+// package defaults).
+func NewFlightRecorder(recentDepth, slowDepth int, slowThreshold time.Duration) *FlightRecorder {
+	if recentDepth <= 0 {
+		recentDepth = DefaultFlightDepth
+	}
+	if slowDepth <= 0 {
+		slowDepth = DefaultSlowDepth
+	}
+	if slowThreshold <= 0 {
+		slowThreshold = DefaultSlowThreshold
+	}
+	return &FlightRecorder{
+		recent:      NewSpanRing(recentDepth),
+		slow:        NewSpanRing(slowDepth),
+		thresholdNs: int64(slowThreshold),
+	}
+}
+
+// Record files one operation's span. Single writer only; never allocates.
+func (f *FlightRecorder) Record(sp *Span) {
+	f.recorded.Inc()
+	f.recent.Record(sp)
+	if sp.TotalNs >= f.thresholdNs {
+		f.slowCount.Inc()
+		f.slow.Record(sp)
+	}
+}
+
+// Recent returns the most recent spans, oldest first.
+func (f *FlightRecorder) Recent() []Span { return f.recent.Collect() }
+
+// Slow returns the latched slow spans, oldest first.
+func (f *FlightRecorder) Slow() []Span { return f.slow.Collect() }
+
+// Threshold returns the slow-latch threshold.
+func (f *FlightRecorder) Threshold() time.Duration { return time.Duration(f.thresholdNs) }
+
+// Recorded returns the total number of spans recorded.
+func (f *FlightRecorder) Recorded() uint64 { return f.recorded.Load() }
+
+// SlowLatched returns the number of spans that met the slow threshold.
+func (f *FlightRecorder) SlowLatched() uint64 { return f.slowCount.Load() }

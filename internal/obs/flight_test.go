@@ -1,0 +1,149 @@
+package obs
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+// encodeSpan builds a span whose every field is derived from k, so a reader
+// can detect any cross-field tearing: a collected span mixing two records
+// fails the derivation check.
+func encodeSpan(k uint64) Span {
+	sp := Span{
+		Seq:       k,
+		Batch:     int32(k%1000 + 1),
+		Shard:     int32(k % 7),
+		Queue:     int32(k % 11),
+		AdmitNs:   int64(k * 3),
+		WaitNs:    int64(k * 5),
+		ApplyNs:   int64(k * 7),
+		PublishNs: int64(k * 11),
+		TotalNs:   int64(k*5 + k*7 + k*11),
+	}
+	for i := range sp.StageNs {
+		sp.StageNs[i] = int64(k + uint64(i))
+	}
+	return sp
+}
+
+func checkSpan(t *testing.T, sp Span) {
+	t.Helper()
+	k := sp.Seq
+	want := encodeSpan(k)
+	if sp != want {
+		t.Errorf("torn span for k=%d: got %+v want %+v", k, sp, want)
+	}
+}
+
+// TestSpanRingWrapTornReads is the seqlock torture test: a tiny ring forces
+// constant wrap-around while concurrent readers collect. Every collected
+// span must decode to a single record's consistent field set — a reader
+// observing a torn (odd or changed) version must skip, never return a mix.
+// Run under -race this also proves the atomics discipline.
+func TestSpanRingWrapTornReads(t *testing.T) {
+	r := NewSpanRing(4) // wraps every 4 records
+	const writes = 200_000
+	stop := make(chan struct{})
+	var rg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		rg.Add(1)
+		go func() {
+			defer rg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+					for _, sp := range r.Collect() {
+						checkSpan(t, sp)
+					}
+				}
+			}
+		}()
+	}
+	for k := uint64(1); k <= writes; k++ {
+		sp := encodeSpan(k)
+		r.Record(&sp)
+	}
+	close(stop)
+	rg.Wait()
+	if r.Count() != writes {
+		t.Fatalf("count %d, want %d", r.Count(), writes)
+	}
+	// Quiescent collect: the last min(depth, writes) records, in order.
+	got := r.Collect()
+	if len(got) != 4 {
+		t.Fatalf("collected %d records from a depth-4 ring", len(got))
+	}
+	for i, sp := range got {
+		if want := uint64(writes - 3 + i); sp.Seq != want {
+			t.Errorf("record %d: seq %d, want %d", i, sp.Seq, want)
+		}
+		checkSpan(t, sp)
+	}
+}
+
+func TestSpanRingDepthRounding(t *testing.T) {
+	for _, c := range []struct{ depth, want int }{
+		{0, 1}, {1, 1}, {3, 4}, {4, 4}, {100, 128},
+	} {
+		if r := NewSpanRing(c.depth); len(r.slots) != c.want {
+			t.Errorf("NewSpanRing(%d): %d slots, want %d", c.depth, len(r.slots), c.want)
+		}
+	}
+}
+
+func TestFlightRecorderSlowLatch(t *testing.T) {
+	f := NewFlightRecorder(8, 4, time.Millisecond)
+	if f.Threshold() != time.Millisecond {
+		t.Fatalf("threshold %v", f.Threshold())
+	}
+	// 20 fast spans cycle the recent ring; 2 slow ones latch.
+	for k := uint64(1); k <= 20; k++ {
+		sp := encodeSpan(k)
+		sp.TotalNs = int64(50 * time.Microsecond)
+		f.Record(&sp)
+	}
+	for _, k := range []uint64{100, 200} {
+		sp := encodeSpan(k)
+		sp.TotalNs = int64(3 * time.Millisecond)
+		f.Record(&sp)
+	}
+	if f.Recorded() != 22 || f.SlowLatched() != 2 {
+		t.Fatalf("recorded=%d slow=%d", f.Recorded(), f.SlowLatched())
+	}
+	slow := f.Slow()
+	if len(slow) != 2 || slow[0].Seq != 100 || slow[1].Seq != 200 {
+		t.Fatalf("slow ring: %+v", slow)
+	}
+	recent := f.Recent()
+	if len(recent) != 8 {
+		t.Fatalf("recent ring holds %d", len(recent))
+	}
+	// The slow spans are also the most recent ones.
+	if recent[len(recent)-1].Seq != 200 {
+		t.Fatalf("recent tail: %+v", recent[len(recent)-1])
+	}
+
+	// Defaults kick in for zeroed config.
+	d := NewFlightRecorder(0, 0, 0)
+	if d.Threshold() != DefaultSlowThreshold || len(d.recent.slots) != DefaultFlightDepth || len(d.slow.slots) != DefaultSlowDepth {
+		t.Fatalf("defaults: %v %d %d", d.Threshold(), len(d.recent.slots), len(d.slow.slots))
+	}
+}
+
+// TestFlightRecordAllocs pins the flight-recording hot path (including a
+// slow latch) at zero allocations.
+func TestFlightRecordAllocs(t *testing.T) {
+	f := NewFlightRecorder(16, 8, time.Microsecond)
+	k := uint64(0)
+	if avg := testing.AllocsPerRun(2000, func() {
+		k++
+		sp := encodeSpan(k)
+		sp.TotalNs = int64(time.Millisecond) // always latches
+		f.Record(&sp)
+	}); avg != 0 {
+		t.Fatalf("flight Record allocated %.2f allocs/op, want 0", avg)
+	}
+}

@@ -24,6 +24,10 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 				writePromHistogram(bw, f.name, s)
 				continue
 			}
+			if f.typ == "summary" {
+				writePromSummary(bw, f.name, s)
+				continue
+			}
 			bw.WriteString(f.name + promLabels(s.labels, "", 0))
 			bw.WriteByte(' ')
 			bw.WriteString(formatFloat(s.value()))
@@ -53,6 +57,47 @@ func writePromHistogram(bw *bufio.Writer, name string, s series) {
 	bw.WriteString(name + "_count" + promLabels(s.labels, "", 0) + " ")
 	bw.WriteString(strconv.FormatUint(snap.Count, 10))
 	bw.WriteByte('\n')
+}
+
+// summaryQuantiles are the quantile series a windowed summary exports.
+var summaryQuantiles = [...]float64{0.5, 0.99, 0.999}
+
+// writePromSummary renders a windowed histogram the way a Prometheus client
+// renders a sliding-window summary: quantile series (in seconds) computed
+// over the recent epoch window, and cumulative lifetime `_sum`/`_count`. An
+// empty window reports NaN quantiles, matching client_golang.
+func writePromSummary(bw *bufio.Writer, name string, s series) {
+	snap := s.whist.Snapshot(NowNs())
+	for _, q := range summaryQuantiles {
+		v := math.NaN()
+		if snap.Count > 0 {
+			v = snap.QuantileNs(q) / 1e9
+		}
+		bw.WriteString(name + promQuantileLabels(s.labels, q) + " ")
+		bw.WriteString(formatFloat(v))
+		bw.WriteByte('\n')
+	}
+	total := s.whist.TotalSnapshot()
+	bw.WriteString(name + "_sum" + promLabels(s.labels, "", 0) + " ")
+	bw.WriteString(formatFloat(float64(total.SumNs) / 1e9))
+	bw.WriteByte('\n')
+	bw.WriteString(name + "_count" + promLabels(s.labels, "", 0) + " ")
+	bw.WriteString(strconv.FormatUint(total.Count, 10))
+	bw.WriteByte('\n')
+}
+
+// promQuantileLabels renders a label set with a `quantile` label appended.
+func promQuantileLabels(labels []Label, q float64) string {
+	var b strings.Builder
+	b.WriteByte('{')
+	ls := append([]Label(nil), labels...)
+	sort.Slice(ls, func(i, j int) bool { return ls[i].Key < ls[j].Key })
+	for _, l := range ls {
+		b.WriteString(l.Key + "=" + strconv.Quote(l.Value) + ",")
+	}
+	b.WriteString("quantile=" + strconv.Quote(strconv.FormatFloat(q, 'g', -1, 64)))
+	b.WriteByte('}')
+	return b.String()
 }
 
 // promLabels renders a label set, optionally with an `le` bucket label for

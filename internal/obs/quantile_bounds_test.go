@@ -1,0 +1,66 @@
+package obs
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+	"time"
+)
+
+// TestQuantileErrorBounds pins the documented log2-histogram quantile error
+// against exact quantiles computed from the raw samples of a synthetic
+// distribution. With geometric-midpoint reporting the estimate for any
+// non-degenerate bucket is within √2 of every value in that bucket, and the
+// nearest-rank sample lands in the same bucket as the nearest-rank estimate,
+// so the estimate/exact ratio must stay within [1/√2, √2] — the "±1 bucket,
+// at most a factor of two" bound the -summary output documents.
+func TestQuantileErrorBounds(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	quantiles := []float64{0.10, 0.50, 0.90, 0.99, 0.999}
+
+	for _, dist := range []struct {
+		name string
+		draw func() float64 // sample in ns
+	}{
+		// Log-normal: the canonical latency shape — long right tail.
+		{"lognormal", func() float64 { return math.Exp(rng.NormFloat64()*1.5 + 9) }},
+		// Uniform over three decades.
+		{"uniform", func() float64 { return 1e3 + rng.Float64()*999e3 }},
+		// Bimodal: fast path vs slow path.
+		{"bimodal", func() float64 {
+			if rng.Float64() < 0.95 {
+				return 2e3 + rng.Float64()*1e3
+			}
+			return 4e6 + rng.Float64()*2e6
+		}},
+	} {
+		var h Histogram
+		const n = 50_000
+		samples := make([]float64, n)
+		for i := range samples {
+			v := dist.draw()
+			if v < 1 {
+				v = 1
+			}
+			samples[i] = v
+			h.Record(time.Duration(v))
+		}
+		sort.Float64s(samples)
+		snap := h.Snapshot()
+
+		for _, p := range quantiles {
+			rank := int(math.Ceil(p * n))
+			if rank == 0 {
+				rank = 1
+			}
+			exact := samples[rank-1]
+			est := snap.QuantileNs(p)
+			ratio := est / exact
+			if ratio < 1/math.Sqrt2-1e-9 || ratio > math.Sqrt2+1e-9 {
+				t.Errorf("%s p%g: estimate %.0f ns vs exact %.0f ns (ratio %.3f) exceeds the ±1-bucket bound",
+					dist.name, p*100, est, exact, ratio)
+			}
+		}
+	}
+}

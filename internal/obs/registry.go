@@ -21,7 +21,7 @@ type Registry struct {
 }
 
 type family struct {
-	name, help, typ string // typ: "counter", "gauge", "histogram"
+	name, help, typ string // typ: "counter", "gauge", "histogram", "summary"
 	series          []series
 }
 
@@ -35,6 +35,7 @@ type series struct {
 	gauge   *Gauge
 	fn      func() float64
 	hist    *Histogram
+	whist   *WindowedHistogram
 }
 
 // Label is one key="value" pair attached to a series.
@@ -84,6 +85,13 @@ func (r *Registry) RegisterGaugeFunc(name, help string, fn func() float64, label
 // RegisterHistogram exports h under name.
 func (r *Registry) RegisterHistogram(name, help string, h *Histogram, labels ...Label) {
 	r.add(name, help, "histogram", series{labels: labels, hist: h})
+}
+
+// RegisterWindowed exports w under name as a Prometheus summary: quantile
+// series computed over the recent epoch window at scrape time, with the
+// cumulative (lifetime) `_sum` and `_count` the summary convention requires.
+func (r *Registry) RegisterWindowed(name, help string, w *WindowedHistogram, labels ...Label) {
+	r.add(name, help, "summary", series{labels: labels, whist: w})
 }
 
 func (s series) value() float64 {

@@ -1,0 +1,154 @@
+package obs
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// NumEpochs is the number of epoch slots a WindowedHistogram rotates
+// through. A snapshot merges every non-stale slot, so the quantiles cover at
+// most NumEpochs epochs and at least NumEpochs−1 complete ones plus the
+// in-progress one.
+const NumEpochs = 6
+
+// DefaultEpoch is the epoch length used when Init is called with 0.
+const DefaultEpoch = 10 * time.Second
+
+// WindowedHistogram is a log2 latency histogram whose quantiles cover only
+// the recent past: observations land in the current epoch of a small ring of
+// per-epoch bucket arrays, and a snapshot merges the epochs still inside the
+// window, so an exported p99 reflects the last ~NumEpochs·epoch rather than
+// the process lifetime. A cumulative Histogram is maintained alongside for
+// monotone `_sum`/`_count` export (the Prometheus summary convention:
+// sliding-window quantiles, lifetime totals).
+//
+// Concurrency follows the package contract: one writer (Record, including
+// the epoch rotation it performs), any number of lock-free readers. Rotation
+// is made torn-read safe the seqlock way: the writer zeroes the slot's epoch
+// tag first — readers skip slots whose tag is 0 — clears the buckets, then
+// publishes the new tag; readers re-check the tag after decoding and discard
+// the slot if it changed mid-read. Recording is allocation-free.
+//
+// The zero value is not ready for use: call Init once before the first
+// Record (it sets the epoch length; calling it later would race the writer).
+type WindowedHistogram struct {
+	epochNs int64         // immutable after Init
+	cur     atomic.Uint64 // active slot index (monotonically increasing)
+	epochs  [NumEpochs]epochHist
+	total   Histogram
+}
+
+type epochHist struct {
+	epoch   atomic.Int64 // 1-based epoch index (nowNs/epochNs + 1); 0 = empty/clearing
+	sumNs   atomic.Uint64
+	maxNs   atomic.Uint64
+	buckets [NumBuckets]atomic.Uint64
+}
+
+// Init sets the epoch length (0 selects DefaultEpoch). Call exactly once,
+// before the first Record or Snapshot.
+func (w *WindowedHistogram) Init(epoch time.Duration) {
+	if epoch <= 0 {
+		epoch = DefaultEpoch
+	}
+	w.epochNs = int64(epoch)
+}
+
+// Epoch returns the configured epoch length.
+func (w *WindowedHistogram) Epoch() time.Duration { return time.Duration(w.epochNs) }
+
+// Window returns the maximum span the recent quantiles cover.
+func (w *WindowedHistogram) Window() time.Duration {
+	return time.Duration(w.epochNs * NumEpochs)
+}
+
+// Record adds one observation at the given NowNs reading. Negative durations
+// clamp to zero. Single writer only.
+func (w *WindowedHistogram) Record(nowNs int64, d time.Duration) {
+	w.total.Record(d)
+	e := w.activeEpoch(nowNs)
+	ns := uint64(0)
+	if d > 0 {
+		ns = uint64(d)
+	}
+	e.sumNs.Store(e.sumNs.Load() + ns)
+	b := &e.buckets[bucketOf(ns)]
+	b.Store(b.Load() + 1)
+	if ns > e.maxNs.Load() {
+		e.maxNs.Store(ns)
+	}
+}
+
+// activeEpoch returns the slot for nowNs's epoch, rotating to (and clearing)
+// the next slot when the active one belongs to an older epoch. Writer only.
+func (w *WindowedHistogram) activeEpoch(nowNs int64) *epochHist {
+	idx := nowNs/w.epochNs + 1 // 1-based so 0 stays the empty sentinel
+	cur := w.cur.Load()
+	e := &w.epochs[cur%NumEpochs]
+	if e.epoch.Load() == idx {
+		return e
+	}
+	if e.epoch.Load() == 0 && cur == 0 {
+		// First ever record: claim slot 0 in place.
+		e.epoch.Store(idx)
+		return e
+	}
+	// Rotate: retire the active slot and recycle the oldest. Readers skip
+	// the slot while epoch is 0, so the clear can't be observed half-done.
+	cur++
+	e = &w.epochs[cur%NumEpochs]
+	e.epoch.Store(0)
+	e.sumNs.Store(0)
+	e.maxNs.Store(0)
+	for i := range e.buckets {
+		e.buckets[i].Store(0)
+	}
+	e.epoch.Store(idx)
+	w.cur.Store(cur)
+	return e
+}
+
+// Snapshot merges the epochs still inside the window ending at nowNs into
+// one HistSnapshot (so QuantileNs/MeanNs report over the recent window
+// only). Slots mid-rotation or staler than NumEpochs epochs are skipped.
+// Safe from any goroutine.
+func (w *WindowedHistogram) Snapshot(nowNs int64) HistSnapshot {
+	var s HistSnapshot
+	if w.epochNs == 0 {
+		return s
+	}
+	nowIdx := nowNs/w.epochNs + 1
+	for i := range w.epochs {
+		e := &w.epochs[i]
+		idx := e.epoch.Load()
+		if idx == 0 || idx <= nowIdx-NumEpochs || idx > nowIdx {
+			continue
+		}
+		var buckets [NumBuckets]uint64
+		n := uint64(0)
+		for j := range e.buckets {
+			buckets[j] = e.buckets[j].Load()
+			n += buckets[j]
+		}
+		sum := e.sumNs.Load()
+		max := e.maxNs.Load()
+		if e.epoch.Load() != idx {
+			continue // recycled mid-read: discard the torn decode
+		}
+		for j, b := range buckets {
+			s.Buckets[j] += b
+		}
+		s.Count += n
+		s.SumNs += sum
+		if max > s.MaxNs {
+			s.MaxNs = max
+		}
+	}
+	return s
+}
+
+// TotalSnapshot returns the cumulative (process-lifetime) histogram, for
+// monotone `_sum`/`_count` export next to the windowed quantiles.
+func (w *WindowedHistogram) TotalSnapshot() HistSnapshot {
+	return w.total.Snapshot()
+}

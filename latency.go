@@ -1,0 +1,282 @@
+package pskyline
+
+import (
+	"sort"
+	"time"
+
+	"pskyline/internal/core"
+	"pskyline/internal/obs"
+)
+
+// SpanStages names the engine pipeline stages behind the leading entries of
+// a flight span's StageNs breakdown, in order (the remaining entries are
+// reserved and stay zero).
+func SpanStages() []string {
+	return append([]string(nil), core.SpanStageNames[:]...)
+}
+
+// SpanAdmitTime converts a flight span's monotonic admission stamp to wall
+// clock (through the same shared base every latency stamp uses).
+func SpanAdmitTime(sp obs.Span) time.Time { return obs.WallAt(sp.AdmitNs) }
+
+// LatencyOptions configures ingest-to-visibility latency tracking and the
+// flight recorder. The zero value enables tracking with the defaults; set
+// Disable for an instrumentation-off control (the hot path then takes no
+// extra clock reads at admission and records no spans — the A/B baseline the
+// load harness measures overhead against).
+//
+// Tracking stamps every element once at front-end admission — where Push,
+// PushBatch or the sharded front end accepts it, before any queueing or lock
+// wait — and measures two intervals against that stamp when the write that
+// carried the element completes:
+//
+//   - applied: admission → the engine finished applying the element;
+//   - visible: admission → the read view containing it was published (the
+//     moment queries can observe it).
+//
+// Both land in windowed histograms (recent quantiles over the last Epoch ×
+// obs.NumEpochs, plus cumulative totals) exported per shard and per stream,
+// and every completed write leaves a span record in the flight recorder.
+type LatencyOptions struct {
+	// Disable turns tracking off entirely: no admission stamps, no windowed
+	// histograms, no flight recorder.
+	Disable bool
+	// Epoch is the rotation interval of the windowed latency histograms;
+	// the recent quantiles cover the last obs.NumEpochs epochs. 0 selects
+	// obs.DefaultEpoch (10s, i.e. a one-minute window).
+	Epoch time.Duration
+	// FlightDepth and SlowDepth size the flight recorder's recent and
+	// slow-latch rings (rounded up to powers of two; 0 selects
+	// obs.DefaultFlightDepth / obs.DefaultSlowDepth).
+	FlightDepth int
+	SlowDepth   int
+	// SlowThreshold is the admission-to-visibility latency at or above which
+	// a write's span is latched into the slow ring (0 selects
+	// obs.DefaultSlowThreshold).
+	SlowThreshold time.Duration
+}
+
+// initLatency wires the latency instrumentation configured in m.opts. Called
+// from newMonitorCore, before any push can run.
+func (m *Monitor) initLatency() {
+	m.shardIdx = -1
+	if sh := m.opts.shard; sh != nil {
+		m.shardIdx = int32(sh.index)
+	}
+	lo := m.opts.Latency
+	if lo.Disable {
+		return
+	}
+	m.latOn = true
+	m.met.latApplied.Init(lo.Epoch)
+	m.met.latVisible.Init(lo.Epoch)
+	m.flight = obs.NewFlightRecorder(lo.FlightDepth, lo.SlowDepth, lo.SlowThreshold)
+}
+
+// admitNow stamps an element's admission: one monotonic clock read at the
+// public write entry point, before queueing or lock acquisition, so queue
+// residency and lock wait count toward the element's latency. Returns 0 when
+// tracking is off — the zero stamp propagates through the op structs and
+// suppresses recording downstream without further branching.
+func (m *Monitor) admitNow() int64 {
+	if !m.latOn {
+		return 0
+	}
+	return obs.NowNs()
+}
+
+// opSpan tracks one write operation (a push, a batch, or a drained async
+// batch) from the moment its owner acquired the monitor lock to the view
+// publication that made it visible. It lives on the caller's stack — no
+// allocation — and degenerates to a few nil-checks when tracking is off.
+type opSpan struct {
+	on      bool
+	admitNs int64 // earliest admission stamp among the operation's elements
+	startNs int64 // lock acquired, engine work about to start
+	applyNs int64 // engine work done, publication about to start
+	queue   int32 // async queue depth at apply entry (-1 synchronous)
+}
+
+// beginOpLocked arms the span and resets the engine's per-operation stage
+// accumulator. Callers hold m.mu. A zero admit stamp (tracking off, or a
+// tick-only batch) leaves the span disarmed.
+func (m *Monitor) beginOpLocked(sp *opSpan, admitNs int64, queue int) {
+	if !m.latOn || admitNs == 0 {
+		return
+	}
+	sp.on = true
+	sp.admitNs = admitNs
+	sp.queue = int32(queue)
+	sp.startNs = obs.NowNs()
+	m.met.eng.ResetSpan()
+}
+
+// applyDone marks the engine-applied instant (before topk refresh and view
+// publication).
+func (sp *opSpan) applyDone() {
+	if sp.on {
+		sp.applyNs = obs.NowNs()
+	}
+}
+
+// endOpLocked closes the span after the publication that made the operation
+// visible: it records one applied and one visible latency sample per element
+// and files one flight record for the operation. Exactly one of admits
+// (per-element stamps of an async internal batch) and ops (a shard-member op
+// batch, whose non-tick entries carry their own stamps) may be non-nil; with
+// both nil all n elements share sp.admitNs. Callers hold m.mu.
+func (m *Monitor) endOpLocked(sp *opSpan, firstSeq uint64, n int, admits []int64, ops []shardOp) {
+	if !sp.on || n == 0 {
+		return
+	}
+	end := obs.NowNs()
+	mm := &m.met
+	switch {
+	case ops != nil:
+		for i := range ops {
+			if ops[i].tick || ops[i].admitNs == 0 {
+				continue
+			}
+			mm.latApplied.Record(end, time.Duration(sp.applyNs-ops[i].admitNs))
+			mm.latVisible.Record(end, time.Duration(end-ops[i].admitNs))
+		}
+	case admits != nil:
+		for _, a := range admits {
+			if a == 0 {
+				continue
+			}
+			mm.latApplied.Record(end, time.Duration(sp.applyNs-a))
+			mm.latVisible.Record(end, time.Duration(end-a))
+		}
+	default:
+		for i := 0; i < n; i++ {
+			mm.latApplied.Record(end, time.Duration(sp.applyNs-sp.admitNs))
+			mm.latVisible.Record(end, time.Duration(end-sp.admitNs))
+		}
+	}
+	fs := obs.Span{
+		Seq:       firstSeq,
+		Batch:     int32(n),
+		Shard:     m.shardIdx,
+		Queue:     sp.queue,
+		AdmitNs:   sp.admitNs,
+		WaitNs:    sp.startNs - sp.admitNs,
+		ApplyNs:   sp.applyNs - sp.startNs,
+		PublishNs: end - sp.applyNs,
+		TotalNs:   end - sp.admitNs,
+	}
+	stages := mm.eng.SpanNs()
+	copy(fs.StageNs[:], stages[:])
+	m.flight.Record(&fs)
+}
+
+// FlightInfo is a dump of the flight recorder: the most recent write spans
+// (oldest first) and the latched slow spans, with the recorder's counters.
+type FlightInfo struct {
+	// Recent holds the last completed write spans, oldest first.
+	Recent []obs.Span
+	// Slow holds the spans whose admission-to-visibility latency reached
+	// SlowThreshold, oldest first — the always-on record of the worst
+	// recent writes.
+	Slow []obs.Span
+	// Recorded and SlowLatched count spans recorded and latched since start.
+	Recorded    uint64
+	SlowLatched uint64
+	// SlowThreshold is the configured latching threshold.
+	SlowThreshold time.Duration
+}
+
+// Flight dumps the flight recorder. Lock-free: reading the rings never blocks
+// ingestion, and spans being overwritten concurrently are skipped rather than
+// returned torn. Empty when latency tracking is disabled.
+func (m *Monitor) Flight() FlightInfo {
+	if m.flight == nil {
+		return FlightInfo{}
+	}
+	return FlightInfo{
+		Recent:        m.flight.Recent(),
+		Slow:          m.flight.Slow(),
+		Recorded:      m.flight.Recorded(),
+		SlowLatched:   m.flight.SlowLatched(),
+		SlowThreshold: m.flight.Threshold(),
+	}
+}
+
+// Flight dumps every shard's flight recorder merged by admission time.
+func (s *ShardedMonitor) Flight() FlightInfo {
+	var out FlightInfo
+	for _, sh := range s.shards {
+		fi := sh.Flight()
+		out.Recent = append(out.Recent, fi.Recent...)
+		out.Slow = append(out.Slow, fi.Slow...)
+		out.Recorded += fi.Recorded
+		out.SlowLatched += fi.SlowLatched
+		if fi.SlowThreshold > out.SlowThreshold {
+			out.SlowThreshold = fi.SlowThreshold
+		}
+	}
+	sort.Slice(out.Recent, func(i, j int) bool { return out.Recent[i].AdmitNs < out.Recent[j].AdmitNs })
+	sort.Slice(out.Slow, func(i, j int) bool { return out.Slow[i].AdmitNs < out.Slow[j].AdmitNs })
+	return out
+}
+
+// LatencySummary summarizes one windowed latency histogram: recent-window
+// quantiles (the last Window worth of samples) plus the cumulative count.
+// Quantiles are log2-bucket estimates, within a factor of √2 of the exact
+// value (±1 bucket).
+type LatencySummary struct {
+	// Count and MeanNs cover the recent window.
+	Count  uint64
+	MeanNs float64
+	// P50Ns, P99Ns and P999Ns are recent-window quantile estimates.
+	P50Ns, P99Ns, P999Ns float64
+	// MaxNs is the largest sample in the recent window, exact.
+	MaxNs uint64
+	// TotalCount counts samples since start.
+	TotalCount uint64
+}
+
+// LatencyMetrics is the ingest-to-visibility latency slice of a Metrics
+// snapshot; nil when tracking is disabled.
+type LatencyMetrics struct {
+	// Applied is admission → engine-applied; Visible is admission →
+	// view-publish (the element answerable by queries).
+	Applied, Visible LatencySummary
+	// Window is the length of the recent window the summaries cover.
+	Window time.Duration
+	// FlightSpans and SlowSpans count writes recorded by the flight
+	// recorder and spans latched as slow; SlowThreshold is the latch bound.
+	FlightSpans, SlowSpans uint64
+	SlowThreshold          time.Duration
+}
+
+// latencySummary builds a LatencySummary from a windowed histogram at nowNs.
+func latencySummary(w *obs.WindowedHistogram, nowNs int64) LatencySummary {
+	s := w.Snapshot(nowNs)
+	return LatencySummary{
+		Count:      s.Count,
+		MeanNs:     s.MeanNs(),
+		P50Ns:      s.QuantileNs(0.50),
+		P99Ns:      s.QuantileNs(0.99),
+		P999Ns:     s.QuantileNs(0.999),
+		MaxNs:      s.MaxNs,
+		TotalCount: w.TotalSnapshot().Count,
+	}
+}
+
+// latencyMetrics assembles the Metrics().Latency block (nil when tracking is
+// off). Lock-free.
+func (m *Monitor) latencyMetrics() *LatencyMetrics {
+	if !m.latOn {
+		return nil
+	}
+	now := obs.NowNs()
+	return &LatencyMetrics{
+		Applied:       latencySummary(&m.met.latApplied, now),
+		Visible:       latencySummary(&m.met.latVisible, now),
+		Window:        m.met.latVisible.Window(),
+		FlightSpans:   m.flight.Recorded(),
+		SlowSpans:     m.flight.SlowLatched(),
+		SlowThreshold: m.flight.Threshold(),
+	}
+}

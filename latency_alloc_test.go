@@ -1,0 +1,59 @@
+package pskyline
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestSteadyStatePushAllocsWithLatencyTracking pins the cost of the latency
+// instrumentation differentially: two monitors ingest the exact same
+// steady-state stream, one with tracking enabled (windowed histograms +
+// flight recorder) and one with the instrumentation-off control, and the
+// tracked monitor must not allocate more than the control. Admission stamps,
+// opSpan bookkeeping, histogram records and flight spans are all fixed-size
+// stores into preallocated storage — zero additional allocations.
+func TestSteadyStatePushAllocsWithLatencyTracking(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation accounting differs under the race detector")
+	}
+	const window = 1024
+	const runs = 2000
+	newM := func(disable bool) *Monitor {
+		m, err := NewMonitor(Options{
+			Dims: 3, Window: window, Thresholds: []float64{0.3},
+			Latency: LatencyOptions{Disable: disable},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return m
+	}
+	r := rand.New(rand.NewSource(42))
+	els := make([]Element, 3*window+runs+16)
+	for i := range els {
+		pt := []float64{r.Float64() * 10, r.Float64() * 10, r.Float64() * 10}
+		els[i] = Element{Point: pt, Prob: 0.2 + 0.8*r.Float64(), TS: int64(i)}
+	}
+
+	measure := func(m *Monitor) float64 {
+		defer m.Close()
+		i := 0
+		for ; i < 3*window; i++ {
+			if _, err := m.Push(els[i]); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return testing.AllocsPerRun(runs, func() {
+			if _, err := m.Push(els[i]); err != nil {
+				t.Fatal(err)
+			}
+			i++
+		})
+	}
+
+	base := measure(newM(true))
+	tracked := measure(newM(false))
+	if tracked > base+0.05 {
+		t.Fatalf("latency tracking adds allocations: %.3f allocs/push tracked vs %.3f control", tracked, base)
+	}
+}

@@ -27,6 +27,13 @@ type monMetrics struct {
 
 	publishGap obs.Histogram // interval between consecutive publications
 
+	// Ingest-to-visibility latency (Options.Latency): admission → engine
+	// applied and admission → view publish, in windowed histograms whose
+	// recent quantiles cover the last epoch window rather than process
+	// lifetime. Recorded by the write path under m.mu (single writer).
+	latApplied obs.WindowedHistogram
+	latVisible obs.WindowedHistogram
+
 	// Publish-time mirrors of engine state (single writer under m.mu).
 	processed    atomic.Uint64
 	pushes       atomic.Uint64
@@ -176,6 +183,19 @@ func (m *Monitor) buildRegistry() {
 	hist("pskyline_publish_interval_seconds",
 		"Interval between consecutive view publications.", &mm.publishGap)
 
+	if m.latOn {
+		r.RegisterWindowed("pskyline_ingest_apply_latency_seconds",
+			"Admission-to-engine-applied latency over the recent window (quantiles) and process lifetime (sum/count).",
+			&mm.latApplied, lbl()...)
+		r.RegisterWindowed("pskyline_visibility_latency_seconds",
+			"Admission-to-view-publish latency over the recent window (quantiles) and process lifetime (sum/count).",
+			&mm.latVisible, lbl()...)
+		counterFn("pskyline_flight_spans_total", "Write operations recorded by the flight recorder.",
+			func() float64 { return float64(m.flight.Recorded()) })
+		counterFn("pskyline_flight_slow_total", "Flight spans at or above the slow threshold.",
+			func() float64 { return float64(m.flight.SlowLatched()) })
+	}
+
 	if m.aq != nil {
 		q := m.aq
 		counter("pskyline_queue_dropped_total", "Elements shed by the async queue's overload policy.", &mm.qDrops)
@@ -291,6 +311,10 @@ type Metrics struct {
 	QueueDepth    int
 	QueueCapacity int
 	QueueDropped  uint64
+	// Latency reports ingest-to-visibility latency over the recent window
+	// and the flight recorder's counters; nil when Options.Latency.Disable
+	// is set.
+	Latency *LatencyMetrics
 	// WAL reports the durability subsystem; nil when durability is disabled.
 	WAL *WALMetrics
 }
@@ -350,6 +374,7 @@ func (m *Monitor) Metrics() Metrics {
 		out.QueueCapacity = cap(m.aq.ch)
 		out.QueueDropped = mm.qDrops.Load()
 	}
+	out.Latency = m.latencyMetrics()
 	for _, st := range mm.eng.StageHistograms() {
 		s := st.Hist.Snapshot()
 		out.Stages = append(out.Stages, StageLatency{

@@ -143,6 +143,11 @@ type Options struct {
 	// are counted in Metrics().QueueDropped. Ignored without AsyncQueue.
 	AsyncPolicy OverloadPolicy
 
+	// Latency configures ingest-to-visibility latency tracking and the
+	// flight recorder. The zero value enables both with the defaults; set
+	// Latency.Disable for an instrumentation-off control. See LatencyOptions.
+	Latency LatencyOptions
+
 	// Durability, when Dir is set, makes the monitor crash-recoverable:
 	// every element is appended to a write-ahead log before the engine
 	// applies it, checkpoints are installed periodically, and Open recovers
@@ -205,6 +210,13 @@ type Monitor struct {
 	reg       *obs.Registry
 	probSum   float64
 	probCount uint64
+
+	// Ingest-to-visibility latency tracking (Options.Latency): latOn gates
+	// the admission stamps, flight is the per-write span recorder, and
+	// shardIdx labels this monitor's flight spans (−1 unsharded).
+	latOn    bool
+	flight   *obs.FlightRecorder
+	shardIdx int32
 
 	aq *asyncQueue // nil when Options.AsyncQueue == 0
 
@@ -282,6 +294,7 @@ func newMonitorCore(opt Options) (*Monitor, error) {
 		opts:   opt,
 	}
 	m.trace = newTraceRing(opt.TraceDepth)
+	m.initLatency()
 	eng, err := core.NewEngine(core.Options{
 		Dims:          opt.Dims,
 		Window:        opt.Window,
@@ -356,7 +369,9 @@ func (m *Monitor) onChange(ev core.Event) {
 		} else {
 			m.met.leaves.Inc()
 		}
-		m.trace.record(ev, m.eng.Processed())
+		it := ev.Item
+		m.trace.record(it.Seq, m.eng.Processed(), m.eng.ArrivalNs(),
+			it.P, it.Psky().Float(), ev.FromBand, ev.ToBand, it.Point)
 	}
 	if enter && m.opts.OnEnter != nil {
 		m.opts.OnEnter(m.skyPointOf(ev))
@@ -410,14 +425,17 @@ func (m *Monitor) Push(e Element) (uint64, error) {
 	if p := m.walErr.Load(); p != nil {
 		return 0, *p
 	}
+	admit := m.admitNow()
 	if m.aq != nil {
-		return m.aq.enqueue(e)
+		return m.aq.enqueue(e, admit)
 	}
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	if m.closed {
 		return 0, ErrClosed
 	}
+	var sp opSpan
+	m.beginOpLocked(&sp, admit, -1)
 	if m.wal != nil {
 		if err := m.logOneLocked(e); err != nil {
 			return 0, err
@@ -427,8 +445,10 @@ func (m *Monitor) Push(e Element) (uint64, error) {
 	if err != nil {
 		return 0, err
 	}
+	sp.applyDone()
 	m.refreshTopKLocked()
 	m.publishLocked()
+	m.endOpLocked(&sp, seq, 1, nil, nil)
 	m.maybeCheckpointLocked(1)
 	return seq, nil
 }
@@ -459,13 +479,18 @@ func (m *Monitor) PushBatch(es []Element) (uint64, error) {
 	if p := m.walErr.Load(); p != nil {
 		return 0, *p
 	}
+	admit := m.admitNow()
 	if m.aq != nil {
-		return m.aq.enqueueBatch(es)
+		return m.aq.enqueueBatch(es, admit)
 	}
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	if m.closed {
 		return 0, ErrClosed
+	}
+	var sp opSpan
+	if len(es) > 0 {
+		m.beginOpLocked(&sp, admit, -1)
 	}
 	if m.wal != nil && len(es) > 0 {
 		if err := m.logBatchLocked(es); err != nil {
@@ -481,8 +506,10 @@ func (m *Monitor) PushBatch(es []Element) (uint64, error) {
 		return 0, err
 	}
 	if len(es) > 0 {
+		sp.applyDone()
 		m.refreshTopKLocked()
 		m.publishLocked()
+		m.endOpLocked(&sp, first, len(es), nil, nil)
 		m.maybeCheckpointLocked(len(es))
 	}
 	return first, nil

@@ -1,0 +1,8 @@
+//go:build !race
+
+package pskyline
+
+// raceEnabled reports whether the race detector is active (see
+// race_on_test.go). Allocation-pinning tests skip under it: the detector's
+// shadow-memory bookkeeping skews allocation accounting.
+const raceEnabled = false

@@ -1,0 +1,7 @@
+//go:build race
+
+package pskyline
+
+// raceEnabled lets tests whose accounting the race detector skews (e.g.
+// allocation pinning) skip themselves under `go test -race`.
+const raceEnabled = true

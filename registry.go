@@ -242,6 +242,7 @@ type Operator interface {
 	WALState() wal.State
 	WritePrometheus(w io.Writer) error
 	WriteMetricsJSON(w io.Writer) error
+	Flight() FlightInfo
 }
 
 var (

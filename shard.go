@@ -25,6 +25,11 @@ type shardOp struct {
 	seq  uint64
 	tick bool
 	wmTS int64
+	// admitNs is the element's front-end admission stamp (obs.NowNs at the
+	// moment Push/PushBatch accepted it, before sequencing, queueing or lock
+	// wait), carried to the applying shard for ingest-to-visibility latency
+	// recording. 0 when latency tracking is off, and always 0 on ticks.
+	admitNs int64
 }
 
 // watermark publishes the sharded stream's frontier: count is the number of
@@ -45,6 +50,7 @@ type watermark struct {
 type shardMember struct {
 	window int        // logical count window (0 = time-based)
 	wm     *watermark // the owning front end's stream frontier
+	index  int        // this shard's position, labelling its flight spans
 }
 
 // pushAtLocked ingests one element at its globally assigned sequence number:
@@ -99,12 +105,30 @@ func (m *Monitor) applyOps(ops []shardOp) error {
 	if p := m.walErr.Load(); p != nil {
 		return *p
 	}
+	var sp opSpan
+	if m.latOn {
+		// The span's admission stamp is the batch's oldest push (ticks carry
+		// none); the queue depth is the shard's async backlog at apply entry.
+		admit := int64(0)
+		for i := range ops {
+			if !ops[i].tick && ops[i].admitNs != 0 {
+				admit = ops[i].admitNs
+				break
+			}
+		}
+		queue := -1
+		if m.aq != nil {
+			queue = len(m.aq.ch)
+		}
+		m.beginOpLocked(&sp, admit, queue)
+	}
 	if m.wal != nil {
 		if err := m.logOpsLocked(ops); err != nil {
 			return err
 		}
 	}
 	pushes, expired := 0, 0
+	firstSeq := uint64(0)
 	for i := range ops {
 		if ops[i].tick {
 			expired += m.tickLocked(ops[i].seq, ops[i].wmTS)
@@ -113,13 +137,18 @@ func (m *Monitor) applyOps(ops []shardOp) error {
 		if err := m.pushAtLocked(ops[i].seq, ops[i].el); err != nil {
 			panic("pskyline: validated element rejected by engine: " + err.Error())
 		}
+		if pushes == 0 {
+			firstSeq = ops[i].seq
+		}
 		pushes++
 	}
 	if pushes == 0 && expired == 0 {
 		return nil
 	}
+	sp.applyDone()
 	m.refreshTopKLocked()
 	m.publishLocked()
+	m.endOpLocked(&sp, firstSeq, pushes, nil, ops)
 	m.maybeCheckpointLocked(pushes)
 	return nil
 }
@@ -274,7 +303,7 @@ func NewSharded(opt ShardedOptions) (*ShardedMonitor, error) {
 	for i := 0; i < opt.Shards; i++ {
 		so := opt.Options
 		so.Window = 0
-		so.shard = &shardMember{window: opt.Window, wm: s.wm}
+		so.shard = &shardMember{window: opt.Window, wm: s.wm, index: i}
 		so.sharedReg = reg
 		so.metricLabels = append(append([]obs.Label(nil), opt.metricLabels...),
 			obs.Label{Key: "shard", Value: strconv.Itoa(i)})
@@ -358,6 +387,9 @@ func (s *ShardedMonitor) Push(e Element) (uint64, error) {
 	if err := s.shards[0].validate(e); err != nil {
 		return 0, err
 	}
+	// Stamp admission before the front-end lock: sequencing waits, shard
+	// queues and shard locks all count toward the element's latency.
+	admit := s.shards[0].admitNow()
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.closed {
@@ -374,14 +406,14 @@ func (s *ShardedMonitor) Push(e Element) (uint64, error) {
 		s.wm.ts.Store(e.TS)
 	}
 	if s.async {
-		return seq, s.shards[home].aq.enqueueOp(shardOp{el: e, seq: seq})
+		return seq, s.shards[home].aq.enqueueOp(shardOp{el: e, seq: seq, admitNs: admit})
 	}
 	wmTS := s.wm.ts.Load()
 	var firstErr error
 	for i, sh := range s.shards {
 		op := shardOp{tick: true, seq: seq, wmTS: wmTS}
 		if i == home {
-			op = shardOp{el: e, seq: seq}
+			op = shardOp{el: e, seq: seq, admitNs: admit}
 		}
 		s.opBuf = append(s.opBuf[:0], op)
 		if err := sh.applyOps(s.opBuf); err != nil && firstErr == nil {
@@ -404,6 +436,7 @@ func (s *ShardedMonitor) PushBatch(es []Element) (uint64, error) {
 			return 0, fmt.Errorf("batch element %d: %w", i, err)
 		}
 	}
+	admit := s.shards[0].admitNow()
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.closed {
@@ -433,7 +466,7 @@ func (s *ShardedMonitor) PushBatch(es []Element) (uint64, error) {
 	}
 	for i := range es {
 		h := s.router.Route(es[i].Point, es[i].Prob, len(s.shards))
-		s.groups[h] = append(s.groups[h], shardOp{el: es[i], seq: first + uint64(i)})
+		s.groups[h] = append(s.groups[h], shardOp{el: es[i], seq: first + uint64(i), admitNs: admit})
 	}
 	var firstErr error
 	if s.async {

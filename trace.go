@@ -5,7 +5,7 @@ import (
 	"sync/atomic"
 	"time"
 
-	"pskyline/internal/core"
+	"pskyline/internal/obs"
 )
 
 // DefaultTraceDepth is the trace ring capacity used when Options.TraceDepth
@@ -36,7 +36,12 @@ type TraceEvent struct {
 	// FromBand and ToBand are the threshold band indices of the move
 	// (−1 = outside the candidate set).
 	FromBand, ToBand int
-	// At is the wall-clock time the transition was recorded.
+	// At is the time the transition was recorded. The stamp is the single
+	// monotonic clock reading the engine took when it began processing the
+	// arrival or expiry that fired the transition — the same reading that
+	// arms the stage timing — converted to wall clock through one shared
+	// base, so deltas between the At values of different events are true
+	// monotonic intervals (wall-clock steps cannot distort them).
 	At time.Time
 	// Processed is the number of stream elements ingested when the
 	// transition fired.
@@ -89,27 +94,29 @@ func newTraceRing(depth int) *traceRing {
 	return &traceRing{mask: uint64(cap - 1), slots: make([]traceSlot, cap)}
 }
 
-// record appends one transition. Single writer only.
-func (r *traceRing) record(ev core.Event, processed uint64) {
+// record appends one transition. Single writer only. atNs is the engine's
+// shared arrival stamp (obs.NowNs), not a fresh clock read: the transition
+// is timestamped at the instant its triggering arrival/expiry began, with no
+// extra wall-clock read on the hot path.
+func (r *traceRing) record(seq, processed uint64, atNs int64, prob, psky float64, from, to int, pt []float64) {
 	pos := r.n.Load()
 	s := &r.slots[pos&r.mask]
 	v := s.ver.Load()
 	s.ver.Store(v + 1)
-	it := ev.Item
-	s.seq.Store(it.Seq)
+	s.seq.Store(seq)
 	s.processed.Store(processed)
-	s.atNs.Store(time.Now().UnixNano())
-	s.prob.Store(math.Float64bits(it.P))
-	s.psky.Store(math.Float64bits(it.Psky().Float()))
-	s.from.Store(int64(ev.FromBand))
-	s.to.Store(int64(ev.ToBand))
-	d := len(it.Point)
+	s.atNs.Store(atNs)
+	s.prob.Store(math.Float64bits(prob))
+	s.psky.Store(math.Float64bits(psky))
+	s.from.Store(int64(from))
+	s.to.Store(int64(to))
+	d := len(pt)
 	if d > traceMaxDims {
 		d = traceMaxDims
 	}
 	s.dims.Store(uint64(d))
 	for i := 0; i < d; i++ {
-		s.coord[i].Store(math.Float64bits(it.Point[i]))
+		s.coord[i].Store(math.Float64bits(pt[i]))
 	}
 	s.ver.Store(v + 2)
 	r.n.Store(pos + 1)
@@ -136,7 +143,7 @@ func (r *traceRing) collect() []TraceEvent {
 		ev := TraceEvent{
 			Seq:       s.seq.Load(),
 			Processed: s.processed.Load(),
-			At:        time.Unix(0, s.atNs.Load()),
+			At:        obs.WallAt(s.atNs.Load()),
 			Prob:      math.Float64frombits(s.prob.Load()),
 			Psky:      math.Float64frombits(s.psky.Load()),
 			FromBand:  int(s.from.Load()),
