@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build vet lint test race bench-concurrent bench bench-smoke serve-smoke crash-smoke chaos-smoke shard-smoke bench-recovery load-smoke bench-latency ci
+.PHONY: build vet lint test race bench-concurrent bench bench-smoke serve-smoke crash-smoke chaos-smoke shard-smoke bench-recovery load-smoke repl-smoke bench-latency ci
 
 build:
 	$(GO) build ./...
@@ -87,6 +87,13 @@ bench-recovery:
 load-smoke:
 	bash scripts/load_smoke.sh
 
+# End-to-end replication smoke test: a durable primary ships its WAL to a
+# read-only replica, kill -9 lands on the primary mid-ingest, the replica is
+# promoted via `pskyline -promote` and fed the rest of the stream, and its
+# skyline is byte-compared against an uninterrupted oracle.
+repl-smoke:
+	bash scripts/repl_smoke.sh
+
 # Full latency-vs-rate trajectory: open-loop sweeps of the sync, async and
 # sharded write paths (plus the instrumentation-off control) appended to
 # BENCH_latency.json. Label it after the change being measured, e.g.
@@ -97,4 +104,4 @@ bench-latency:
 	$(GO) run ./cmd/pskyload -mode sharded -batch 16 -rates 5000,10000,20000 -out BENCH_latency.json -label "$(BENCH_LABEL)-sharded"
 	$(GO) run ./cmd/pskyload -mode sync -no-latency -rates 10000 -out BENCH_latency.json -label "$(BENCH_LABEL)-control"
 
-ci: build lint test race bench-concurrent bench-smoke serve-smoke crash-smoke chaos-smoke shard-smoke bench-recovery load-smoke
+ci: build lint test race bench-concurrent bench-smoke serve-smoke crash-smoke chaos-smoke shard-smoke bench-recovery load-smoke repl-smoke

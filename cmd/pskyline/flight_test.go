@@ -23,7 +23,7 @@ type flightDumpJSON struct {
 
 func TestServeMuxBuildinfo(t *testing.T) {
 	m := serveMonitor(t)
-	srv := httptest.NewServer(newServeMux(newMonitorHandle(m)))
+	srv := httptest.NewServer(newServeMux(newMonitorHandle(m), nil))
 	defer srv.Close()
 
 	body, hdr := get(t, srv, "/buildinfo")
@@ -60,7 +60,7 @@ func TestServeMuxBuildinfo(t *testing.T) {
 
 func TestServeMuxFlight(t *testing.T) {
 	m := serveMonitor(t)
-	srv := httptest.NewServer(newServeMux(newMonitorHandle(m)))
+	srv := httptest.NewServer(newServeMux(newMonitorHandle(m), nil))
 	defer srv.Close()
 
 	body, hdr := get(t, srv, "/debug/flight")

@@ -77,6 +77,7 @@ import (
 	"time"
 
 	"pskyline"
+	"pskyline/internal/repl"
 )
 
 // config collects the parsed command line so tests can drive run directly.
@@ -108,6 +109,10 @@ type config struct {
 	walCkptEvery int
 	walFault     string
 	walFaultSeed int64
+	// replication (-replicate-listen / -replica-of / -promote)
+	replListen string
+	replicaOf  string
+	promote    string
 	// stop overrides the serve-mode shutdown trigger (nil = OS signals);
 	// tests close it to unblock run without sending a signal.
 	stop <-chan struct{}
@@ -140,6 +145,9 @@ func main() {
 		noLat    = flag.Bool("no-latency", false, "disable ingest-to-visibility latency tracking and the flight recorder (instrumentation-off control)")
 		slowThr  = flag.Duration("slow-threshold", 0, "latch writes at or above this admission-to-visibility latency into the flight recorder's slow ring (0 = default 5ms)")
 		latEpoch = flag.Duration("latency-epoch", 0, "rotation interval of the windowed latency histograms; recent quantiles cover 6 epochs (0 = default 10s)")
+		replLis  = flag.String("replicate-listen", "", "primary mode: stream the WAL to read-only replicas on this address (requires -wal, single engine)")
+		replOf   = flag.String("replica-of", "", "replica mode: follow the primary replicating on this address (requires -wal and -http; stdin is not read)")
+		promote  = flag.String("promote", "", "promote the replica serving HTTP on this address to a writable primary, then exit")
 		version  = flag.Bool("version", false, "print build information and exit")
 	)
 	flag.Parse()
@@ -166,6 +174,7 @@ func main() {
 		walDir: *walDir, walFsync: *walFsync, walPolicy: *walPol,
 		walSegmentMB: *walSegMB, walCkptEvery: *walEvery,
 		walFault: *walFault, walFaultSeed: *walFSeed,
+		replListen: *replLis, replicaOf: *replOf, promote: *promote,
 	}
 	if err := run(cfg, os.Stdin, os.Stdout, os.Stderr); err != nil {
 		fatal("%v", err)
@@ -176,8 +185,25 @@ func main() {
 // the input through it (optionally batched and/or async), serve snapshot
 // prints from the published view, and checkpoint at exit.
 func run(cfg config, stdin io.Reader, out, errw io.Writer) error {
+	if cfg.promote != "" {
+		return runPromote(cfg.promote, out)
+	}
+	if cfg.replicaOf != "" {
+		return runReplica(cfg, errw)
+	}
 	if cfg.streams != "" {
+		if cfg.replListen != "" {
+			return fmt.Errorf("-replicate-listen replicates a single stream, not -streams")
+		}
 		return runStreams(cfg, errw)
+	}
+	if cfg.replListen != "" {
+		if cfg.walDir == "" {
+			return fmt.Errorf("-replicate-listen requires -wal: the WAL is the replication log")
+		}
+		if cfg.shards > 1 {
+			return fmt.Errorf("-replicate-listen replicates a single-engine stream: -shards must be 1")
+		}
 	}
 	if cfg.batch < 1 {
 		return fmt.Errorf("batch size %d < 1", cfg.batch)
@@ -239,8 +265,12 @@ func run(cfg config, stdin io.Reader, out, errw io.Writer) error {
 	var (
 		srv *http.Server
 		h   *monitorHandle
+		rs  *replState
 		err error
 	)
+	if cfg.replListen != "" {
+		rs = &replState{}
+	}
 	if cfg.httpAddr != "" {
 		h = newMonitorHandle(nil)
 		if cfg.walDir != "" {
@@ -248,7 +278,7 @@ func run(cfg config, stdin io.Reader, out, errw io.Writer) error {
 			h.progress = prog
 			opt.Durability.Progress = prog
 		}
-		srv, err = startServer(cfg.httpAddr, newServeMux(h), errw)
+		srv, err = startServer(cfg.httpAddr, newServeMux(h, rs), errw)
 		if err != nil {
 			return err
 		}
@@ -308,6 +338,24 @@ func run(cfg config, stdin io.Reader, out, errw io.Writer) error {
 	defer m.Close()
 	if h != nil {
 		h.set(m)
+	}
+	if cfg.replListen != "" {
+		if mon == nil {
+			return fmt.Errorf("-replicate-listen requires a single-engine durable monitor")
+		}
+		epoch, eerr := repl.LoadEpoch(cfg.walDir)
+		if eerr != nil {
+			return eerr
+		}
+		rsrv, rerr := repl.NewServer(mon, cfg.replListen, repl.ServerOptions{Epoch: epoch})
+		if rerr != nil {
+			return rerr
+		}
+		defer rsrv.Close()
+		if rs != nil {
+			rs.setServer(rsrv)
+		}
+		fmt.Fprintf(errw, "pskyline: replicating on %s (epoch %d)\n", rsrv.Addr(), epoch)
 	}
 
 	in := stdin

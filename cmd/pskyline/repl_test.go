@@ -1,0 +1,203 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+)
+
+// awaitStderr polls a run goroutine's stderr for a marker line and returns
+// the first whitespace-delimited token after it.
+func awaitStderr(t *testing.T, errw *syncBuf, marker string) string {
+	t.Helper()
+	for i := 0; i < 1000; i++ {
+		if s := errw.String(); strings.Contains(s, marker) {
+			rest := s[strings.Index(s, marker)+len(marker):]
+			return strings.Fields(rest)[0]
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("never saw %q on stderr: %s", marker, errw.String())
+	return ""
+}
+
+func getJSON(t *testing.T, url string, into any) int {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	if into != nil {
+		if err := json.Unmarshal(body, into); err != nil {
+			t.Fatalf("GET %s: bad JSON %q: %v", url, body, err)
+		}
+	}
+	return resp.StatusCode
+}
+
+// TestRunReplicaMode drives the full CLI topology end to end: a durable
+// primary with -replicate-listen, a -replica-of follower serving HTTP,
+// read-only enforcement, primary death, promotion via the -promote client
+// path, and writability of the promoted node.
+func TestRunReplicaMode(t *testing.T) {
+	lines := genCSV(21, 300)
+
+	// Primary: durable, replicating, held up by -http until stopped.
+	stopP := make(chan struct{})
+	pCfg := config{
+		dims: 2, window: 100, thresholds: []float64{0.3},
+		batch: 1, summary: true, httpAddr: "127.0.0.1:0",
+		walDir: t.TempDir(), walFsync: "never",
+		replListen: "127.0.0.1:0", stop: stopP,
+	}
+	var pOut bytes.Buffer
+	var pErr syncBuf
+	pDone := make(chan error, 1)
+	go func() {
+		pDone <- run(pCfg, strings.NewReader(strings.Join(lines, "\n")+"\n"), &pOut, &pErr)
+	}()
+	replAddr := awaitStderr(t, &pErr, "pskyline: replicating on ")
+	pHTTP := awaitStderr(t, &pErr, "serving on ")
+
+	// Replica: follows the primary, serves its own HTTP endpoint.
+	stopR := make(chan struct{})
+	rCfg := config{
+		dims: 2, window: 100, thresholds: []float64{0.3},
+		batch: 1, httpAddr: "127.0.0.1:0",
+		walDir: t.TempDir(), walFsync: "never",
+		replicaOf: replAddr, stop: stopR,
+	}
+	var rOut bytes.Buffer
+	var rErr syncBuf
+	rDone := make(chan error, 1)
+	go func() {
+		rDone <- run(rCfg, strings.NewReader(""), &rOut, &rErr)
+	}()
+	rHTTP := awaitStderr(t, &rErr, "serving on ")
+
+	// The replica must report its role and converge on the primary's
+	// position.
+	var health map[string]any
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		if getJSON(t, rHTTP+"/healthz", &health) == http.StatusOK &&
+			health["role"] == "replica" && health["processed"] == float64(len(lines)) {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("replica never caught up: %v", health)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if _, ok := health["replication"]; !ok {
+		t.Fatalf("replica /healthz missing replication block: %v", health)
+	}
+
+	// Replica and primary serve the identical skyline.
+	var pSky, rSky json.RawMessage
+	getJSON(t, pHTTP+"/skyline", &pSky)
+	getJSON(t, rHTTP+"/skyline", &rSky)
+	if !bytes.Equal(pSky, rSky) {
+		t.Fatalf("skyline diverged:\nprimary %s\nreplica %s", pSky, rSky)
+	}
+
+	// The primary's /healthz reports its role and follower lag; its
+	// /metrics carries the per-follower gauges.
+	var pHealth map[string]any
+	getJSON(t, pHTTP+"/healthz", &pHealth)
+	if pHealth["role"] != "primary" || pHealth["replication"] == nil {
+		t.Fatalf("primary /healthz = %v", pHealth)
+	}
+	resp, err := http.Get(pHTTP + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	prom, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if !strings.Contains(string(prom), "pskyline_repl_follower_lag_seq{") {
+		t.Fatalf("primary /metrics missing follower lag series")
+	}
+
+	// Writes to a replica are refused.
+	resp, err = http.Post(rHTTP+"/push", "application/json", strings.NewReader(`{"point":[0.5,0.5],"prob":0.5}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusForbidden {
+		t.Fatalf("POST /push on replica: status %d, want 403", resp.StatusCode)
+	}
+
+	// Primary dies; promote the replica through the -promote client path.
+	close(stopP)
+	if err := <-pDone; err != nil {
+		t.Fatalf("primary run: %v", err)
+	}
+	var promoteOut bytes.Buffer
+	if err := runPromote(rHTTP, &promoteOut); err != nil {
+		t.Fatalf("promote: %v", err)
+	}
+	if !strings.Contains(promoteOut.String(), "role=primary epoch=1") {
+		t.Fatalf("promote output: %q", promoteOut.String())
+	}
+
+	// The promoted node is a writable primary now.
+	getJSON(t, rHTTP+"/healthz", &health)
+	if health["role"] != "primary" {
+		t.Fatalf("role after promotion = %v", health["role"])
+	}
+	resp, err = http.Post(rHTTP+"/push?drain=1", "application/json", strings.NewReader(`{"point":[0.5,0.5],"prob":0.5}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("POST /push after promotion: status %d: %s", resp.StatusCode, body)
+	}
+	var sky struct {
+		Processed float64 `json:"processed"`
+	}
+	getJSON(t, rHTTP+"/skyline", &sky)
+	if sky.Processed != float64(len(lines)+1) {
+		t.Fatalf("promoted node processed %v, want %d", sky.Processed, len(lines)+1)
+	}
+
+	// Clean shutdown of the promoted node installs a final checkpoint.
+	close(stopR)
+	if err := <-rDone; err != nil {
+		t.Fatalf("replica run: %v", err)
+	}
+	if !strings.Contains(rErr.String(), "checkpoint installed") {
+		t.Fatalf("promoted node did not checkpoint at exit: %s", rErr.String())
+	}
+}
+
+// TestRunReplicaFlagValidation covers the replica-mode flag contract.
+func TestRunReplicaFlagValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		cfg  config
+		want string
+	}{
+		{"no wal", config{dims: 2, window: 10, thresholds: []float64{0.3}, replicaOf: "127.0.0.1:1", httpAddr: ":0"}, "-replica-of requires -wal"},
+		{"no http", config{dims: 2, window: 10, thresholds: []float64{0.3}, replicaOf: "127.0.0.1:1", walDir: t.TempDir()}, "-replica-of requires -http"},
+		{"both roles", config{dims: 2, window: 10, thresholds: []float64{0.3}, replicaOf: "127.0.0.1:1", walDir: t.TempDir(), httpAddr: ":0", replListen: ":0"}, "mutually exclusive"},
+		{"sharded replica", config{dims: 2, window: 10, thresholds: []float64{0.3}, replicaOf: "127.0.0.1:1", walDir: t.TempDir(), httpAddr: ":0", shards: 4}, "-shards must be 1"},
+		{"primary no wal", config{dims: 2, window: 10, thresholds: []float64{0.3}, batch: 1, replListen: ":0"}, "-replicate-listen requires -wal"},
+		{"primary sharded", config{dims: 2, window: 10, thresholds: []float64{0.3}, batch: 1, replListen: ":0", walDir: t.TempDir(), shards: 2}, "-shards must be 1"},
+		{"primary streams", config{dims: 2, window: 10, thresholds: []float64{0.3}, batch: 1, replListen: ":0", streams: "a:dims=2,window=10,q=0.3", httpAddr: ":0"}, "not -streams"},
+	}
+	for _, tc := range cases {
+		err := run(tc.cfg, strings.NewReader(""), io.Discard, io.Discard)
+		if err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: err = %v, want substring %q", tc.name, err, tc.want)
+		}
+	}
+}

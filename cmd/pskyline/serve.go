@@ -67,9 +67,21 @@ func (h *monitorHandle) ready(w http.ResponseWriter) (pskyline.Operator, bool) {
 // atomic metric mirrors, the trace ring), so scraping — even aggressively —
 // never blocks ingestion.
 //
+// rs carries the node's replication role (nil = standalone): /healthz
+// reports role and lag, /metrics appends the replication series, /skyline
+// serves read-only queries, POST /push ingests (403 on replicas — they
+// accept writes only from their primary) and POST /promote flips a replica
+// into a writable primary.
+//
 //	/metrics        Prometheus text exposition
-//	/healthz        liveness + stream position JSON; "serving" once ready,
-//	                503 "recovering" while crash recovery replays the log
+//	/healthz        liveness + stream position + replication role JSON;
+//	                "serving" once ready, 503 "recovering" while crash
+//	                recovery replays the log
+//	/skyline        current skyline JSON (replicas serve this read-only)
+//	/push           POST NDJSON elements {"point":[..],"prob":p,"ts":t};
+//	                403 on a replica; ?drain=1 waits for visibility
+//	/promote        POST: promote this replica to a writable primary;
+//	                409 unless the node is a replica
 //	/buildinfo      build metadata (VCS revision, dirty flag, Go version)
 //	/debug/skyline  current skyline (and, for a single monitor, the
 //	                recent-transition trace), JSON
@@ -77,7 +89,7 @@ func (h *monitorHandle) ready(w http.ResponseWriter) (pskyline.Operator, bool) {
 //	                spans with per-stage breakdowns, JSON
 //	/debug/vars     all metrics as one expvar-style JSON object
 //	/debug/pprof/   the standard runtime profiles
-func newServeMux(h *monitorHandle) *http.ServeMux {
+func newServeMux(h *monitorHandle, rs *replState) *http.ServeMux {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
 		m, ok := h.ready(w)
@@ -86,14 +98,61 @@ func newServeMux(h *monitorHandle) *http.ServeMux {
 		}
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 		m.WritePrometheus(w)
+		rs.writePrometheus(w)
 	})
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
 		m, ok := h.ready(w)
 		if !ok {
 			return
 		}
+		body := operatorHealth(m)
+		rs.decorateHealth(body)
 		w.Header().Set("Content-Type", "application/json")
-		json.NewEncoder(w).Encode(operatorHealth(m))
+		json.NewEncoder(w).Encode(body)
+	})
+	mux.HandleFunc("GET /skyline", func(w http.ResponseWriter, r *http.Request) {
+		m, ok := h.ready(w)
+		if !ok {
+			return
+		}
+		v := m.View()
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(map[string]any{
+			"processed": v.Processed(),
+			"skyline":   skylineJSON(v.Skyline()),
+		})
+	})
+	mux.HandleFunc("POST /push", func(w http.ResponseWriter, r *http.Request) {
+		m, ok := h.ready(w)
+		if !ok {
+			return
+		}
+		if rs.role() == "replica" {
+			httpError(w, http.StatusForbidden, "read-only replica: writes go to the primary (or POST /promote)")
+			return
+		}
+		accepted, err := pushNDJSON(m, r.Body)
+		if err != nil {
+			code := http.StatusBadRequest
+			if errors.Is(err, pskyline.ErrOverloaded) {
+				code = http.StatusTooManyRequests
+			} else if errors.Is(err, pskyline.ErrClosed) {
+				code = http.StatusConflict
+			}
+			httpError(w, code, fmt.Sprintf("after %d accepted: %v", accepted, err))
+			return
+		}
+		if r.URL.Query().Get("drain") == "1" {
+			m.Drain()
+		}
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(map[string]any{"accepted": accepted})
+	})
+	mux.HandleFunc("POST /promote", func(w http.ResponseWriter, r *http.Request) {
+		body, code := rs.promote(h)
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(code)
+		json.NewEncoder(w).Encode(body)
 	})
 	mux.HandleFunc("/debug/skyline", func(w http.ResponseWriter, r *http.Request) {
 		m, ok := h.ready(w)

@@ -73,7 +73,7 @@ func get(t *testing.T, srv *httptest.Server, path string) (string, http.Header) 
 
 func TestServeMuxEndpoints(t *testing.T) {
 	m := serveMonitor(t)
-	srv := httptest.NewServer(newServeMux(newMonitorHandle(m)))
+	srv := httptest.NewServer(newServeMux(newMonitorHandle(m), nil))
 	defer srv.Close()
 
 	metrics, hdr := get(t, srv, "/metrics")
@@ -140,7 +140,7 @@ func TestServeMuxEndpoints(t *testing.T) {
 // and flipping the handle to a live monitor switches /healthz to "serving".
 func TestServeMuxRecovering(t *testing.T) {
 	h := newMonitorHandle(nil)
-	srv := httptest.NewServer(newServeMux(h))
+	srv := httptest.NewServer(newServeMux(h, nil))
 	defer srv.Close()
 
 	for _, path := range []string{"/healthz", "/metrics", "/debug/skyline", "/debug/vars"} {
@@ -218,7 +218,7 @@ func TestServeMuxRecoveringProgress(t *testing.T) {
 
 	h := newMonitorHandle(nil) // still "recovering": no operator stored yet
 	h.progress = prog
-	srv := httptest.NewServer(newServeMux(h))
+	srv := httptest.NewServer(newServeMux(h, nil))
 	defer srv.Close()
 	resp, err := srv.Client().Get(srv.URL + "/healthz")
 	if err != nil {

@@ -1,0 +1,54 @@
+package repl
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+)
+
+// The epoch is the fencing token of the replication protocol: a
+// monotonically increasing counter persisted beside the WAL, bumped exactly
+// once per promotion. A primary serves one epoch for its whole life; a
+// follower records the newest epoch it has been served by. Because a
+// follower's hello carries that epoch and a primary rejects any hello newer
+// than its own, a deposed primary that comes back from the dead cannot
+// re-acquire followers that have moved on — they out-fence it.
+
+const epochFile = "repl-epoch"
+
+// LoadEpoch reads the persisted epoch from a durability directory,
+// returning 0 when none has been recorded yet.
+func LoadEpoch(dir string) (uint64, error) {
+	b, err := os.ReadFile(filepath.Join(dir, epochFile))
+	if os.IsNotExist(err) {
+		return 0, nil
+	}
+	if err != nil {
+		return 0, fmt.Errorf("repl: epoch: %w", err)
+	}
+	e, perr := strconv.ParseUint(strings.TrimSpace(string(b)), 10, 64)
+	if perr != nil {
+		return 0, fmt.Errorf("repl: epoch: parse %q: %w", strings.TrimSpace(string(b)), perr)
+	}
+	return e, nil
+}
+
+// StoreEpoch durably records the epoch (write-temp + rename, so a crash
+// mid-write never leaves a corrupt epoch file).
+func StoreEpoch(dir string, epoch uint64) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("repl: epoch: %w", err)
+	}
+	final := filepath.Join(dir, epochFile)
+	tmp := final + ".tmp"
+	if err := os.WriteFile(tmp, []byte(strconv.FormatUint(epoch, 10)+"\n"), 0o644); err != nil {
+		return fmt.Errorf("repl: epoch: %w", err)
+	}
+	if err := os.Rename(tmp, final); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("repl: epoch: %w", err)
+	}
+	return nil
+}

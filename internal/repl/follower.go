@@ -1,0 +1,590 @@
+package repl
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math/rand"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"pskyline"
+	"pskyline/internal/vfs"
+	"pskyline/internal/wal"
+)
+
+// ErrRejected reports that the primary refused the session permanently
+// (protocol or configuration mismatch, or this node out-fenced the
+// primary). The follower stops retrying: reconnecting cannot fix it.
+var ErrRejected = errors.New("repl: session rejected by primary")
+
+// maxCkptBytes bounds an announced checkpoint transfer so a corrupt or
+// hostile size cannot drive an unbounded allocation.
+const maxCkptBytes = 4 << 30
+
+// FollowerOptions tunes the replica side. The zero value of every field
+// selects a default; Addr is required.
+type FollowerOptions struct {
+	// Addr is the primary's replication listen address.
+	Addr string
+	// DialTimeout bounds one connection attempt (default 5s).
+	DialTimeout time.Duration
+	// HeartbeatTimeout is the longest silence tolerated on an established
+	// session before the follower declares the primary dead and reconnects
+	// (default 3s; must comfortably exceed the primary's heartbeat
+	// interval).
+	HeartbeatTimeout time.Duration
+	// RetryBase and RetryMax bound the reconnect backoff: delays start at
+	// RetryBase and double (with jitter) up to RetryMax (defaults 100ms
+	// and 5s).
+	RetryBase time.Duration
+	RetryMax  time.Duration
+	// RetrySeed seeds the backoff jitter; 0 derives one from the clock.
+	RetrySeed int64
+	// OnMonitor is invoked (from the follower's goroutine) whenever the
+	// replica monitor is replaced — today only by checkpoint catch-up,
+	// which rebuilds the monitor from the installed checkpoint. Serving
+	// layers swap their handle here.
+	OnMonitor func(*pskyline.Monitor)
+}
+
+func (o *FollowerOptions) normalize() {
+	if o.DialTimeout <= 0 {
+		o.DialTimeout = 5 * time.Second
+	}
+	if o.HeartbeatTimeout <= 0 {
+		o.HeartbeatTimeout = 3 * time.Second
+	}
+	if o.RetryBase <= 0 {
+		o.RetryBase = 100 * time.Millisecond
+	}
+	if o.RetryMax <= 0 {
+		o.RetryMax = 5 * time.Second
+	}
+	if o.RetrySeed == 0 {
+		o.RetrySeed = time.Now().UnixNano()
+	}
+}
+
+// FollowerInfo is a point-in-time view of a replica's replication state,
+// served by /healthz on replica nodes.
+type FollowerInfo struct {
+	Connected bool   `json:"connected"`
+	Promoted  bool   `json:"promoted"`
+	Rejected  bool   `json:"rejected"`
+	LastError string `json:"last_error,omitempty"`
+	Epoch     uint64 `json:"epoch"`
+	// AppliedSeq is the replica's apply position (its monitor's NextSeq).
+	AppliedSeq uint64 `json:"applied_seq"`
+	// PrimaryCommitted is the primary's committed watermark as of the
+	// newest frame received.
+	PrimaryCommitted uint64 `json:"primary_committed_seq"`
+	LagSeq           uint64 `json:"lag_seq"`
+	// LastFrameAgeSeconds is the silence on the session: time since the
+	// last frame (records or heartbeat) arrived. Negative means no frame
+	// has arrived yet.
+	LastFrameAgeSeconds float64 `json:"last_frame_age_seconds"`
+	CheckpointCatchups  uint64  `json:"checkpoint_catchups_total"`
+	Reconnects          uint64  `json:"reconnects_total"`
+}
+
+// Follower is the replica side: it owns a durable read-only Monitor, keeps
+// a session to the primary (reconnecting with bounded backoff), replays
+// shipped WAL records through the normal ingestion path, and installs
+// shipped checkpoints when it has fallen behind the primary's retained
+// log. Promote seals it as a new primary.
+type Follower struct {
+	opt pskyline.Options
+	fo  FollowerOptions
+
+	mon   atomic.Pointer[pskyline.Monitor]
+	epoch atomic.Uint64
+
+	mu             sync.Mutex
+	conn           net.Conn // live session connection, for DropConnection
+	closed         bool
+	promoted       bool
+	rejected       bool
+	connected      bool
+	lastErr        string
+	primaryCommit  uint64
+	lastFrameNanos int64
+	ckptCatchups   uint64
+	reconnects     uint64
+
+	stop      chan struct{}
+	done      chan struct{}
+	closeOnce sync.Once
+}
+
+// StartFollower opens (or recovers) the replica's durable monitor from
+// opt and starts replicating from fo.Addr. The monitor applies records
+// synchronously (any AsyncQueue setting is overridden), so its WAL and
+// engine state at sequence s are byte-identical to the primary's at s.
+func StartFollower(opt pskyline.Options, fo FollowerOptions) (*Follower, error) {
+	if opt.Durability.Dir == "" {
+		return nil, errors.New("repl: follower requires Durability.Dir; the WAL is the replication log")
+	}
+	if fo.Addr == "" {
+		return nil, errors.New("repl: follower requires a primary address")
+	}
+	fo.normalize()
+	opt.AsyncQueue = 0 // synchronous apply: acked means applied
+	mon, err := pskyline.NewMonitor(opt)
+	if err != nil {
+		return nil, err
+	}
+	epoch, err := LoadEpoch(opt.Durability.Dir)
+	if err != nil {
+		mon.Close()
+		return nil, err
+	}
+	f := &Follower{opt: opt, fo: fo, stop: make(chan struct{}), done: make(chan struct{})}
+	f.mon.Store(mon)
+	f.epoch.Store(epoch)
+	go f.run()
+	return f, nil
+}
+
+// Monitor is the replica's current monitor. Checkpoint catch-up replaces
+// it; register FollowerOptions.OnMonitor to observe the swap.
+func (f *Follower) Monitor() *pskyline.Monitor { return f.mon.Load() }
+
+// Epoch is the newest fencing epoch this node has seen (or, after
+// Promote, the epoch it now owns).
+func (f *Follower) Epoch() uint64 { return f.epoch.Load() }
+
+// Info reports the replica's replication state.
+func (f *Follower) Info() FollowerInfo {
+	applied := f.mon.Load().NextSeq()
+	now := time.Now().UnixNano()
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	info := FollowerInfo{
+		Connected: f.connected, Promoted: f.promoted, Rejected: f.rejected,
+		LastError: f.lastErr, Epoch: f.epoch.Load(), AppliedSeq: applied,
+		PrimaryCommitted:   f.primaryCommit,
+		CheckpointCatchups: f.ckptCatchups, Reconnects: f.reconnects,
+		LastFrameAgeSeconds: -1,
+	}
+	if f.primaryCommit > applied {
+		info.LagSeq = f.primaryCommit - applied
+	}
+	if f.lastFrameNanos > 0 {
+		info.LastFrameAgeSeconds = float64(now-f.lastFrameNanos) / 1e9
+	}
+	return info
+}
+
+// WritePrometheus appends the replica-side replication series in
+// Prometheus text exposition format.
+func (f *Follower) WritePrometheus(w io.Writer) error {
+	info := f.Info()
+	var err error
+	p := func(format string, args ...any) {
+		if err == nil {
+			_, err = fmt.Fprintf(w, format, args...)
+		}
+	}
+	b2i := func(b bool) int {
+		if b {
+			return 1
+		}
+		return 0
+	}
+	p("# TYPE pskyline_repl_replica_connected gauge\npskyline_repl_replica_connected %d\n", b2i(info.Connected))
+	p("# TYPE pskyline_repl_replica_applied_seq gauge\npskyline_repl_replica_applied_seq %d\n", info.AppliedSeq)
+	p("# TYPE pskyline_repl_replica_lag_seq gauge\npskyline_repl_replica_lag_seq %d\n", info.LagSeq)
+	p("# TYPE pskyline_repl_replica_epoch gauge\npskyline_repl_replica_epoch %d\n", info.Epoch)
+	p("# TYPE pskyline_repl_replica_checkpoint_catchups_total counter\npskyline_repl_replica_checkpoint_catchups_total %d\n", info.CheckpointCatchups)
+	p("# TYPE pskyline_repl_replica_reconnects_total counter\npskyline_repl_replica_reconnects_total %d\n", info.Reconnects)
+	return err
+}
+
+// DropConnection severs the live session (if any); the follower
+// reconnects with backoff. Exposed for tests and operational fault drills.
+func (f *Follower) DropConnection() {
+	f.mu.Lock()
+	c := f.conn
+	f.mu.Unlock()
+	if c != nil {
+		c.Close()
+	}
+}
+
+// Promote stops replication, drains and checkpoints the monitor (sealing
+// the log at a clean cut), durably bumps the fencing epoch past every
+// epoch this node has seen, and returns the monitor — now writable, owned
+// by the caller. A later Close leaves the promoted monitor alone.
+func (f *Follower) Promote() (*pskyline.Monitor, error) {
+	f.stopLoop()
+	f.mu.Lock()
+	if f.promoted {
+		f.mu.Unlock()
+		return f.mon.Load(), nil
+	}
+	f.mu.Unlock()
+	mon := f.mon.Load()
+	mon.Drain()
+	if err := mon.Checkpoint(); err != nil {
+		return nil, fmt.Errorf("repl: promote: %w", err)
+	}
+	epoch := f.epoch.Load() + 1
+	if err := StoreEpoch(f.opt.Durability.Dir, epoch); err != nil {
+		return nil, fmt.Errorf("repl: promote: %w", err)
+	}
+	f.epoch.Store(epoch)
+	f.mu.Lock()
+	f.promoted = true
+	f.mu.Unlock()
+	return mon, nil
+}
+
+// Close stops replication and closes the replica monitor. After a
+// successful Promote the monitor belongs to the promoter and survives.
+// Idempotent.
+func (f *Follower) Close() error {
+	f.stopLoop()
+	f.mu.Lock()
+	promoted := f.promoted
+	f.mu.Unlock()
+	if !promoted {
+		return f.mon.Load().Close()
+	}
+	return nil
+}
+
+// stopLoop signals the session loop to exit, severs any live connection
+// and waits for the loop goroutine.
+func (f *Follower) stopLoop() {
+	f.closeOnce.Do(func() {
+		f.mu.Lock()
+		f.closed = true
+		c := f.conn
+		f.mu.Unlock()
+		close(f.stop)
+		if c != nil {
+			c.Close()
+		}
+	})
+	<-f.done
+}
+
+func (f *Follower) stopped() bool {
+	select {
+	case <-f.stop:
+		return true
+	default:
+		return false
+	}
+}
+
+func (f *Follower) run() {
+	defer close(f.done)
+	rng := rand.New(rand.NewSource(f.fo.RetrySeed))
+	delay := f.fo.RetryBase
+	for {
+		progressed, err := f.session()
+		if f.stopped() {
+			return
+		}
+		if errors.Is(err, ErrRejected) {
+			f.mu.Lock()
+			f.rejected = true
+			f.lastErr = err.Error()
+			f.connected = false
+			f.mu.Unlock()
+			return
+		}
+		f.mu.Lock()
+		if err != nil {
+			f.lastErr = err.Error()
+		}
+		f.connected = false
+		f.reconnects++
+		f.mu.Unlock()
+		if progressed {
+			delay = f.fo.RetryBase
+		}
+		// Bounded backoff with jitter in [delay/2, delay).
+		sleep := delay/2 + time.Duration(rng.Int63n(int64(delay/2)+1))
+		select {
+		case <-f.stop:
+			return
+		case <-time.After(sleep):
+		}
+		if delay *= 2; delay > f.fo.RetryMax {
+			delay = f.fo.RetryMax
+		}
+	}
+}
+
+// setConn publishes the session connection for DropConnection/stopLoop;
+// returns false (closing c) if the follower is already stopping.
+func (f *Follower) setConn(c net.Conn) bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.closed {
+		c.Close()
+		return false
+	}
+	f.conn = c
+	return true
+}
+
+// session runs one connection to the primary: handshake, optional
+// checkpoint catch-up, then the streaming loop. progressed reports whether
+// the session got far enough (an accepted handshake) to reset backoff.
+func (f *Follower) session() (progressed bool, err error) {
+	conn, err := net.DialTimeout("tcp", f.fo.Addr, f.fo.DialTimeout)
+	if err != nil {
+		return false, err
+	}
+	if !f.setConn(conn) {
+		return false, errors.New("repl: follower closed")
+	}
+	defer func() {
+		f.mu.Lock()
+		f.conn = nil
+		f.mu.Unlock()
+		conn.Close()
+	}()
+
+	br := bufio.NewReaderSize(conn, 64<<10)
+	mon := f.mon.Load()
+	cfg := mon.ConfigSummary()
+	hello := helloMsg{
+		Proto: protoVersion, Epoch: f.epoch.Load(),
+		Dims: cfg.Dims, Window: cfg.Window, Period: cfg.Period, Thresholds: cfg.Thresholds,
+		From: mon.NextSeq(),
+	}
+	buf, err := appendJSONFrame(nil, frameHello, hello.Epoch, hello)
+	if err != nil {
+		return false, err
+	}
+	conn.SetWriteDeadline(time.Now().Add(f.fo.DialTimeout))
+	if _, err := conn.Write(buf); err != nil {
+		return false, err
+	}
+
+	conn.SetReadDeadline(time.Now().Add(f.fo.HeartbeatTimeout))
+	typ, sessEpoch, body, scratch, err := readFrame(br, nil)
+	if err != nil {
+		return false, err
+	}
+	switch typ {
+	case frameReject:
+		var rej rejectMsg
+		if derr := decodeJSON(body, &rej); derr != nil {
+			return false, derr
+		}
+		return false, fmt.Errorf("%w: %s", ErrRejected, rej.Reason)
+	case frameWelcome:
+	default:
+		return false, fmt.Errorf("repl: handshake: unexpected frame type %d", typ)
+	}
+	var welcome welcomeMsg
+	if err := decodeJSON(body, &welcome); err != nil {
+		return false, err
+	}
+	if sessEpoch < f.epoch.Load() {
+		return false, fmt.Errorf("repl: primary epoch %d behind ours %d", sessEpoch, f.epoch.Load())
+	}
+	if sessEpoch > f.epoch.Load() {
+		if err := StoreEpoch(f.opt.Durability.Dir, sessEpoch); err != nil {
+			return false, err
+		}
+		f.epoch.Store(sessEpoch)
+	}
+	f.mu.Lock()
+	f.connected = true
+	f.primaryCommit = welcome.Committed
+	f.lastFrameNanos = time.Now().UnixNano()
+	f.mu.Unlock()
+
+	if welcome.Checkpoint {
+		if err := f.receiveCheckpoint(conn, br, &scratch, sessEpoch); err != nil {
+			return true, err
+		}
+		mon = f.mon.Load()
+	}
+
+	// Streaming loop: every frame must carry the session epoch, arrive
+	// within the heartbeat timeout, and is acked with our apply position
+	// and the primary's echoed send stamp.
+	var ackBuf []byte
+	var batch []pskyline.Element
+	for {
+		conn.SetReadDeadline(time.Now().Add(f.fo.HeartbeatTimeout))
+		typ, fe, body, sc, err := readFrame(br, scratch)
+		if err != nil {
+			return true, err
+		}
+		scratch = sc
+		if fe != sessEpoch {
+			return true, fmt.Errorf("repl: epoch changed mid-stream: %d -> %d", sessEpoch, fe)
+		}
+		var committed uint64
+		var echo int64
+		switch typ {
+		case frameRecords:
+			wall, cm, recs, err := splitRecordsBody(body)
+			if err != nil {
+				return true, err
+			}
+			if batch, err = f.apply(mon, recs, batch[:0]); err != nil {
+				return true, err
+			}
+			committed, echo = cm, wall
+		case frameHeartbeat:
+			var hb heartbeatMsg
+			if err := decodeJSON(body, &hb); err != nil {
+				return true, err
+			}
+			committed, echo = hb.Committed, hb.WallNanos
+		default:
+			return true, fmt.Errorf("repl: unexpected frame type %d mid-stream", typ)
+		}
+		f.mu.Lock()
+		f.primaryCommit = committed
+		f.lastFrameNanos = time.Now().UnixNano()
+		f.mu.Unlock()
+		ackBuf, err = appendJSONFrame(ackBuf[:0], frameAck, sessEpoch,
+			ackMsg{Applied: mon.NextSeq(), EchoNanos: echo})
+		if err != nil {
+			return true, err
+		}
+		conn.SetWriteDeadline(time.Now().Add(f.fo.HeartbeatTimeout))
+		if _, err := conn.Write(ackBuf); err != nil {
+			return true, err
+		}
+	}
+}
+
+// apply replays a batch of raw WAL record bytes through the monitor's
+// normal ingestion path. Records below the replica's apply position are
+// replay overlap from a reconnect and are skipped; a record above it means
+// the stream has a hole, which poisons the session (the reconnect
+// handshake re-requests from the true position).
+func (f *Follower) apply(mon *pskyline.Monitor, recs []byte, batch []pskyline.Element) ([]pskyline.Element, error) {
+	expect := mon.NextSeq()
+	err := wal.DecodeRecords(recs, func(r wal.Record) error {
+		if r.Seq < expect {
+			return nil
+		}
+		if r.Seq != expect {
+			return fmt.Errorf("repl: stream gap: got seq %d, expect %d", r.Seq, expect)
+		}
+		batch = append(batch, pskyline.Element{
+			Point: append([]float64(nil), r.Point...), Prob: r.Prob, TS: r.TS,
+		})
+		expect++
+		return nil
+	})
+	if err != nil {
+		return batch, err
+	}
+	if len(batch) > 0 {
+		if _, err := mon.PushBatch(batch); err != nil {
+			return batch, fmt.Errorf("repl: apply: %w", err)
+		}
+	}
+	return batch, nil
+}
+
+// receiveCheckpoint accepts a ckptBegin/chunks/ckptEnd transfer, verifies
+// the end-to-end checksum, atomically installs the blob as a checkpoint in
+// the replica's durability directory and rebuilds the monitor from it —
+// the same recovery path a restart takes. The old monitor is closed and
+// every serving handle is swapped via OnMonitor.
+func (f *Follower) receiveCheckpoint(conn net.Conn, br *bufio.Reader, scratch *[]byte, sessEpoch uint64) error {
+	conn.SetReadDeadline(time.Now().Add(f.fo.HeartbeatTimeout))
+	typ, fe, body, sc, err := readFrame(br, *scratch)
+	if err != nil {
+		return err
+	}
+	*scratch = sc
+	if typ != frameCkptBegin || fe != sessEpoch {
+		return fmt.Errorf("repl: checkpoint transfer: unexpected frame type %d", typ)
+	}
+	var begin ckptBeginMsg
+	if err := decodeJSON(body, &begin); err != nil {
+		return err
+	}
+	if begin.Size < 0 || begin.Size > maxCkptBytes {
+		return fmt.Errorf("repl: checkpoint size %d out of range", begin.Size)
+	}
+	blob := make([]byte, 0, begin.Size)
+	var sum uint32
+	for {
+		conn.SetReadDeadline(time.Now().Add(f.fo.HeartbeatTimeout))
+		typ, fe, body, sc, err := readFrame(br, *scratch)
+		if err != nil {
+			return err
+		}
+		*scratch = sc
+		if fe != sessEpoch {
+			return fmt.Errorf("repl: epoch changed mid-checkpoint: %d -> %d", sessEpoch, fe)
+		}
+		if typ == frameCkptChunk {
+			if int64(len(blob))+int64(len(body)) > begin.Size {
+				return fmt.Errorf("repl: checkpoint overruns announced size %d", begin.Size)
+			}
+			sum = crc32.Update(sum, frameCRCTable, body)
+			blob = append(blob, body...)
+			continue
+		}
+		if typ != frameCkptEnd {
+			return fmt.Errorf("repl: checkpoint transfer: unexpected frame type %d", typ)
+		}
+		var end ckptEndMsg
+		if err := decodeJSON(body, &end); err != nil {
+			return err
+		}
+		if int64(len(blob)) != begin.Size {
+			return fmt.Errorf("repl: checkpoint short: %d of %d bytes", len(blob), begin.Size)
+		}
+		if sum != end.CRC {
+			return fmt.Errorf("repl: checkpoint checksum mismatch")
+		}
+		break
+	}
+
+	// Install and rebuild. The old monitor must close first: it holds the
+	// WAL and would race the reopen on the same directory.
+	old := f.mon.Load()
+	if err := old.Close(); err != nil {
+		return fmt.Errorf("repl: checkpoint install: close: %w", err)
+	}
+	if _, err := wal.WriteCheckpoint(vfs.OS{}, f.opt.Durability.Dir, begin.Seq, func(w io.Writer) error {
+		_, werr := w.Write(blob)
+		return werr
+	}); err != nil {
+		// The monitor is closed; try to come back up on the old state so
+		// the node keeps serving while the session retries.
+		if mon, rerr := pskyline.NewMonitor(f.opt); rerr == nil {
+			f.swapMonitor(mon)
+		}
+		return fmt.Errorf("repl: checkpoint install: %w", err)
+	}
+	mon, err := pskyline.NewMonitor(f.opt)
+	if err != nil {
+		return fmt.Errorf("repl: checkpoint reopen: %w", err)
+	}
+	f.swapMonitor(mon)
+	f.mu.Lock()
+	f.ckptCatchups++
+	f.mu.Unlock()
+	return nil
+}
+
+func (f *Follower) swapMonitor(mon *pskyline.Monitor) {
+	f.mon.Store(mon)
+	if f.fo.OnMonitor != nil {
+		f.fo.OnMonitor(mon)
+	}
+}

@@ -1,0 +1,234 @@
+// Package repl is the replication subsystem: a stdlib-only framed TCP
+// transport in which a primary streams its write-ahead log — sealed segments
+// plus the live committed tail — to followers, each of which replays the
+// records through the normal durable ingestion path into a read-only replica.
+//
+// The WAL is already a replication log (every committed record is a
+// CRC-framed, sequence-numbered element), so the wire layer ships the
+// on-disk record bytes verbatim: what a follower appends to its own log is
+// bit-identical to what the primary logged, and the engine state it rebuilds
+// is gob-byte-identical to the primary's at the same sequence. Followers far
+// behind the retained log catch up from the primary's newest installed
+// checkpoint (the same atomic-install ckpt-*.ckpt blobs recovery uses), then
+// stream the tail from the checkpoint's position.
+//
+// See DESIGN.md §16 for the architecture, consistency model and promotion
+// semantics.
+package repl
+
+import (
+	"bufio"
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+)
+
+// Wire frame, all fixed-width fields little-endian:
+//
+//	uint32  payload length (≤ maxFrame)
+//	uint32  CRC32-Castagnoli of the payload
+//	payload:
+//	  byte    frame type
+//	  uint64  epoch
+//	  ...     type-specific body
+//
+// Control frames (hello, welcome, reject, heartbeat, ack, checkpoint
+// begin/end) carry JSON bodies — they are rare and tiny, and JSON keeps the
+// handshake evolvable. The two hot frames are binary: records carries raw
+// WAL record bytes (already individually length+CRC framed), ckptChunk
+// carries a slice of the checkpoint blob.
+//
+// The epoch rides in every frame header, not just the handshake: a follower
+// drops the connection the moment a frame disagrees with the session epoch,
+// so a primary deposed mid-stream cannot keep feeding a promoted cluster.
+const (
+	protoVersion = 1
+
+	frameHdrLen  = 8
+	frameMetaLen = 9 // type byte + epoch
+	// maxFrame bounds a frame payload so a corrupt length prefix is
+	// rejected instead of driving a huge allocation. Checkpoint chunks and
+	// record batches are far smaller.
+	maxFrame = 8 << 20
+)
+
+// Frame types.
+const (
+	frameHello     byte = 1 // follower → primary: helloMsg
+	frameWelcome   byte = 2 // primary → follower: welcomeMsg
+	frameReject    byte = 3 // primary → follower: rejectMsg, then close
+	frameCkptBegin byte = 4 // primary → follower: ckptBeginMsg
+	frameCkptChunk byte = 5 // primary → follower: raw checkpoint bytes
+	frameCkptEnd   byte = 6 // primary → follower: ckptEndMsg
+	frameRecords   byte = 7 // primary → follower: recordsHdr + raw WAL records
+	frameHeartbeat byte = 8 // primary → follower: heartbeatMsg
+	frameAck       byte = 9 // follower → primary: ackMsg
+)
+
+// recordsHdrLen prefixes a records frame body: the primary's send wall clock
+// (nanoseconds) and its committed watermark at send time, then the raw
+// record bytes.
+const recordsHdrLen = 16
+
+var (
+	errFrameTooBig = errors.New("repl: frame exceeds size bound")
+	errFrameCRC    = errors.New("repl: frame CRC mismatch")
+	errFrameShort  = errors.New("repl: frame shorter than its header")
+)
+
+var frameCRCTable = crc32.MakeTable(crc32.Castagnoli)
+
+// helloMsg opens a session: the follower announces its protocol, the newest
+// epoch it has seen, its stream configuration, and the sequence it wants to
+// stream from. The primary rejects a configuration mismatch the same way
+// Open rejects a checkpoint/Options mismatch — replicating between
+// differently configured operators silently diverges, so it is refused.
+type helloMsg struct {
+	Proto      int       `json:"proto"`
+	Epoch      uint64    `json:"epoch"`
+	Dims       int       `json:"dims"`
+	Window     int       `json:"window"`
+	Period     int64     `json:"period"`
+	Thresholds []float64 `json:"thresholds"`
+	From       uint64    `json:"from"`
+}
+
+// welcomeMsg accepts a session. Checkpoint=true announces a checkpoint
+// transfer (ckptBegin/Chunk/End) before streaming starts at CkptSeq;
+// otherwise streaming starts at the hello's From.
+type welcomeMsg struct {
+	Epoch      uint64 `json:"epoch"`
+	Committed  uint64 `json:"committed"`
+	Checkpoint bool   `json:"checkpoint"`
+	CkptSeq    uint64 `json:"ckpt_seq"`
+	CkptSize   int64  `json:"ckpt_size"`
+}
+
+type rejectMsg struct {
+	Reason string `json:"reason"`
+}
+
+type ckptBeginMsg struct {
+	Seq  uint64 `json:"seq"`
+	Size int64  `json:"size"`
+}
+
+// ckptEndMsg closes a checkpoint transfer with a whole-blob checksum — each
+// chunk frame is CRC-guarded in transit, but the end-to-end sum also catches
+// a primary-side read tearing.
+type ckptEndMsg struct {
+	CRC uint32 `json:"crc"`
+}
+
+type heartbeatMsg struct {
+	Committed uint64 `json:"committed"`
+	WallNanos int64  `json:"wall_nanos"`
+}
+
+// ackMsg reports follower progress: Applied is the sequence the follower's
+// engine has fully applied (its next expected sequence), EchoNanos echoes
+// the WallNanos stamp of the frame that carried it. The primary derives both
+// lag gauges from acks alone — sequence lag from Applied against its own
+// committed watermark, and seconds lag from the echoed stamp against its own
+// clock, so follower clock skew never pollutes the metric.
+type ackMsg struct {
+	Applied   uint64 `json:"applied"`
+	EchoNanos int64  `json:"echo_nanos"`
+}
+
+// appendFrame encodes one frame onto buf and returns the extended slice.
+func appendFrame(buf []byte, typ byte, epoch uint64, body []byte) []byte {
+	n := frameMetaLen + len(body)
+	var hdr [frameHdrLen + frameMetaLen]byte
+	binary.LittleEndian.PutUint32(hdr[0:], uint32(n))
+	hdr[8] = typ
+	binary.LittleEndian.PutUint64(hdr[9:], epoch)
+	crc := crc32.Update(0, frameCRCTable, hdr[8:])
+	crc = crc32.Update(crc, frameCRCTable, body)
+	binary.LittleEndian.PutUint32(hdr[4:], crc)
+	buf = append(buf, hdr[:]...)
+	return append(buf, body...)
+}
+
+// appendJSONFrame marshals a control message body and frames it.
+func appendJSONFrame(buf []byte, typ byte, epoch uint64, msg any) ([]byte, error) {
+	body, err := json.Marshal(msg)
+	if err != nil {
+		return buf, fmt.Errorf("repl: encode frame %d: %w", typ, err)
+	}
+	return appendFrame(buf, typ, epoch, body), nil
+}
+
+// readFrame reads one frame, reusing scratch for the payload. The returned
+// body aliases the returned scratch buffer — callers copy what they retain
+// across reads. Errors are either transport errors from r or one of the
+// framing errors (errFrameTooBig, errFrameCRC, errFrameShort); all of them
+// poison the connection.
+func readFrame(r *bufio.Reader, scratch []byte) (typ byte, epoch uint64, body []byte, out []byte, err error) {
+	var hdr [frameHdrLen]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return 0, 0, nil, scratch, err
+	}
+	n := int(binary.LittleEndian.Uint32(hdr[:4]))
+	if n > maxFrame {
+		return 0, 0, nil, scratch, errFrameTooBig
+	}
+	if n < frameMetaLen {
+		return 0, 0, nil, scratch, errFrameShort
+	}
+	if cap(scratch) < n {
+		scratch = make([]byte, n)
+	}
+	scratch = scratch[:n]
+	if _, err := io.ReadFull(r, scratch); err != nil {
+		if err == io.EOF {
+			err = io.ErrUnexpectedEOF
+		}
+		return 0, 0, nil, scratch, err
+	}
+	if crc32.Checksum(scratch, frameCRCTable) != binary.LittleEndian.Uint32(hdr[4:]) {
+		return 0, 0, nil, scratch, errFrameCRC
+	}
+	typ = scratch[0]
+	epoch = binary.LittleEndian.Uint64(scratch[1:9])
+	return typ, epoch, scratch[frameMetaLen:], scratch, nil
+}
+
+// decodeJSON unmarshals a control frame body.
+func decodeJSON(body []byte, into any) error {
+	if err := json.Unmarshal(body, into); err != nil {
+		return fmt.Errorf("repl: decode frame body: %w", err)
+	}
+	return nil
+}
+
+// appendRecordsFrame frames a batch of raw WAL record bytes with the send
+// stamp and the primary's committed watermark.
+func appendRecordsFrame(buf []byte, epoch uint64, wallNanos int64, committed uint64, recs []byte) []byte {
+	n := frameMetaLen + recordsHdrLen + len(recs)
+	var hdr [frameHdrLen + frameMetaLen + recordsHdrLen]byte
+	binary.LittleEndian.PutUint32(hdr[0:], uint32(n))
+	hdr[8] = frameRecords
+	binary.LittleEndian.PutUint64(hdr[9:], epoch)
+	binary.LittleEndian.PutUint64(hdr[17:], uint64(wallNanos))
+	binary.LittleEndian.PutUint64(hdr[25:], committed)
+	crc := crc32.Update(0, frameCRCTable, hdr[8:])
+	crc = crc32.Update(crc, frameCRCTable, recs)
+	binary.LittleEndian.PutUint32(hdr[4:], crc)
+	buf = append(buf, hdr[:]...)
+	return append(buf, recs...)
+}
+
+// splitRecordsBody splits a records frame body into its stamp, committed
+// watermark and raw record bytes.
+func splitRecordsBody(body []byte) (wallNanos int64, committed uint64, recs []byte, err error) {
+	if len(body) < recordsHdrLen {
+		return 0, 0, nil, errFrameShort
+	}
+	wallNanos = int64(binary.LittleEndian.Uint64(body[0:]))
+	committed = binary.LittleEndian.Uint64(body[8:])
+	return wallNanos, committed, body[recordsHdrLen:], nil
+}

@@ -1,0 +1,120 @@
+package repl
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"io"
+	"testing"
+)
+
+func TestFrameRoundTrip(t *testing.T) {
+	var wire []byte
+	wire = appendFrame(wire, frameHello, 7, []byte(`{"proto":1}`))
+	wire = appendFrame(wire, frameHeartbeat, 7, nil)
+	wire = appendRecordsFrame(wire, 9, 123456789, 42, []byte("rawrecords"))
+
+	r := bufio.NewReader(bytes.NewReader(wire))
+	var scratch []byte
+
+	typ, epoch, body, scratch, err := readFrame(r, scratch)
+	if err != nil || typ != frameHello || epoch != 7 || string(body) != `{"proto":1}` {
+		t.Fatalf("frame 1: typ=%d epoch=%d body=%q err=%v", typ, epoch, body, err)
+	}
+	typ, epoch, body, scratch, err = readFrame(r, scratch)
+	if err != nil || typ != frameHeartbeat || epoch != 7 || len(body) != 0 {
+		t.Fatalf("frame 2: typ=%d epoch=%d body=%q err=%v", typ, epoch, body, err)
+	}
+	typ, epoch, body, _, err = readFrame(r, scratch)
+	if err != nil || typ != frameRecords || epoch != 9 {
+		t.Fatalf("frame 3: typ=%d epoch=%d err=%v", typ, epoch, err)
+	}
+	wall, committed, recs, err := splitRecordsBody(body)
+	if err != nil || wall != 123456789 || committed != 42 || string(recs) != "rawrecords" {
+		t.Fatalf("records body: wall=%d committed=%d recs=%q err=%v", wall, committed, recs, err)
+	}
+	if _, _, _, _, err := readFrame(r, nil); err != io.EOF {
+		t.Fatalf("after last frame: %v, want EOF", err)
+	}
+}
+
+func TestFrameRejectsDamage(t *testing.T) {
+	frame := appendFrame(nil, frameAck, 3, []byte(`{"applied":10}`))
+
+	// Bit flip in the body → CRC mismatch.
+	flipped := append([]byte(nil), frame...)
+	flipped[len(flipped)-2] ^= 0x10
+	if _, _, _, _, err := readFrame(bufio.NewReader(bytes.NewReader(flipped)), nil); !errors.Is(err, errFrameCRC) {
+		t.Fatalf("bit flip: %v, want errFrameCRC", err)
+	}
+
+	// Truncation mid-payload → unexpected EOF, not a hang or panic.
+	if _, _, _, _, err := readFrame(bufio.NewReader(bytes.NewReader(frame[:len(frame)-4])), nil); err != io.ErrUnexpectedEOF {
+		t.Fatalf("truncated payload: %v, want ErrUnexpectedEOF", err)
+	}
+
+	// Oversized length prefix → bounded rejection, no allocation attempt.
+	big := append([]byte(nil), frame...)
+	binary.LittleEndian.PutUint32(big[:4], maxFrame+1)
+	if _, _, _, _, err := readFrame(bufio.NewReader(bytes.NewReader(big)), nil); !errors.Is(err, errFrameTooBig) {
+		t.Fatalf("oversized: %v, want errFrameTooBig", err)
+	}
+
+	// Length shorter than the type+epoch header → rejected.
+	short := appendFrame(nil, frameAck, 3, nil)
+	binary.LittleEndian.PutUint32(short[:4], 4)
+	if _, _, _, _, err := readFrame(bufio.NewReader(bytes.NewReader(short)), nil); !errors.Is(err, errFrameShort) {
+		t.Fatalf("short: %v, want errFrameShort", err)
+	}
+}
+
+// FuzzReplFrame throws arbitrary bytes at the wire-frame reader: it must
+// never panic, never return a frame whose checksum did not verify, and a
+// frame it does accept must re-encode to the identical bytes (the framing is
+// canonical). Mirrors FuzzWALRecord for the record codec one layer down.
+func FuzzReplFrame(f *testing.F) {
+	// Seed corpus: each frame type with a plausible body, truncations and
+	// bit flips, and a records frame.
+	hello := appendFrame(nil, frameHello, 1, []byte(`{"proto":1,"epoch":1,"dims":2,"window":100,"from":0}`))
+	f.Add(hello)
+	f.Add(hello[:len(hello)/2])
+	flipped := append([]byte(nil), hello...)
+	flipped[9] ^= 0x01 // epoch bit
+	f.Add(flipped)
+	f.Add(appendFrame(nil, frameHeartbeat, 1<<63, []byte(`{"committed":7}`)))
+	f.Add(appendRecordsFrame(nil, 2, 42, 7, []byte{1, 2, 3}))
+	f.Add([]byte{})
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff})
+
+	f.Fuzz(func(t *testing.T, wire []byte) {
+		r := bufio.NewReader(bytes.NewReader(wire))
+		var scratch []byte
+		off := 0
+		for {
+			typ, epoch, body, sc, err := readFrame(r, scratch)
+			if err != nil {
+				// Whatever the input, the reader must fail cleanly: either a
+				// transport error or one of the framing errors.
+				if !errors.Is(err, io.EOF) && !errors.Is(err, io.ErrUnexpectedEOF) &&
+					!errors.Is(err, errFrameTooBig) && !errors.Is(err, errFrameCRC) &&
+					!errors.Is(err, errFrameShort) {
+					t.Fatalf("unexpected error class: %v", err)
+				}
+				return
+			}
+			scratch = sc
+			// An accepted frame is canonical: re-encoding it must reproduce
+			// the wire bytes it was read from.
+			re := appendFrame(nil, typ, epoch, body)
+			if !bytes.Equal(re, wire[off:off+len(re)]) {
+				t.Fatalf("accepted frame is not canonical:\n in  %x\n out %x", wire[off:off+len(re)], re)
+			}
+			off += len(re)
+			// The declared epoch must round-trip through the header bytes.
+			if got := binary.LittleEndian.Uint64(re[frameHdrLen+1:]); got != epoch {
+				t.Fatalf("epoch corrupted in transit: %d != %d", got, epoch)
+			}
+		}
+	})
+}

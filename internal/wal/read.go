@@ -1,0 +1,399 @@
+package wal
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+
+	"pskyline/internal/vfs"
+)
+
+// The read side of the log: the minimal surface a replication shipper needs.
+// A primary streams its WAL to followers by (a) listing what is durable —
+// SealedSegments and the CommittedSeq watermark — and (b) following the
+// committed prefix record by record with a TailReader, which hands back the
+// raw on-disk record frames (length + CRC + payload) so the bytes a follower
+// replays are bit-identical to the bytes the primary logged.
+//
+// The readers never touch writer state: they snapshot the segment list under
+// the mutex and then scan the immutable committed prefix of the files. A
+// sealed segment never changes; the active segment only grows, and only its
+// committed extent is ever read, so a concurrent writer (or the background
+// flusher) cannot tear a read.
+
+// ErrGone reports that the requested log position has been garbage-collected
+// (or was never logged because a checkpoint subsumed it): the records cannot
+// be streamed and the consumer must fall back to checkpoint catch-up.
+var ErrGone = errors.New("wal: requested records have been garbage-collected")
+
+// SegmentRef describes one sealed (immutable) segment.
+type SegmentRef struct {
+	Path     string
+	FirstSeq uint64
+	LastSeq  uint64 // valid when Records > 0
+	Records  uint64
+	Size     int64
+}
+
+// SealedSegments lists the immutable segments in first-sequence order: every
+// segment except the one currently open for appends. Their contents are
+// final — safe to read without coordination.
+func (w *WAL) SealedSegments() ([]SegmentRef, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.closed {
+		return nil, ErrClosed
+	}
+	w.segMetaLocked()
+	n := len(w.segs)
+	if n > 0 && w.f != nil {
+		n-- // the last segment is active
+	}
+	refs := make([]SegmentRef, 0, n)
+	for _, sg := range w.segs[:n] {
+		refs = append(refs, SegmentRef{
+			Path: sg.path, FirstSeq: sg.firstSeq, LastSeq: sg.lastSeq,
+			Records: sg.records, Size: sg.size,
+		})
+	}
+	return refs, nil
+}
+
+// CommittedSeq returns the durability watermark: every record with sequence
+// below it has been written to the segment files (pending appends that have
+// not been through Commit are above it). For an empty log it is the position
+// appends will start at.
+func (w *WAL) CommittedSeq() uint64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.pendingRecs > 0 {
+		return w.pendingFirst
+	}
+	return w.nextSeq
+}
+
+// OldestSeq returns the sequence of the oldest record still retained by the
+// log, reporting ok=false when no records survive (a fresh or fully
+// checkpointed-and-collected directory).
+func (w *WAL) OldestSeq() (uint64, bool) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.segMetaLocked()
+	for _, sg := range w.segs {
+		if sg.records > 0 {
+			return sg.firstSeq, true
+		}
+	}
+	return 0, false
+}
+
+// readSnapshot captures the committed-on-disk shape of the log at one
+// instant: the segment list with each segment's readable extent (sealed
+// segments are final; the active segment is bounded by its committed
+// prefix), plus the committed watermark.
+type readSnapshot struct {
+	segs      []segmentInfo
+	committed uint64 // CommittedSeq at snapshot time
+}
+
+func (w *WAL) readSnapshotLocked() readSnapshot {
+	w.segMetaLocked()
+	s := readSnapshot{segs: append([]segmentInfo(nil), w.segs...)}
+	if n := len(s.segs); n > 0 && w.f != nil {
+		// A failed write can leave torn bytes past the committed prefix
+		// (w.dirty); bound the active segment's readable extent at committed.
+		s.segs[n-1].size = w.committed
+	}
+	if w.pendingRecs > 0 {
+		s.committed = w.pendingFirst
+	} else {
+		s.committed = w.nextSeq
+	}
+	return s
+}
+
+func (w *WAL) readSnapshot() (readSnapshot, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.closed {
+		return readSnapshot{}, ErrClosed
+	}
+	return w.readSnapshotLocked(), nil
+}
+
+// TailReader follows the committed prefix of the log from a starting
+// sequence, returning raw on-disk record frames in order — including records
+// committed after the reader was created. It is a cursor for one consumer
+// goroutine; concurrent use requires separate readers.
+type TailReader struct {
+	w    *WAL
+	next uint64 // next sequence to deliver
+
+	f    vfs.File // open handle on the current segment (sequential reads)
+	path string
+	off  int64  // parse position in the file
+	buf  []byte // read-but-unparsed bytes starting at off
+	rerr error  // sticky read error
+}
+
+// NewTailReader positions a tail reader at from: the first record it
+// delivers is the first committed record with sequence >= from. Whether that
+// position is still retained is checked by Next, not here — a reader created
+// at a collected position reports ErrGone on first use.
+func (w *WAL) NewTailReader(from uint64) *TailReader {
+	return &TailReader{w: w, next: from}
+}
+
+// Seq returns the sequence the next delivered record will carry (or exceed).
+func (t *TailReader) Seq() uint64 { return t.next }
+
+// Close releases the reader's file handle. The reader is unusable after.
+func (t *TailReader) Close() {
+	if t.f != nil {
+		t.f.Close()
+		t.f = nil
+	}
+	if t.rerr == nil {
+		t.rerr = ErrClosed
+	}
+}
+
+// Next appends up to roughly maxBytes of committed raw record frames to dst,
+// returning the extended slice and the sequence range [first, last]
+// delivered (first == 0 && last == 0 when nothing new is committed — the
+// caller is caught up and should poll again later). Each frame is the exact
+// on-disk encoding (length + CRC + payload), re-verified against its CRC
+// before being handed out. ErrGone means the position was garbage-collected
+// and the consumer needs a checkpoint instead; any other error is a
+// corruption or I/O failure that makes the reader unusable.
+func (t *TailReader) Next(dst []byte, maxBytes int) ([]byte, uint64, uint64, error) {
+	if t.rerr != nil {
+		return dst, 0, 0, t.rerr
+	}
+	snap, err := t.w.readSnapshot()
+	if err != nil {
+		return dst, 0, 0, err
+	}
+	base := len(dst)
+	var first, last uint64
+	emitted := false
+	for len(dst)-base < maxBytes {
+		seg, ok, err := t.locate(snap)
+		if err != nil {
+			t.rerr = err
+			return dst, first, last, err
+		}
+		if !ok {
+			break // caught up to the committed watermark
+		}
+		if t.path != seg.path {
+			if err := t.open(seg.path); err != nil {
+				if os.IsNotExist(err) {
+					// The segment was collected between the snapshot and the
+					// open; the consumer needs a checkpoint.
+					t.rerr = ErrGone
+					return dst, first, last, ErrGone
+				}
+				t.rerr = err
+				return dst, first, last, err
+			}
+		}
+		dst, first, last, err = t.scan(seg, dst, base, maxBytes, &emitted, first, last)
+		if err != nil {
+			t.rerr = err
+			return dst, first, last, err
+		}
+		if t.off < seg.size {
+			break // maxBytes stopped the scan mid-segment
+		}
+		// The segment's committed extent is drained. If it was sealed, the
+		// next iteration's locate moves to its successor; if it was the
+		// active segment, locate reports caught-up. Dropping the handle for
+		// a still-active segment would be wasteful, so keep it — open()
+		// replaces it only when the path changes.
+	}
+	return dst, first, last, nil
+}
+
+// locate finds the segment holding t.next in the snapshot. ok=false means
+// the reader is caught up (t.next is at or past the committed watermark, or
+// only pending records remain); ErrGone means the position was collected.
+func (t *TailReader) locate(snap readSnapshot) (segmentInfo, bool, error) {
+	if t.next >= snap.committed {
+		return segmentInfo{}, false, nil
+	}
+	// Candidates are segments with flushed records; the active segment may
+	// legitimately hold none yet.
+	var cands []segmentInfo
+	for _, sg := range snap.segs {
+		if sg.records > 0 {
+			cands = append(cands, sg)
+		}
+	}
+	if len(cands) == 0 || t.next < cands[0].firstSeq {
+		// Below the watermark but not in any file: the records were either
+		// garbage-collected or subsumed by a checkpoint before ever being
+		// logged here (an AlignTo jump). Both mean "stream a checkpoint".
+		return segmentInfo{}, false, ErrGone
+	}
+	idx := -1
+	for i, sg := range cands {
+		if sg.firstSeq <= t.next {
+			idx = i
+		}
+	}
+	sg := cands[idx]
+	if t.next > sg.lastSeq {
+		if idx == len(cands)-1 {
+			// Past the last flushed record: the rest is pending (not yet
+			// committed to the file) — caught up for now.
+			return segmentInfo{}, false, nil
+		}
+		// A gap between segments (checkpoint ahead of a truncated tail):
+		// the skipped records only exist inside a checkpoint.
+		return segmentInfo{}, false, ErrGone
+	}
+	return sg, true, nil
+}
+
+// open starts reading a segment from its beginning, verifying the magic.
+// Records before t.next are parsed and skipped by scan — the vfs.File
+// surface is sequential (no Seek), and a reconnecting consumer resuming
+// mid-segment pays one scan of the prefix.
+func (t *TailReader) open(path string) error {
+	if t.f != nil {
+		t.f.Close()
+		t.f = nil
+	}
+	f, err := t.w.fs.Open(path)
+	if err != nil {
+		return err
+	}
+	var hdr [segHdrLen]byte
+	if _, err := io.ReadFull(f, hdr[:]); err != nil {
+		f.Close()
+		return fmt.Errorf("wal: tail %s: header: %w", path, err)
+	}
+	if string(hdr[:]) != string(segMagic) {
+		f.Close()
+		return fmt.Errorf("wal: tail %s: bad segment magic", path)
+	}
+	t.f, t.path, t.off, t.buf = f, path, segHdrLen, t.buf[:0]
+	return nil
+}
+
+// scan parses records from the current segment up to its committed extent,
+// emitting every record with sequence >= t.next until maxBytes is reached.
+func (t *TailReader) scan(seg segmentInfo, dst []byte, base, maxBytes int, emitted *bool, first, last uint64) ([]byte, uint64, uint64, error) {
+	extent := seg.size
+	for t.off < extent && len(dst)-base < maxBytes {
+		if err := t.ensure(recHdrLen, extent); err != nil {
+			return dst, first, last, err
+		}
+		n := int(binary.LittleEndian.Uint32(t.buf[:4]))
+		if n < 29 || n > maxPayload {
+			return dst, first, last, fmt.Errorf("wal: tail %s: bad record length %d at offset %d", t.path, n, t.off)
+		}
+		rec := recHdrLen + n
+		if t.off+int64(rec) > extent {
+			// Commits only ever advance the extent by whole records.
+			return dst, first, last, fmt.Errorf("wal: tail %s: record at offset %d crosses the committed boundary", t.path, t.off)
+		}
+		if err := t.ensure(rec, extent); err != nil {
+			return dst, first, last, err
+		}
+		payload := t.buf[recHdrLen:rec]
+		if checksum(payload) != binary.LittleEndian.Uint32(t.buf[4:8]) {
+			return dst, first, last, fmt.Errorf("wal: tail %s: CRC mismatch at offset %d", t.path, t.off)
+		}
+		if payload[0] != recElement {
+			return dst, first, last, fmt.Errorf("wal: tail %s: unknown record kind %d at offset %d", t.path, payload[0], t.off)
+		}
+		seq := binary.LittleEndian.Uint64(payload[1:9])
+		if seq >= t.next {
+			dst = append(dst, t.buf[:rec]...)
+			if !*emitted {
+				first = seq
+				*emitted = true
+			}
+			last = seq
+			t.next = seq + 1
+		}
+		t.buf = t.buf[rec:]
+		t.off += int64(rec)
+	}
+	return dst, first, last, nil
+}
+
+// ensure buffers at least need unparsed bytes, reading from the file but
+// never past extent — bytes beyond the committed extent may still be torn or
+// in flight.
+func (t *TailReader) ensure(need int, extent int64) error {
+	if len(t.buf) >= need {
+		return nil
+	}
+	// t.buf is a tail slice of earlier read storage (scan consumes from the
+	// front by re-slicing); copy the unparsed remainder into fresh storage
+	// so appends below reclaim the consumed prefix instead of growing the
+	// old array forever.
+	grown := make([]byte, len(t.buf), need+64<<10)
+	copy(grown, t.buf)
+	t.buf = grown
+	for len(t.buf) < need {
+		avail := extent - (t.off + int64(len(t.buf)))
+		if avail <= 0 {
+			return fmt.Errorf("wal: tail %s: committed extent ends inside a record at offset %d", t.path, t.off)
+		}
+		chunk := int64(64 << 10)
+		if chunk > avail {
+			chunk = avail
+		}
+		start := len(t.buf)
+		t.buf = append(t.buf, make([]byte, chunk)...)
+		n, err := t.f.Read(t.buf[start:])
+		t.buf = t.buf[:start+n]
+		if n == 0 {
+			if err == nil || err == io.EOF {
+				err = io.ErrUnexpectedEOF
+			}
+			return fmt.Errorf("wal: tail %s: read at offset %d: %w", t.path, t.off+int64(start), err)
+		}
+	}
+	return nil
+}
+
+// DecodeRecords iterates the raw record frames in b (the byte shape a
+// TailReader emits and a replication shipper transports), verifying each
+// length prefix and CRC and handing the decoded records to fn in order. The
+// Record's Point aliases a scratch buffer — fn must copy what it retains.
+func DecodeRecords(b []byte, fn func(Record) error) error {
+	var scratch []float64
+	for len(b) > 0 {
+		if len(b) < recHdrLen {
+			return fmt.Errorf("wal: records: %d trailing bytes", len(b))
+		}
+		n := int(binary.LittleEndian.Uint32(b[:4]))
+		if n < 29 || n > maxPayload {
+			return fmt.Errorf("wal: records: bad record length %d", n)
+		}
+		if len(b) < recHdrLen+n {
+			return fmt.Errorf("wal: records: truncated record (%d of %d bytes)", len(b), recHdrLen+n)
+		}
+		payload := b[recHdrLen : recHdrLen+n]
+		if checksum(payload) != binary.LittleEndian.Uint32(b[4:8]) {
+			return fmt.Errorf("wal: records: CRC mismatch")
+		}
+		rec, sc, err := decodeRecord(payload, scratch)
+		if err != nil {
+			return err
+		}
+		scratch = sc
+		if err := fn(rec); err != nil {
+			return err
+		}
+		b = b[recHdrLen+n:]
+	}
+	return nil
+}

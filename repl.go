@@ -1,0 +1,102 @@
+package pskyline
+
+import (
+	"fmt"
+	"io"
+
+	"pskyline/internal/wal"
+)
+
+// This file is the Monitor's export surface for the replication subsystem
+// (internal/repl). Replication ships the durable WAL — internal/repl needs
+// read access to the log, the stream configuration to vet a follower's
+// handshake, and the installed checkpoints for fast catch-up. The package
+// boundary runs one way: internal/repl imports pskyline, never the reverse.
+
+// StreamConfigSummary summarizes the parameters that define a stream's semantics.
+// A primary and its replicas must agree on all of them — replicating
+// between differently configured operators would diverge silently, so the
+// replication handshake compares summaries and refuses a mismatch, exactly
+// as Open refuses a checkpoint recorded under different Options.
+type StreamConfigSummary struct {
+	Dims       int
+	Window     int
+	Period     int64
+	Thresholds []float64
+}
+
+// ConfigSummary reports the monitor's stream configuration.
+func (m *Monitor) ConfigSummary() StreamConfigSummary {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return StreamConfigSummary{
+		Dims:       m.eng.Dims(),
+		Window:     m.eng.Window(),
+		Period:     m.period,
+		Thresholds: m.eng.Thresholds(),
+	}
+}
+
+// Equal reports whether two stream configurations describe the same
+// operator semantics.
+func (c StreamConfigSummary) Equal(o StreamConfigSummary) bool {
+	if c.Dims != o.Dims || c.Window != o.Window || c.Period != o.Period ||
+		len(c.Thresholds) != len(o.Thresholds) {
+		return false
+	}
+	for i, q := range c.Thresholds {
+		if o.Thresholds[i] != q {
+			return false
+		}
+	}
+	return true
+}
+
+// NextSeq reports the sequence number the next ingested element will be
+// assigned — equivalently, the number of elements applied so far. On a
+// replica this is the replication apply position.
+func (m *Monitor) NextSeq() uint64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.eng.NextSeq()
+}
+
+// ReplicationLog exposes the monitor's write-ahead log for read-side
+// consumers (segment listing, tail following). It returns nil when the
+// monitor is not durable — replication requires a WAL on both ends.
+func (m *Monitor) ReplicationLog() *wal.WAL {
+	return m.wal
+}
+
+// DurabilityDir reports the durability directory, or "" when the monitor
+// is not durable.
+func (m *Monitor) DurabilityDir() string {
+	return m.dur.Dir
+}
+
+// NewestCheckpoint opens the newest installed checkpoint blob for reading,
+// returning its stream position, its size, and a reader over the raw blob
+// bytes. ok is false when the monitor is not durable or no checkpoint has
+// been installed yet. The caller closes the reader.
+func (m *Monitor) NewestCheckpoint() (seq uint64, size int64, r io.ReadCloser, ok bool, err error) {
+	if m.wal == nil {
+		return 0, 0, nil, false, nil
+	}
+	refs, err := wal.Checkpoints(m.fsys, m.dur.Dir)
+	if err != nil {
+		return 0, 0, nil, false, fmt.Errorf("pskyline: checkpoints: %w", err)
+	}
+	if len(refs) == 0 {
+		return 0, 0, nil, false, nil
+	}
+	ref := refs[0]
+	info, err := m.fsys.Stat(ref.Path)
+	if err != nil {
+		return 0, 0, nil, false, fmt.Errorf("pskyline: checkpoint %s: %w", ref.Path, err)
+	}
+	f, err := m.fsys.Open(ref.Path)
+	if err != nil {
+		return 0, 0, nil, false, fmt.Errorf("pskyline: checkpoint %s: %w", ref.Path, err)
+	}
+	return ref.Seq, info.Size(), f, true, nil
+}
