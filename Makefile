@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build vet lint test race bench-concurrent bench bench-smoke serve-smoke crash-smoke chaos-smoke shard-smoke bench-recovery load-smoke repl-smoke bench-latency ci
+.PHONY: build vet lint test race bench-concurrent bench bench-smoke serve-smoke crash-smoke chaos-smoke shard-smoke bench-recovery load-smoke repl-smoke semisync-smoke bench-repl bench-latency ci
 
 build:
 	$(GO) build ./...
@@ -94,6 +94,19 @@ load-smoke:
 repl-smoke:
 	bash scripts/repl_smoke.sh
 
+# End-to-end semi-sync smoke test: a -repl-semisync-k 1 primary under an
+# injected slow-link partition must degrade (quorum wait timeout), keep
+# ingesting, re-upgrade on its own, and after kill -9 + promote the follower
+# must hold every quorum-acked record; the failover skyline is byte-compared
+# against an uninterrupted oracle.
+semisync-smoke:
+	bash scripts/semisync_smoke.sh
+
+# Replication push A/B (semisync k=1 vs async, loopback follower) appended
+# to BENCH_ingest.json. Label it after the change being measured.
+bench-repl:
+	$(GO) run ./cmd/pskybench -ingest -ingest-repl-only -out BENCH_ingest.json -label "$(BENCH_LABEL)"
+
 # Full latency-vs-rate trajectory: open-loop sweeps of the sync, async and
 # sharded write paths (plus the instrumentation-off control) appended to
 # BENCH_latency.json. Label it after the change being measured, e.g.
@@ -104,4 +117,4 @@ bench-latency:
 	$(GO) run ./cmd/pskyload -mode sharded -batch 16 -rates 5000,10000,20000 -out BENCH_latency.json -label "$(BENCH_LABEL)-sharded"
 	$(GO) run ./cmd/pskyload -mode sync -no-latency -rates 10000 -out BENCH_latency.json -label "$(BENCH_LABEL)-control"
 
-ci: build lint test race bench-concurrent bench-smoke serve-smoke crash-smoke chaos-smoke shard-smoke bench-recovery load-smoke repl-smoke
+ci: build lint test race bench-concurrent bench-smoke serve-smoke crash-smoke chaos-smoke shard-smoke bench-recovery load-smoke repl-smoke semisync-smoke

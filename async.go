@@ -324,6 +324,14 @@ func (q *asyncQueue) ingest(buf []shardOp, els []Element, adm []int64) ([]Elemen
 	for i := range buf {
 		buf[i] = shardOp{}
 	}
+	// Semi-sync replication: the consumer, not the enqueuer, carries the
+	// quorum wait, so backpressure surfaces as queue depth rather than a
+	// blocked enqueue. Waiter errors (replication server shutdown) are
+	// dropped here — the batch is applied and locally durable, and the
+	// enqueuers already returned their sequence numbers.
+	if q.m.commitWaiter.Load() != nil {
+		_ = q.m.commitWait(q.m.NextSeq())
+	}
 	return els, adm
 }
 

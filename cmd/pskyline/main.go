@@ -110,9 +110,13 @@ type config struct {
 	walFault     string
 	walFaultSeed int64
 	// replication (-replicate-listen / -replica-of / -promote)
-	replListen string
-	replicaOf  string
-	promote    string
+	replListen    string
+	replicaOf     string
+	promote       string
+	replSemiK     int
+	replAckWait   time.Duration
+	replFault     string
+	replFaultSeed int64
 	// stop overrides the serve-mode shutdown trigger (nil = OS signals);
 	// tests close it to unblock run without sending a signal.
 	stop <-chan struct{}
@@ -148,6 +152,10 @@ func main() {
 		replLis  = flag.String("replicate-listen", "", "primary mode: stream the WAL to read-only replicas on this address (requires -wal, single engine)")
 		replOf   = flag.String("replica-of", "", "replica mode: follow the primary replicating on this address (requires -wal and -http; stdin is not read)")
 		promote  = flag.String("promote", "", "promote the replica serving HTTP on this address to a writable primary, then exit")
+		replSemK = flag.Int("repl-semisync-k", 0, "semi-sync replication: block each push until this many followers ack it, degrading to async when the quorum cannot keep up (0 = async)")
+		replAckW = flag.Duration("repl-ack-wait", 0, "semi-sync ack deadline before a push stops waiting and the stream degrades (0 = default 1s)")
+		replFlt  = flag.String("repl-fault", "", "chaos testing: seeded fault schedule for replication connections (e.g. \"write:p=0.1:err=reset;read:delay=20ms\")")
+		replFSed = flag.Int64("repl-fault-seed", 0, "seed for probabilistic -repl-fault rules (0 = 1)")
 		version  = flag.Bool("version", false, "print build information and exit")
 	)
 	flag.Parse()
@@ -175,6 +183,8 @@ func main() {
 		walSegmentMB: *walSegMB, walCkptEvery: *walEvery,
 		walFault: *walFault, walFaultSeed: *walFSeed,
 		replListen: *replLis, replicaOf: *replOf, promote: *promote,
+		replSemiK: *replSemK, replAckWait: *replAckW,
+		replFault: *replFlt, replFaultSeed: *replFSed,
 	}
 	if err := run(cfg, os.Stdin, os.Stdout, os.Stderr); err != nil {
 		fatal("%v", err)
@@ -187,6 +197,18 @@ func main() {
 func run(cfg config, stdin io.Reader, out, errw io.Writer) error {
 	if cfg.promote != "" {
 		return runPromote(cfg.promote, out)
+	}
+	if cfg.replSemiK < 0 {
+		return fmt.Errorf("-repl-semisync-k %d < 0", cfg.replSemiK)
+	}
+	if cfg.replSemiK > 0 && cfg.replListen == "" {
+		return fmt.Errorf("-repl-semisync-k requires -replicate-listen: only a replicating primary waits on acks")
+	}
+	if cfg.replAckWait != 0 && cfg.replSemiK == 0 {
+		return fmt.Errorf("-repl-ack-wait requires -repl-semisync-k")
+	}
+	if cfg.replFault != "" && cfg.replListen == "" && cfg.replicaOf == "" {
+		return fmt.Errorf("-repl-fault requires -replicate-listen or -replica-of: the schedule wraps replication connections")
 	}
 	if cfg.replicaOf != "" {
 		return runReplica(cfg, errw)
@@ -347,7 +369,12 @@ func run(cfg config, stdin io.Reader, out, errw io.Writer) error {
 		if eerr != nil {
 			return eerr
 		}
-		rsrv, rerr := repl.NewServer(mon, cfg.replListen, repl.ServerOptions{Epoch: epoch})
+		sopt := repl.ServerOptions{Epoch: epoch, SemiSyncK: cfg.replSemiK, AckWait: cfg.replAckWait}
+		sopt.Fault, err = parseReplFault(cfg)
+		if err != nil {
+			return err
+		}
+		rsrv, rerr := repl.NewServer(mon, cfg.replListen, sopt)
 		if rerr != nil {
 			return rerr
 		}
@@ -355,7 +382,11 @@ func run(cfg config, stdin io.Reader, out, errw io.Writer) error {
 		if rs != nil {
 			rs.setServer(rsrv)
 		}
-		fmt.Fprintf(errw, "pskyline: replicating on %s (epoch %d)\n", rsrv.Addr(), epoch)
+		if cfg.replSemiK > 0 {
+			fmt.Fprintf(errw, "pskyline: replicating on %s (epoch %d, semi-sync k=%d)\n", rsrv.Addr(), epoch, cfg.replSemiK)
+		} else {
+			fmt.Fprintf(errw, "pskyline: replicating on %s (epoch %d)\n", rsrv.Addr(), epoch)
+		}
 	}
 
 	in := stdin
@@ -452,6 +483,9 @@ func run(cfg config, stdin io.Reader, out, errw io.Writer) error {
 			printLatencySummary(out, met.Latency, mon.Flight())
 		} else if sm, ok := m.(*pskyline.ShardedMonitor); ok {
 			printShardSummary(out, sm)
+		}
+		if rs != nil {
+			printReplSummary(out, rs)
 		}
 	}
 	if srv != nil {

@@ -10,8 +10,51 @@ import (
 	"time"
 
 	"pskyline"
+	"pskyline/internal/netfault"
 	"pskyline/internal/repl"
 )
+
+// parseReplFault builds the seeded replication fault injector from
+// -repl-fault / -repl-fault-seed (nil when no schedule is configured). Like
+// -wal-fault-seed, seed 0 means 1 so "no flag" is still deterministic.
+func parseReplFault(cfg config) (*netfault.Injector, error) {
+	if cfg.replFault == "" {
+		return nil, nil
+	}
+	seed := cfg.replFaultSeed
+	if seed == 0 {
+		seed = 1
+	}
+	inj, err := netfault.ParseSchedule(seed, cfg.replFault)
+	if err != nil {
+		return nil, fmt.Errorf("-repl-fault: %v", err)
+	}
+	return inj, nil
+}
+
+// printReplSummary appends the replication block to -summary output: lag
+// per follower plus, with -repl-semisync-k, the semi-sync health machine.
+func printReplSummary(w io.Writer, rs *replState) {
+	rs.mu.Lock()
+	s := rs.server
+	rs.mu.Unlock()
+	if s == nil {
+		return
+	}
+	st := s.Status()
+	fmt.Fprintf(w, "replication: epoch %d, %d follower(s), committed seq %d\n",
+		st.Epoch, len(st.Followers), st.Committed)
+	if st.SemiSyncK > 0 {
+		reason := st.SyncReason
+		if reason == "" {
+			reason = "-"
+		}
+		fmt.Fprintf(w, "semi-sync: k=%d state=%s (%s), quorum-acked seq %d\n",
+			st.SemiSyncK, st.SyncState, reason, st.QuorumAcked)
+		fmt.Fprintf(w, "  waits %d (timeouts %d), degrades %d, upgrades %d, shortfalls %d\n",
+			st.Waits, st.WaitTimeouts, st.Degrades, st.Upgrades, st.Shortfalls)
+	}
+}
 
 // replState tracks the node's replication role for the HTTP surface. It is
 // nil-tolerant: a nil state is a standalone node. The role flips once per
@@ -166,8 +209,13 @@ func runReplica(cfg config, errw io.Writer) error {
 	}
 	defer srv.Close()
 
+	inj, err := parseReplFault(cfg)
+	if err != nil {
+		return err
+	}
 	f, err := repl.StartFollower(opt, repl.FollowerOptions{
-		Addr: cfg.replicaOf,
+		Addr:  cfg.replicaOf,
+		Fault: inj,
 		// Checkpoint catch-up rebuilds the monitor; swap the serving handle.
 		OnMonitor: func(m *pskyline.Monitor) { h.set(m) },
 	})

@@ -21,6 +21,7 @@ import (
 
 	"pskyline"
 	"pskyline/internal/core"
+	"pskyline/internal/repl"
 	"pskyline/internal/streamgen"
 )
 
@@ -69,6 +70,9 @@ type IngestConfig struct {
 	// RecoverOnly runs only the recovery-reopen workloads (the
 	// `make bench-recovery` smoke target).
 	RecoverOnly bool
+	// ReplOnly runs only the replication push workloads (the semi-sync
+	// vs async A/B).
+	ReplOnly bool
 }
 
 const ingestQ = 0.3
@@ -274,6 +278,83 @@ func benchMonitorPushWAL(dims, window int, fsync string) testing.BenchmarkResult
 	})
 }
 
+// benchReplPush measures element-wise Push on a replicating durable primary
+// with one loopback follower attached. semiK=0 is the async control: the
+// follower streams in the background and pushes never wait. semiK=1 blocks
+// every push on the follower's ack, so ns/op is the full commit round trip —
+// local apply + WAL append + stream-out + follower apply + ack — i.e. the
+// same-machine price of the semi-sync guarantee, dominated by the server's
+// tail-follow poll rather than by compute.
+func benchReplPush(dims, window, semiK int) testing.BenchmarkResult {
+	return testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		pdir, err := os.MkdirTemp("", "pskybench-repl-primary-")
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer os.RemoveAll(pdir)
+		fdir, err := os.MkdirTemp("", "pskybench-repl-replica-")
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer os.RemoveAll(fdir)
+		mkOpt := func(dir string) pskyline.Options {
+			return pskyline.Options{
+				Dims: dims, Window: window, Thresholds: []float64{ingestQ},
+				Durability: pskyline.Durability{Dir: dir, Fsync: "never", CheckpointEvery: -1},
+			}
+		}
+		m, err := pskyline.Open(mkOpt(pdir))
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer m.Close()
+		srv, err := repl.NewServer(m, "127.0.0.1:0", repl.ServerOptions{
+			SemiSyncK: semiK, AckWait: 5 * time.Second,
+			Heartbeat: 50 * time.Millisecond, Poll: time.Millisecond,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer srv.Close()
+		f, err := repl.StartFollower(mkOpt(fdir), repl.FollowerOptions{Addr: srv.Addr().String()})
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer f.Close()
+
+		elems := monitorElems(dims, 2*window+b.N)
+		for head := elems[:2*window]; len(head) > 0; {
+			n := 512
+			if n > len(head) {
+				n = len(head)
+			}
+			if _, err := m.PushBatch(head[:n]); err != nil {
+				b.Fatal(err)
+			}
+			head = head[n:]
+		}
+		elems = elems[2*window:]
+		if semiK > 0 {
+			// Time the enforced guarantee, not the catch-up window: wait for
+			// the upgrade to semisync before starting the clock.
+			deadline := time.Now().Add(30 * time.Second)
+			for srv.Status().SyncState != repl.SyncSemiSync.String() {
+				if time.Now().After(deadline) {
+					b.Fatalf("semisync upgrade never happened: %+v", srv.Status())
+				}
+				time.Sleep(5 * time.Millisecond)
+			}
+		}
+		b.ResetTimer()
+		for i := range elems {
+			if _, err := m.Push(elems[i]); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
 // benchExpire measures pure expiry cost on a time-based window: each op
 // expires exactly one element via ExpireOlderThan. The window is rebuilt
 // with the timer stopped whenever it drains.
@@ -385,6 +466,14 @@ func Ingest(cfg IngestConfig, w io.Writer) IngestRun {
 		fmt.Fprintf(w, "  %-28s %10.0f ns/op %8d B/op %7.2f allocs/op %12.0f elems/s\n",
 			row.Name, row.NsPerOp, row.BytesPerOp, row.AllocsPerOp, row.ElemsPerSec)
 	}
+	replRows := func() {
+		add("replpush/d=3/async", benchReplPush(3, window, 0))
+		add("replpush/d=3/semisync-k1", benchReplPush(3, window, 1))
+	}
+	if cfg.ReplOnly {
+		replRows()
+		return run
+	}
 	if !cfg.RecoverOnly {
 		for _, d := range []int{2, 3, 5} {
 			add(fmt.Sprintf("push/d=%d/q=%.1f", d, ingestQ), benchEnginePush(d, window, []float64{ingestQ}, true, false))
@@ -399,6 +488,7 @@ func Ingest(cfg IngestConfig, w io.Writer) IngestRun {
 		add("shardpush/d=3/shards=4/B=512", benchShardedPush(3, window, 4, 512))
 		add("walpush/d=3/fsync=never", benchMonitorPushWAL(3, window, "never"))
 		add("walpush/d=3/fsync=interval", benchMonitorPushWAL(3, window, "interval"))
+		replRows()
 		add("expire/d=3", benchExpire(3, window))
 		add("mixed/d=3", benchMixed(3, window))
 	}

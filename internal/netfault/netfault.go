@@ -1,0 +1,592 @@
+// Package netfault is a deterministic, seeded fault-injection seam for
+// network connections — the internal/vfs fault injector transplanted to the
+// transport layer. A wrapped net.Conn (or a faulted dialer) passes every
+// dial, read and write through a schedule of rules that can add latency,
+// throttle bandwidth, tear a write mid-frame, reset the connection, or
+// blackhole the operation entirely (a partition: the call blocks until the
+// schedule heals, the deadline expires, or the connection closes).
+//
+// Nothing is mocked: the real connection carries whatever bytes the schedule
+// lets through, so torn frames and half-delivered batches exercise the same
+// CRC and resume logic a real network failure would. Equal seeds give equal
+// schedules, which is what makes chaos tests reproducible.
+package netfault
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"net"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Op names one connection operation class for fault matching.
+type Op int
+
+const (
+	OpDial Op = iota
+	OpRead
+	OpWrite
+	opCount
+)
+
+var opNames = [...]string{OpDial: "dial", OpRead: "read", OpWrite: "write"}
+
+func (o Op) String() string {
+	if int(o) < len(opNames) {
+		return opNames[o]
+	}
+	return "op?"
+}
+
+// ParseOp parses an operation name as used in fault schedule specs.
+func ParseOp(s string) (Op, error) {
+	for op, name := range opNames {
+		if name == s {
+			return Op(op), nil
+		}
+	}
+	return 0, fmt.Errorf("netfault: unknown op %q", s)
+}
+
+// ErrKind selects the failure a fired rule injects. The zero value injects
+// no error: the rule only delays (latency) or throttles.
+type ErrKind int
+
+const (
+	// ErrNone: the operation proceeds after any Delay/Rate sleep.
+	ErrNone ErrKind = iota
+	// ErrReset severs the connection: a write-side reset also closes the
+	// underlying conn, so the peer observes the break (and any Partial
+	// bytes already flushed — a torn frame).
+	ErrReset
+	// ErrTimeout fails the operation with a net.Error whose Timeout() is
+	// true, without closing the connection.
+	ErrTimeout
+	// ErrBlackhole is a partition: the operation blocks until the schedule
+	// heals (Clear), the connection closes, or its deadline — bounded by
+	// Delay when set — expires, and then fails with a timeout.
+	ErrBlackhole
+)
+
+var errKindNames = map[ErrKind]string{ErrReset: "reset", ErrTimeout: "timeout", ErrBlackhole: "blackhole"}
+
+func parseErrKind(s string) (ErrKind, error) {
+	for k, name := range errKindNames {
+		if name == s {
+			return k, nil
+		}
+	}
+	return 0, fmt.Errorf("netfault: unknown err=%q (want reset, timeout or blackhole)", s)
+}
+
+// Rule is one fault in a schedule: it arms after After matching operations
+// have passed through and then fires Times times (0 is treated as once,
+// -1 = forever). Prob, when in (0,1), fires the rule probabilistically
+// instead (seeded, deterministic) on each matching call past After. PerConn
+// scopes the seen/fired counters to each wrapped connection, so "the second
+// write of every session" is expressible; the default counts globally across
+// the injector.
+type Rule struct {
+	Op      Op
+	After   int     // matching calls to skip before the rule arms
+	Times   int     // times to fire once armed; 0 = once, -1 = forever
+	Prob    float64 // probabilistic firing in (0,1); seeded
+	PerConn bool    // per-connection (not global) After/Times counters
+
+	// Delay: ErrNone sleeps this long before the operation proceeds
+	// (latency); ErrBlackhole bounds the stall — the partition resolves
+	// into a timeout after Delay even without a deadline, which makes
+	// self-healing partitions schedulable from a static spec.
+	Delay time.Duration
+	// Rate throttles: the operation sleeps len(p)/Rate seconds (bytes per
+	// second) before proceeding. Read/write only.
+	Rate int
+	// Partial (writes only): bytes flushed through before the error
+	// surfaces — a torn mid-frame write.
+	Partial int
+	// Err is the injected failure; ErrNone makes the rule pure latency or
+	// throttle.
+	Err ErrKind
+
+	seen  int // matching calls observed (global scope)
+	fired int
+}
+
+// render writes the rule in canonical schedule syntax (the inverse of
+// ParseSchedule, field order fixed).
+func (r *Rule) render(b *strings.Builder) {
+	b.WriteString(r.Op.String())
+	if r.After > 0 {
+		fmt.Fprintf(b, ":after=%d", r.After)
+	}
+	if r.Times != 0 {
+		fmt.Fprintf(b, ":times=%d", r.Times)
+	}
+	if r.Prob > 0 {
+		fmt.Fprintf(b, ":p=%s", strconv.FormatFloat(r.Prob, 'g', -1, 64))
+	}
+	if r.Delay > 0 {
+		fmt.Fprintf(b, ":delay=%s", r.Delay)
+	}
+	if r.Rate > 0 {
+		fmt.Fprintf(b, ":rate=%d", r.Rate)
+	}
+	if r.Partial > 0 {
+		fmt.Fprintf(b, ":partial=%d", r.Partial)
+	}
+	if r.Err != ErrNone {
+		fmt.Fprintf(b, ":err=%s", errKindNames[r.Err])
+	}
+	if r.PerConn {
+		b.WriteString(":per=conn")
+	}
+}
+
+// verdict is one operation's resolved fate.
+type verdict struct {
+	delay   time.Duration
+	kind    ErrKind
+	partial int
+}
+
+// Injector injects faults into connections according to a deterministic,
+// seeded schedule of rules. Safe for concurrent use; serialization under one
+// mutex also makes the schedule deterministic for single-writer callers.
+type Injector struct {
+	mu     sync.Mutex
+	rng    *rand.Rand
+	rules  []*Rule
+	healCh chan struct{} // closed (and replaced) by Clear: wakes blackholes
+	counts [opCount]int
+	errs   [opCount]int
+}
+
+// New returns an injector with an empty schedule. seed drives the
+// probabilistic rules; equal seeds give equal schedules.
+func New(seed int64) *Injector {
+	return &Injector{rng: rand.New(rand.NewSource(seed)), healCh: make(chan struct{})}
+}
+
+// Inject adds a rule to the schedule. The rule is copied; later mutation of
+// the argument has no effect.
+func (f *Injector) Inject(r Rule) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	rc := r
+	f.rules = append(f.rules, &rc)
+}
+
+// Clear drops every rule (the network "heals") and releases any operation
+// blocked in a blackhole — it proceeds against the healed schedule.
+func (f *Injector) Clear() {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.rules = nil
+	close(f.healCh)
+	f.healCh = make(chan struct{})
+}
+
+// Schedule renders the current rules in canonical ParseSchedule syntax.
+func (f *Injector) Schedule() string {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	var b strings.Builder
+	for i, r := range f.rules {
+		if i > 0 {
+			b.WriteByte(';')
+		}
+		r.render(&b)
+	}
+	return b.String()
+}
+
+// Count returns how many operations of class op have been issued.
+func (f *Injector) Count(op Op) int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.counts[op]
+}
+
+// Errors returns how many operations of class op were failed by a rule.
+func (f *Injector) Errors(op Op) int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.errs[op]
+}
+
+// ErrorsTotal returns the total number of injected failures.
+func (f *Injector) ErrorsTotal() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	n := 0
+	for _, e := range f.errs {
+		n += e
+	}
+	return n
+}
+
+// check records one operation against the schedule and resolves its fate.
+// scope carries the per-connection counters (nil for dials). size is the
+// payload length for throttle computation.
+func (f *Injector) check(op Op, scope *connScope, size int) (verdict, bool) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.counts[op]++
+	for _, r := range f.rules {
+		if r.Op != op {
+			continue
+		}
+		seen, fired := &r.seen, &r.fired
+		if r.PerConn && scope != nil {
+			st := scope.state(r)
+			seen, fired = &st.seen, &st.fired
+		}
+		*seen++
+		if *seen <= r.After {
+			continue
+		}
+		limit := r.Times
+		if limit == 0 {
+			limit = 1
+		}
+		if limit > 0 && *fired >= limit {
+			continue
+		}
+		if r.Prob > 0 && r.Prob < 1 && f.rng.Float64() >= r.Prob {
+			continue
+		}
+		*fired++
+		if r.Err != ErrNone {
+			f.errs[op]++
+		}
+		v := verdict{delay: r.Delay, kind: r.Err, partial: r.Partial}
+		if r.Rate > 0 && size > 0 {
+			v.delay += time.Duration(float64(size) / float64(r.Rate) * float64(time.Second))
+		}
+		return v, true
+	}
+	return verdict{}, false
+}
+
+// heal returns the channel closed by the next Clear.
+func (f *Injector) heal() chan struct{} {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.healCh
+}
+
+// injected errors ------------------------------------------------------------
+
+// timeoutError satisfies net.Error with Timeout() true, like a deadline.
+type timeoutError struct{ op Op }
+
+func (e *timeoutError) Error() string   { return fmt.Sprintf("netfault: injected %s timeout", e.op) }
+func (e *timeoutError) Timeout() bool   { return true }
+func (e *timeoutError) Temporary() bool { return true }
+
+// ErrInjectedReset marks a connection reset injected by the schedule. Test
+// with errors.Is.
+var ErrInjectedReset = errors.New("netfault: injected connection reset")
+
+// Conn ----------------------------------------------------------------------
+
+// connScope holds one connection's per-rule counters (Rule.PerConn).
+type connScope struct {
+	states map[*Rule]*ruleState
+}
+
+type ruleState struct{ seen, fired int }
+
+// state returns r's counters in this scope; callers hold the injector mutex.
+func (s *connScope) state(r *Rule) *ruleState {
+	if s.states == nil {
+		s.states = make(map[*Rule]*ruleState)
+	}
+	st := s.states[r]
+	if st == nil {
+		st = &ruleState{}
+		s.states[r] = st
+	}
+	return st
+}
+
+// Conn wraps a net.Conn so reads and writes pass through the schedule. It
+// tracks the deadlines set on it: a blackholed or delayed operation respects
+// them (returning a timeout) even though the underlying syscall never runs.
+type Conn struct {
+	net.Conn
+	f *Injector
+
+	mu    sync.Mutex
+	scope connScope
+	rdl   time.Time
+	wdl   time.Time
+
+	closed    chan struct{}
+	closeOnce sync.Once
+}
+
+// WrapConn wraps c so its reads and writes pass through the schedule.
+func (f *Injector) WrapConn(c net.Conn) net.Conn {
+	return &Conn{Conn: c, f: f, closed: make(chan struct{})}
+}
+
+func (c *Conn) Close() error {
+	c.closeOnce.Do(func() { close(c.closed) })
+	return c.Conn.Close()
+}
+
+func (c *Conn) SetDeadline(t time.Time) error {
+	c.mu.Lock()
+	c.rdl, c.wdl = t, t
+	c.mu.Unlock()
+	return c.Conn.SetDeadline(t)
+}
+
+func (c *Conn) SetReadDeadline(t time.Time) error {
+	c.mu.Lock()
+	c.rdl = t
+	c.mu.Unlock()
+	return c.Conn.SetReadDeadline(t)
+}
+
+func (c *Conn) SetWriteDeadline(t time.Time) error {
+	c.mu.Lock()
+	c.wdl = t
+	c.mu.Unlock()
+	return c.Conn.SetWriteDeadline(t)
+}
+
+func (c *Conn) deadline(op Op) time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if op == OpRead {
+		return c.rdl
+	}
+	return c.wdl
+}
+
+// sleep pauses for d, truncated at the deadline (then: timeout error) and
+// interrupted by Close.
+func (c *Conn) sleep(op Op, d time.Duration, deadline time.Time) error {
+	timedOut := false
+	if !deadline.IsZero() {
+		if until := time.Until(deadline); until < d {
+			d, timedOut = until, true
+		}
+	}
+	if d > 0 {
+		t := time.NewTimer(d)
+		defer t.Stop()
+		select {
+		case <-t.C:
+		case <-c.closed:
+			return net.ErrClosed
+		}
+	}
+	if timedOut {
+		return &timeoutError{op: op}
+	}
+	return nil
+}
+
+// blackhole blocks until the schedule heals (nil: proceed with the real
+// operation), the stall bound or deadline expires (timeout), or the
+// connection closes.
+func (c *Conn) blackhole(op Op, bound time.Duration, deadline time.Time) error {
+	healed := c.f.heal()
+	var timer <-chan time.Time
+	wait := time.Duration(-1) // negative: unbounded
+	if !deadline.IsZero() {
+		wait = time.Until(deadline)
+	}
+	if bound > 0 && (wait < 0 || bound < wait) {
+		wait = bound
+	}
+	if wait >= 0 {
+		t := time.NewTimer(wait)
+		defer t.Stop()
+		timer = t.C
+	}
+	select {
+	case <-healed:
+		return nil
+	case <-timer:
+		return &timeoutError{op: op}
+	case <-c.closed:
+		return net.ErrClosed
+	}
+}
+
+func (c *Conn) Read(p []byte) (int, error) {
+	v, ok := c.f.check(OpRead, &c.scope, len(p))
+	if ok {
+		if err := c.resolve(OpRead, v, nil); err != nil {
+			return 0, err
+		}
+	}
+	return c.Conn.Read(p)
+}
+
+func (c *Conn) Write(p []byte) (int, error) {
+	v, ok := c.f.check(OpWrite, &c.scope, len(p))
+	if ok {
+		if err := c.resolve(OpWrite, v, p); err != nil {
+			n := 0
+			if v.partial > 0 && v.partial < len(p) && !errors.Is(err, net.ErrClosed) {
+				// Torn write: a prefix of the frame reaches the wire
+				// before the failure surfaces.
+				n, _ = c.Conn.Write(p[:v.partial])
+			}
+			if errors.Is(err, ErrInjectedReset) {
+				c.Conn.Close() // the peer observes the break
+			}
+			return n, err
+		}
+	}
+	return c.Conn.Write(p)
+}
+
+// resolve applies a fired rule's verdict: sleep for latency/throttle, then
+// block or fail per the error kind. A nil return means the real operation
+// proceeds.
+func (c *Conn) resolve(op Op, v verdict, _ []byte) error {
+	deadline := c.deadline(op)
+	switch v.kind {
+	case ErrNone:
+		return c.sleep(op, v.delay, deadline)
+	case ErrBlackhole:
+		return c.blackhole(op, v.delay, deadline)
+	case ErrTimeout:
+		return &timeoutError{op: op}
+	case ErrReset:
+		return fmt.Errorf("netfault: injected %s fault: %w", op, ErrInjectedReset)
+	}
+	return nil
+}
+
+// Dial dials through the schedule: dial rules can delay, time out, reset
+// (connection refused-like failure) or blackhole the attempt, and the
+// returned connection is wrapped so read/write rules apply to the session.
+func (f *Injector) Dial(network, addr string, timeout time.Duration) (net.Conn, error) {
+	if v, ok := f.check(OpDial, nil, 0); ok {
+		switch v.kind {
+		case ErrReset:
+			return nil, fmt.Errorf("netfault: injected dial fault: %w", ErrInjectedReset)
+		case ErrTimeout:
+			return nil, &timeoutError{op: OpDial}
+		case ErrBlackhole:
+			wait := timeout
+			if v.delay > 0 && v.delay < wait {
+				wait = v.delay
+			}
+			healed := f.heal()
+			t := time.NewTimer(wait)
+			select {
+			case <-healed:
+				t.Stop()
+			case <-t.C:
+				return nil, &timeoutError{op: OpDial}
+			}
+		default:
+			if v.delay > 0 {
+				time.Sleep(v.delay)
+			}
+		}
+	}
+	c, err := net.DialTimeout(network, addr, timeout)
+	if err != nil {
+		return nil, err
+	}
+	return f.WrapConn(c), nil
+}
+
+// ParseSchedule builds an injector from a compact schedule spec — the
+// -repl-fault CLI syntax, mirroring internal/vfs.ParseSchedule. The spec is
+// a semicolon-separated list of rules; each rule is colon-separated fields
+// starting with the op name (dial, read or write):
+//
+//	op[:after=N][:times=M][:p=F][:delay=D][:rate=B][:partial=K][:err=reset|timeout|blackhole][:per=conn]
+//
+// Examples:
+//
+//	write:after=2:times=-1:err=reset:per=conn   every session's 3rd+ write resets
+//	read:p=0.05:times=-1:err=blackhole:delay=2s  5% of reads stall 2s, then time out
+//	write:times=1:partial=5:err=reset            the 1st write tears at byte 5
+//	dial:delay=150ms:times=-1                    every dial pays 150ms latency
+//	write:rate=65536:times=-1                    writes throttled to 64 KiB/s
+//
+// A rule must have an effect: at least one of delay, rate or err.
+func ParseSchedule(seed int64, spec string) (*Injector, error) {
+	f := New(seed)
+	for _, part := range strings.Split(spec, ";") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		fields := strings.Split(part, ":")
+		op, err := ParseOp(strings.TrimSpace(fields[0]))
+		if err != nil {
+			return nil, err
+		}
+		r := Rule{Op: op}
+		for _, fld := range fields[1:] {
+			k, v, ok := strings.Cut(fld, "=")
+			if !ok {
+				return nil, fmt.Errorf("netfault: bad rule field %q in %q", fld, part)
+			}
+			switch k {
+			case "after":
+				if r.After, err = strconv.Atoi(v); err != nil || r.After < 0 {
+					return nil, fmt.Errorf("netfault: bad after=%q in %q", v, part)
+				}
+			case "times":
+				if r.Times, err = strconv.Atoi(v); err != nil || r.Times < -1 {
+					return nil, fmt.Errorf("netfault: bad times=%q in %q", v, part)
+				}
+			case "p":
+				if r.Prob, err = strconv.ParseFloat(v, 64); err != nil || r.Prob < 0 || r.Prob > 1 {
+					return nil, fmt.Errorf("netfault: bad p=%q in %q", v, part)
+				}
+			case "delay":
+				if r.Delay, err = time.ParseDuration(v); err != nil || r.Delay < 0 {
+					return nil, fmt.Errorf("netfault: bad delay=%q in %q", v, part)
+				}
+			case "rate":
+				if r.Rate, err = strconv.Atoi(v); err != nil || r.Rate <= 0 {
+					return nil, fmt.Errorf("netfault: bad rate=%q in %q", v, part)
+				}
+			case "partial":
+				if r.Partial, err = strconv.Atoi(v); err != nil || r.Partial < 0 {
+					return nil, fmt.Errorf("netfault: bad partial=%q in %q", v, part)
+				}
+			case "err":
+				if r.Err, err = parseErrKind(v); err != nil {
+					return nil, err
+				}
+			case "per":
+				if v != "conn" {
+					return nil, fmt.Errorf("netfault: bad per=%q in %q (want conn)", v, part)
+				}
+				r.PerConn = true
+			default:
+				return nil, fmt.Errorf("netfault: unknown rule field %q in %q", k, part)
+			}
+		}
+		if r.Delay == 0 && r.Rate == 0 && r.Err == ErrNone {
+			return nil, fmt.Errorf("netfault: rule %q has no effect (want delay, rate or err)", part)
+		}
+		if r.Partial > 0 && (r.Op != OpWrite || r.Err == ErrNone) {
+			return nil, fmt.Errorf("netfault: partial in %q requires op=write and an err", part)
+		}
+		if r.Rate > 0 && r.Op == OpDial {
+			return nil, fmt.Errorf("netfault: rate in %q applies only to read/write", part)
+		}
+		f.Inject(r)
+	}
+	return f, nil
+}

@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"pskyline"
+	"pskyline/internal/netfault"
 	"pskyline/internal/vfs"
 	"pskyline/internal/wal"
 )
@@ -50,6 +51,10 @@ type FollowerOptions struct {
 	// which rebuilds the monitor from the installed checkpoint. Serving
 	// layers swap their handle here.
 	OnMonitor func(*pskyline.Monitor)
+	// Fault, when set, routes every dial (and the resulting connection's
+	// reads and writes) through the injector's seeded schedule. Testing
+	// and chaos drills only.
+	Fault *netfault.Injector
 }
 
 func (o *FollowerOptions) normalize() {
@@ -338,9 +343,18 @@ func (f *Follower) setConn(c net.Conn) bool {
 
 // session runs one connection to the primary: handshake, optional
 // checkpoint catch-up, then the streaming loop. progressed reports whether
-// the session got far enough (an accepted handshake) to reset backoff.
+// the session made real replication progress — a checkpoint installed or at
+// least one streamed frame applied and acked — and so may reset backoff. An
+// accepted handshake alone is not progress: a primary that welcomes and then
+// drops every session (mid-stream partition, fault injection) would
+// otherwise be hammered at RetryBase forever.
 func (f *Follower) session() (progressed bool, err error) {
-	conn, err := net.DialTimeout("tcp", f.fo.Addr, f.fo.DialTimeout)
+	var conn net.Conn
+	if f.fo.Fault != nil {
+		conn, err = f.fo.Fault.Dial("tcp", f.fo.Addr, f.fo.DialTimeout)
+	} else {
+		conn, err = net.DialTimeout("tcp", f.fo.Addr, f.fo.DialTimeout)
+	}
 	if err != nil {
 		return false, err
 	}
@@ -408,8 +422,9 @@ func (f *Follower) session() (progressed bool, err error) {
 
 	if welcome.Checkpoint {
 		if err := f.receiveCheckpoint(conn, br, &scratch, sessEpoch); err != nil {
-			return true, err
+			return progressed, err
 		}
+		progressed = true // the monitor advanced to the checkpoint position
 		mon = f.mon.Load()
 	}
 
@@ -422,11 +437,11 @@ func (f *Follower) session() (progressed bool, err error) {
 		conn.SetReadDeadline(time.Now().Add(f.fo.HeartbeatTimeout))
 		typ, fe, body, sc, err := readFrame(br, scratch)
 		if err != nil {
-			return true, err
+			return progressed, err
 		}
 		scratch = sc
 		if fe != sessEpoch {
-			return true, fmt.Errorf("repl: epoch changed mid-stream: %d -> %d", sessEpoch, fe)
+			return progressed, fmt.Errorf("repl: epoch changed mid-stream: %d -> %d", sessEpoch, fe)
 		}
 		var committed uint64
 		var echo int64
@@ -434,20 +449,20 @@ func (f *Follower) session() (progressed bool, err error) {
 		case frameRecords:
 			wall, cm, recs, err := splitRecordsBody(body)
 			if err != nil {
-				return true, err
+				return progressed, err
 			}
 			if batch, err = f.apply(mon, recs, batch[:0]); err != nil {
-				return true, err
+				return progressed, err
 			}
 			committed, echo = cm, wall
 		case frameHeartbeat:
 			var hb heartbeatMsg
 			if err := decodeJSON(body, &hb); err != nil {
-				return true, err
+				return progressed, err
 			}
 			committed, echo = hb.Committed, hb.WallNanos
 		default:
-			return true, fmt.Errorf("repl: unexpected frame type %d mid-stream", typ)
+			return progressed, fmt.Errorf("repl: unexpected frame type %d mid-stream", typ)
 		}
 		f.mu.Lock()
 		f.primaryCommit = committed
@@ -456,12 +471,13 @@ func (f *Follower) session() (progressed bool, err error) {
 		ackBuf, err = appendJSONFrame(ackBuf[:0], frameAck, sessEpoch,
 			ackMsg{Applied: mon.NextSeq(), EchoNanos: echo})
 		if err != nil {
-			return true, err
+			return progressed, err
 		}
 		conn.SetWriteDeadline(time.Now().Add(f.fo.HeartbeatTimeout))
 		if _, err := conn.Write(ackBuf); err != nil {
-			return true, err
+			return progressed, err
 		}
+		progressed = true // a frame made it through and was acked
 	}
 }
 

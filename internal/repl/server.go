@@ -9,9 +9,11 @@ import (
 	"net"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"pskyline"
+	"pskyline/internal/netfault"
 	"pskyline/internal/wal"
 )
 
@@ -40,6 +42,25 @@ type ServerOptions struct {
 	AckTimeout time.Duration
 	// WriteTimeout bounds a single frame write (default 10s).
 	WriteTimeout time.Duration
+
+	// SemiSyncK enables semi-sync replication: pushes on the primary block
+	// until this many followers have acked the pushed sequence (see
+	// semisync.go). Zero (the default) keeps replication fully async.
+	SemiSyncK int
+	// AckWait bounds a semi-sync quorum wait (default 1s). A wait that
+	// exceeds it degrades the stream to async instead of failing the push.
+	AckWait time.Duration
+	// CatchupLag is how close (in records) K followers must be to the
+	// committed watermark before a degraded/async stream upgrades back to
+	// semi-sync (default 64).
+	CatchupLag uint64
+	// EscalateAfter is how long the stream may stay degraded before it
+	// escalates to async (default 10×AckWait). <0 disables escalation.
+	EscalateAfter time.Duration
+	// Fault, when set, wraps every accepted follower connection so reads
+	// and writes pass through the injector's seeded schedule. Testing and
+	// chaos drills only.
+	Fault *netfault.Injector
 }
 
 func (o *ServerOptions) normalize() {
@@ -57,6 +78,18 @@ func (o *ServerOptions) normalize() {
 	}
 	if o.WriteTimeout <= 0 {
 		o.WriteTimeout = 10 * time.Second
+	}
+	if o.SemiSyncK < 0 {
+		o.SemiSyncK = 0
+	}
+	if o.AckWait <= 0 {
+		o.AckWait = time.Second
+	}
+	if o.CatchupLag == 0 {
+		o.CatchupLag = 64
+	}
+	if o.EscalateAfter == 0 {
+		o.EscalateAfter = 10 * o.AckWait
 	}
 }
 
@@ -81,6 +114,18 @@ type ServerStatus struct {
 	Followers       []FollowerStatus `json:"followers"`
 	CheckpointSends uint64           `json:"checkpoint_sends_total"`
 	Rejects         uint64           `json:"rejects_total"`
+
+	// Semi-sync health (semisync.go). SyncState is "async" when SemiSyncK
+	// is zero; otherwise it walks the semisync → degraded → async machine.
+	SemiSyncK    int    `json:"semisync_k"`
+	SyncState    string `json:"sync_state"`
+	SyncReason   string `json:"sync_reason,omitempty"`
+	QuorumAcked  uint64 `json:"quorum_acked_seq"`
+	Degrades     uint64 `json:"semisync_degrades_total"`
+	Upgrades     uint64 `json:"semisync_upgrades_total"`
+	Waits        uint64 `json:"semisync_waits_total"`
+	WaitTimeouts uint64 `json:"semisync_wait_timeouts_total"`
+	Shortfalls   uint64 `json:"semisync_shortfalls_total"`
 }
 
 // Server is the primary side: it accepts follower connections, performs
@@ -100,6 +145,19 @@ type Server struct {
 	conns     map[net.Conn]*connState
 	ckptSends uint64
 	rejects   uint64
+
+	// Semi-sync machinery (semisync.go), guarded by mu except syncA.
+	syncA           atomic.Int32 // SyncState, lock-free mirror
+	syncReason      string       // why the state last changed
+	quorumSeq       uint64       // K-th highest acked sequence (monotone)
+	degradedAt      time.Time    // when the state last entered SyncDegraded
+	waiters         []*syncWaiter
+	appliedScratch  []uint64
+	semDegrades     uint64
+	semUpgrades     uint64
+	semWaits        uint64
+	semWaitTimeouts uint64
+	semShortfalls   uint64
 }
 
 type connState struct {
@@ -107,7 +165,10 @@ type connState struct {
 	applied      uint64
 	echoNanos    int64 // primary-clock stamp echoed by the newest ack
 	ackWall      time.Time
+	connectedAt  time.Time
 	caughtUpOnce bool
+	ready        bool // handshake complete; counts toward the quorum
+	dead         bool // ack reader exited; invisible to Status and quorum
 }
 
 // NewServer starts replicating mon's WAL on addr. The monitor must be
@@ -123,6 +184,13 @@ func NewServer(mon *pskyline.Monitor, addr string, opt ServerOptions) (*Server, 
 		return nil, fmt.Errorf("repl: listen: %w", err)
 	}
 	s := &Server{mon: mon, log: log, opt: opt, ln: ln, conns: make(map[net.Conn]*connState)}
+	// A semi-sync primary starts async — there is no quorum until K
+	// followers connect and catch up — and upgrades on ack progress.
+	s.syncA.Store(int32(SyncAsync))
+	s.syncReason = "startup"
+	if opt.SemiSyncK > 0 {
+		mon.SetCommitWaiter(s.commitWait)
+	}
 	s.wg.Add(1)
 	go s.acceptLoop()
 	return s, nil
@@ -137,12 +205,20 @@ func (s *Server) Epoch() uint64 { return s.opt.Epoch }
 // Close stops accepting, drops every follower connection and waits for all
 // connection goroutines to exit. Idempotent.
 func (s *Server) Close() error {
+	// Uninstall the commit waiter first so pushes racing Close skip the
+	// quorum wait entirely rather than erroring.
+	if s.opt.SemiSyncK > 0 {
+		s.mon.SetCommitWaiter(nil)
+	}
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
 		return nil
 	}
 	s.closed = true
+	// Waits blocked at this instant resolve to the sticky shutdown error:
+	// their pushes are applied and durable, but the quorum never acked.
+	s.releaseWaitersLocked(ErrServerClosed)
 	for c := range s.conns {
 		c.Close()
 	}
@@ -159,13 +235,16 @@ func (s *Server) acceptLoop() {
 		if err != nil {
 			return // listener closed
 		}
+		if s.opt.Fault != nil {
+			c = s.opt.Fault.WrapConn(c)
+		}
 		s.mu.Lock()
 		if s.closed {
 			s.mu.Unlock()
 			c.Close()
 			return
 		}
-		st := &connState{addr: c.RemoteAddr().String()}
+		st := &connState{addr: c.RemoteAddr().String(), connectedAt: time.Now()}
 		s.conns[c] = st
 		s.wg.Add(1)
 		s.mu.Unlock()
@@ -175,9 +254,27 @@ func (s *Server) acceptLoop() {
 
 func (s *Server) dropConn(c net.Conn) {
 	s.mu.Lock()
+	if st := s.conns[c]; st != nil {
+		st.dead = true
+	}
 	delete(s.conns, c)
+	s.lossCheckLocked()
 	s.mu.Unlock()
 	c.Close()
+}
+
+// lossCheckLocked reacts to losing a follower: with fewer than K live
+// followers there is no quorum to wait for, so a blocking or degraded
+// stream drops straight to async (waiters would otherwise ride out the
+// full AckWait for a quorum that cannot form). Callers hold s.mu.
+func (s *Server) lossCheckLocked() {
+	if s.opt.SemiSyncK <= 0 || s.closed {
+		return
+	}
+	if s.liveFollowersLocked() < s.opt.SemiSyncK && s.syncState() != SyncAsync {
+		s.semShortfalls++
+		s.setSyncLocked(SyncAsync, "follower shortfall")
+	}
 }
 
 // reject sends a reject frame (best effort) and records the rejection.
@@ -264,11 +361,25 @@ func (s *Server) serveConn(c net.Conn, st *connState) {
 		s.mu.Unlock()
 	}
 
-	// Reader side: acks drive the lag gauges. Closing stop tears down the
-	// writer below.
+	// The handshake is done: the follower now counts toward the semi-sync
+	// quorum.
+	s.mu.Lock()
+	st.ready = true
+	s.mu.Unlock()
+
+	// Reader side: acks drive the lag gauges and the semi-sync quorum
+	// watermark. Closing stop tears down the writer below; a reader that
+	// exits also marks the entry dead so Status and the quorum stop seeing
+	// it immediately, even while the writer drains its last frame.
 	stop := make(chan struct{})
 	go func() {
-		defer close(stop)
+		defer func() {
+			s.mu.Lock()
+			st.dead = true
+			s.lossCheckLocked()
+			s.mu.Unlock()
+			close(stop)
+		}()
 		var scratch []byte
 		for {
 			c.SetReadDeadline(time.Now().Add(s.opt.AckTimeout))
@@ -288,6 +399,7 @@ func (s *Server) serveConn(c net.Conn, st *connState) {
 			if ack.Applied >= s.log.CommittedSeq() {
 				st.caughtUpOnce = true
 			}
+			s.ackProgressLocked()
 			s.mu.Unlock()
 		}
 	}()
@@ -415,15 +527,43 @@ func (s *Server) streamTail(c net.Conn, start uint64, stop <-chan struct{}) {
 }
 
 // Status reports the primary's replication state, followers sorted by
-// address.
+// address. Only live followers appear: entries whose ack reader has exited
+// are dead already, and a connection that has gone silent past AckTimeout
+// (a reconnecting follower's blackholed predecessor, for instance) is
+// reaped here — closed and hidden — rather than left inflating the lag
+// gauges until its write path notices.
 func (s *Server) Status() ServerStatus {
 	committed := s.log.CommittedSeq()
 	now := time.Now()
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	s.pokeLocked(now)
 	st := ServerStatus{Epoch: s.opt.Epoch, Committed: committed,
-		CheckpointSends: s.ckptSends, Rejects: s.rejects}
-	for _, cs := range s.conns {
+		CheckpointSends: s.ckptSends, Rejects: s.rejects,
+		SemiSyncK: s.opt.SemiSyncK, SyncState: s.syncState().String(), SyncReason: s.syncReason,
+		QuorumAcked: s.quorumSeq, Degrades: s.semDegrades, Upgrades: s.semUpgrades,
+		Waits: s.semWaits, WaitTimeouts: s.semWaitTimeouts, Shortfalls: s.semShortfalls}
+	for c, cs := range s.conns {
+		if cs.dead || !cs.ready {
+			// Not a follower: the ack reader has exited, or the handshake
+			// has not completed (a wedged welcome write must not surface
+			// as a lagging follower).
+			continue
+		}
+		last := cs.ackWall
+		if last.IsZero() {
+			last = cs.connectedAt
+		}
+		if now.Sub(last) > s.opt.AckTimeout {
+			// Ghost: no ack (or handshake progress) within AckTimeout.
+			// Its own reader is about to hit the same deadline; closing
+			// the conn hurries that along and the dead mark keeps it out
+			// of every future report.
+			cs.dead = true
+			c.Close()
+			s.lossCheckLocked()
+			continue
+		}
 		f := FollowerStatus{Addr: cs.addr, Applied: cs.applied, CaughtUpOnce: cs.caughtUpOnce}
 		if committed > cs.applied {
 			f.LagSeq = committed - cs.applied
@@ -464,5 +604,19 @@ func (s *Server) WritePrometheus(w io.Writer) error {
 	for _, f := range st.Followers {
 		p("pskyline_repl_follower_lag_seconds{follower=%q} %g\n", f.Addr, f.LagSeconds)
 	}
+	stateVal := SyncAsync
+	for v, name := range syncStateNames {
+		if name == st.SyncState {
+			stateVal = SyncState(v)
+		}
+	}
+	p("# TYPE pskyline_repl_sync_state gauge\npskyline_repl_sync_state %d\n", stateVal)
+	p("# TYPE pskyline_repl_semisync_k gauge\npskyline_repl_semisync_k %d\n", st.SemiSyncK)
+	p("# TYPE pskyline_repl_quorum_acked_seq gauge\npskyline_repl_quorum_acked_seq %d\n", st.QuorumAcked)
+	p("# TYPE pskyline_repl_semisync_degrades_total counter\npskyline_repl_semisync_degrades_total %d\n", st.Degrades)
+	p("# TYPE pskyline_repl_semisync_upgrades_total counter\npskyline_repl_semisync_upgrades_total %d\n", st.Upgrades)
+	p("# TYPE pskyline_repl_semisync_waits_total counter\npskyline_repl_semisync_waits_total %d\n", st.Waits)
+	p("# TYPE pskyline_repl_semisync_wait_timeouts_total counter\npskyline_repl_semisync_wait_timeouts_total %d\n", st.WaitTimeouts)
+	p("# TYPE pskyline_repl_semisync_shortfalls_total counter\npskyline_repl_semisync_shortfalls_total %d\n", st.Shortfalls)
 	return err
 }

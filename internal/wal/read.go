@@ -74,6 +74,26 @@ func (w *WAL) CommittedSeq() uint64 {
 	return w.nextSeq
 }
 
+// SetAckedSeq advances the replication quorum-acked watermark: every record
+// with sequence below it has been acknowledged by the configured follower
+// quorum, alongside (and never ahead of what matters for) the local
+// durability watermark CommittedSeq. The watermark is monotone — stale
+// values from racing ack readers are ignored. It is maintained by the
+// replication layer; the WAL itself only stores it so durability and
+// replication progress read from one place.
+func (w *WAL) SetAckedSeq(seq uint64) {
+	for {
+		cur := w.ackedA.Load()
+		if seq <= cur || w.ackedA.CompareAndSwap(cur, seq) {
+			return
+		}
+	}
+}
+
+// AckedSeq returns the replication quorum-acked watermark last recorded by
+// SetAckedSeq (zero when no quorum has ever acked — e.g. async replication).
+func (w *WAL) AckedSeq() uint64 { return w.ackedA.Load() }
+
 // OldestSeq returns the sequence of the oldest record still retained by the
 // log, reporting ok=false when no records survive (a fresh or fully
 // checkpointed-and-collected directory).

@@ -165,6 +165,7 @@ type WAL struct {
 
 	stateA    atomic.Int32
 	lastFault atomic.Pointer[error]
+	ackedA    atomic.Uint64 // replication quorum-acked watermark (SetAckedSeq)
 }
 
 // Open opens (creating if needed) the WAL in dir, validating every segment

@@ -244,6 +244,7 @@ type Monitor struct {
 	lastTS          int64
 	snapShardWindow int
 	walErr          atomic.Pointer[error]
+	commitWaiter    atomic.Pointer[CommitWaiter] // semi-sync replication hook (repl.go)
 	degradedCh      chan struct{}
 	reattachStop    chan struct{}
 	reattachDone    chan struct{}
@@ -429,6 +430,21 @@ func (m *Monitor) Push(e Element) (uint64, error) {
 	if m.aq != nil {
 		return m.aq.enqueue(e, admit)
 	}
+	seq, err := m.pushOne(e, admit)
+	if err != nil {
+		return 0, err
+	}
+	// Semi-sync replication waits outside the ingest lock: the element is
+	// applied and locally durable; the waiter only gates the return until
+	// the follower quorum acks (or the stream degrades to async).
+	if err := m.commitWait(seq + 1); err != nil {
+		return seq, err
+	}
+	return seq, nil
+}
+
+// pushOne is Push's locked body: log, ingest, publish one element.
+func (m *Monitor) pushOne(e Element, admit int64) (uint64, error) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	if m.closed {
@@ -483,6 +499,21 @@ func (m *Monitor) PushBatch(es []Element) (uint64, error) {
 	if m.aq != nil {
 		return m.aq.enqueueBatch(es, admit)
 	}
+	first, err := m.pushMany(es, admit)
+	if err != nil {
+		return 0, err
+	}
+	if len(es) > 0 {
+		// As in Push: the semi-sync wait runs after the ingest lock drops.
+		if err := m.commitWait(first + uint64(len(es))); err != nil {
+			return first, err
+		}
+	}
+	return first, nil
+}
+
+// pushMany is PushBatch's locked body: log, ingest, publish the batch.
+func (m *Monitor) pushMany(es []Element, admit int64) (uint64, error) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	if m.closed {

@@ -61,6 +61,38 @@ func (m *Monitor) NextSeq() uint64 {
 	return m.eng.NextSeq()
 }
 
+// CommitWaiter is the semi-sync replication hook: after a push is applied
+// and locally durable, the monitor calls the installed waiter with the
+// sequence one past the last element of the push (the engine position the
+// replication quorum must reach). The waiter blocks until the quorum acks,
+// an ack deadline degrades the stream to async (returning nil — the push
+// succeeded locally), or the replication server shuts down (returning its
+// sticky error, which the push propagates: the element is applied and
+// durable, but the semi-sync guarantee was not met).
+type CommitWaiter func(seq uint64) error
+
+// SetCommitWaiter installs (or with nil, removes) the semi-sync commit
+// waiter. The waiter runs outside the monitor's ingest lock, so it may call
+// back into read-side Monitor methods (ConfigSummary, NextSeq) freely —
+// the replication handshake does exactly that while pushes wait.
+func (m *Monitor) SetCommitWaiter(fn CommitWaiter) {
+	if fn == nil {
+		m.commitWaiter.Store(nil)
+		return
+	}
+	m.commitWaiter.Store(&fn)
+}
+
+// commitWait invokes the installed commit waiter, if any, for a push whose
+// last element brought the engine to position seq.
+func (m *Monitor) commitWait(seq uint64) error {
+	fn := m.commitWaiter.Load()
+	if fn == nil {
+		return nil
+	}
+	return (*fn)(seq)
+}
+
 // ReplicationLog exposes the monitor's write-ahead log for read-side
 // consumers (segment listing, tail following). It returns nil when the
 // monitor is not durable — replication requires a WAL on both ends.
